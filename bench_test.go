@@ -1,0 +1,105 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per table
+// and figure (driving the harness on its quick grid; run cmd/selectbench
+// for the full-size grids), plus micro-benchmarks of the selection entry
+// points themselves. The interesting output of the figure benchmarks is
+// the harness's simulated-seconds series; here they serve as regression
+// anchors for the end-to-end pipeline.
+package parsel_test
+
+import (
+	"io"
+	"testing"
+
+	"parsel"
+	"parsel/internal/harness"
+)
+
+// benchExperiment runs one harness experiment per iteration on the quick
+// grid with a single seed.
+func benchExperiment(b *testing.B, id string) {
+	exp, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := harness.Config{Out: io.Discard, Seeds: 1, Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		harness.ResetCache() // measure real work every iteration
+		if err := exp.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Scaling(b *testing.B)               { benchExperiment(b, "table1") }
+func BenchmarkTable2WorstCase(b *testing.B)             { benchExperiment(b, "table2") }
+func BenchmarkFig1AllAlgorithms(b *testing.B)           { benchExperiment(b, "fig1") }
+func BenchmarkFig1Randomized(b *testing.B)              { benchExperiment(b, "fig1r") }
+func BenchmarkFig2RandomizedLB(b *testing.B)            { benchExperiment(b, "fig2") }
+func BenchmarkFig3FastRandomizedLB(b *testing.B)        { benchExperiment(b, "fig3") }
+func BenchmarkFig4SortedShowdown(b *testing.B)          { benchExperiment(b, "fig4") }
+func BenchmarkFig5RandomizedBreakdown(b *testing.B)     { benchExperiment(b, "fig5") }
+func BenchmarkFig6FastRandomizedBreakdown(b *testing.B) { benchExperiment(b, "fig6") }
+func BenchmarkHybridAblation(b *testing.B)              { benchExperiment(b, "hybrid") }
+func BenchmarkVariance(b *testing.B)                    { benchExperiment(b, "variance") }
+func BenchmarkPrimitives(b *testing.B)                  { benchExperiment(b, "prims") }
+
+// makeShards builds a deterministic pseudo-random sharding for the
+// end-to-end micro-benchmarks.
+func makeShards(n int64, p int) [][]int64 {
+	shards := make([][]int64, p)
+	per := int(n) / p
+	x := uint64(88172645463325252)
+	for i := range shards {
+		shards[i] = make([]int64, per)
+		for j := range shards[i] {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			shards[i][j] = int64(x >> 24)
+		}
+	}
+	return shards
+}
+
+// benchSelect measures one full collective median on 256k keys across 8
+// simulated processors.
+func benchSelect(b *testing.B, alg parsel.Algorithm, bal parsel.Balancer) {
+	shards := makeShards(256<<10, 8)
+	opts := parsel.Options{Algorithm: alg, Balancer: bal}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parsel.Median(shards, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectMedianOfMedians(b *testing.B) {
+	benchSelect(b, parsel.MedianOfMedians, parsel.GlobalExchange)
+}
+func BenchmarkSelectBucketBased(b *testing.B) {
+	benchSelect(b, parsel.BucketBased, parsel.NoBalance)
+}
+func BenchmarkSelectRandomized(b *testing.B) {
+	benchSelect(b, parsel.Randomized, parsel.NoBalance)
+}
+func BenchmarkSelectFastRandomized(b *testing.B) {
+	benchSelect(b, parsel.FastRandomized, parsel.ModifiedOMLB)
+}
+
+func BenchmarkBalanceGlobalExchange(b *testing.B) {
+	shards := makeShards(256<<10, 16)
+	// Skew it: everything from the first half onto the first processor.
+	for i := 1; i < 8; i++ {
+		shards[0] = append(shards[0], shards[i]...)
+		shards[i] = nil
+	}
+	opts := parsel.Options{Balancer: parsel.GlobalExchange}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := parsel.Balance(shards, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package balance implements the paper's dynamic load-balancing
+// algorithms (§4): the order-maintaining load balance, its modified
+// variant (Alg. 5), the dimension exchange method (Alg. 6), and the
+// global exchange (Alg. 7). All redistribute the elements held by the
+// processors so that every processor ends with either floor(n/p) or
+// ceil(n/p) of the n elements; they differ in how much communication they
+// generate and whether they preserve the global element order.
+package balance
+
+import (
+	"fmt"
+
+	"parsel/internal/comm"
+	"parsel/internal/machine"
+)
+
+// Method selects a load-balancing algorithm.
+type Method int
+
+const (
+	// None performs no balancing (the paper's "N" series).
+	None Method = iota
+	// OMLB is the order-maintaining load balance of §4.1: a parallel
+	// prefix computes each element's global position and elements move
+	// so that processor i holds positions [i*navg, (i+1)*navg). It can
+	// generate much more communication than necessary but preserves
+	// the global order of the data.
+	OMLB
+	// ModifiedOMLB (Alg. 5, the paper's "O" series) lets every
+	// processor retain min(ni, navg) of its own elements and moves only
+	// the excess from sources to sinks, matched by prefix-sum intervals
+	// in processor order.
+	ModifiedOMLB
+	// DimensionExchange (Alg. 6, "D") pairs processors that differ in
+	// bit j of their rank for j = 0..log2(p)-1 and averages their loads
+	// pairwise, converging to global balance on a hypercube.
+	DimensionExchange
+	// GlobalExchange (Alg. 7, "G") is ModifiedOMLB with sources and
+	// sinks sorted by decreasing excess/need before interval matching,
+	// pairing the fullest processors with the emptiest to reduce the
+	// number of messages.
+	GlobalExchange
+)
+
+// Methods lists every method including None.
+var Methods = []Method{None, OMLB, ModifiedOMLB, DimensionExchange, GlobalExchange}
+
+// Active lists the methods that actually move data.
+var Active = []Method{OMLB, ModifiedOMLB, DimensionExchange, GlobalExchange}
+
+// String returns the name used in harness output (matching the paper's
+// figure legends).
+func (m Method) String() string {
+	switch m {
+	case None:
+		return "none"
+	case OMLB:
+		return "omlb"
+	case ModifiedOMLB:
+		return "modomlb"
+	case DimensionExchange:
+		return "dimexch"
+	case GlobalExchange:
+		return "globexch"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Tag bases for this package's point-to-point traffic (disjoint from the
+// comm package's bases).
+const (
+	tagDimCount = 9 << 20
+	tagDimData  = 10 << 20
+)
+
+// Run redistributes local using the given method and returns the new local
+// slice. It must be called by all processors collectively. elemBytes is
+// the wire size of one element.
+func Run[K any](p *machine.Proc, local []K, method Method, elemBytes int) []K {
+	switch method {
+	case None:
+		return local
+	case OMLB:
+		return orderMaintaining(p, local, elemBytes)
+	case ModifiedOMLB:
+		return sourceSink(p, local, elemBytes, false)
+	case DimensionExchange:
+		return dimensionExchange(p, local, elemBytes)
+	case GlobalExchange:
+		return sourceSink(p, local, elemBytes, true)
+	default:
+		panic(fmt.Sprintf("balance: unknown method %d", int(method)))
+	}
+}
+
+// targets returns the balanced shard sizes: the first n%p processors get
+// ceil(n/p), the rest floor(n/p).
+func targets(n int64, p int) []int64 {
+	base, rem := n/int64(p), n%int64(p)
+	t := make([]int64, p)
+	for i := range t {
+		t[i] = base
+		if int64(i) < rem {
+			t[i]++
+		}
+	}
+	return t
+}
+
+// orderMaintaining implements the unmodified OMLB: elements keep their
+// global order; processor i ends with the elements whose global positions
+// fall in its target interval.
+func orderMaintaining[K any](p *machine.Proc, local []K, elemBytes int) []K {
+	size := p.Procs()
+	counts := comm.GlobalConcat(p, int64(len(local)), machine.WordBytes)
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 || size == 1 {
+		return local
+	}
+	targ := targets(n, size)
+	// Cumulative target starts: processor j owns [cumT[j], cumT[j+1]).
+	cumT := make([]int64, size+1)
+	for j := 0; j < size; j++ {
+		cumT[j+1] = cumT[j] + targ[j]
+	}
+	// My elements occupy global positions [myStart, myStart+len).
+	var myStart int64
+	for j := 0; j < p.ID(); j++ {
+		myStart += counts[j]
+	}
+	p.Charge(int64(2 * size)) // the two local prefix walks above
+
+	out := make([][]K, size)
+	for j := 0; j < size; j++ {
+		lo := max64(myStart, cumT[j])
+		hi := min64(myStart+int64(len(local)), cumT[j+1])
+		if lo < hi {
+			out[j] = local[lo-myStart : hi-myStart]
+			p.Charge(hi - lo) // block assembly / copy-out
+		}
+	}
+	// Incoming counts: intersect my target interval with source ranges.
+	inCounts := make([]int64, size)
+	var srcStart int64
+	for s := 0; s < size; s++ {
+		lo := max64(srcStart, cumT[p.ID()])
+		hi := min64(srcStart+counts[s], cumT[p.ID()+1])
+		if lo < hi {
+			inCounts[s] = hi - lo
+		}
+		srcStart += counts[s]
+	}
+	in := comm.TransportKnown(p, out, inCounts, elemBytes)
+	res := make([]K, 0, targ[p.ID()])
+	for s := 0; s < size; s++ {
+		res = append(res, in[s]...)
+	}
+	p.Charge(int64(len(res))) // assemble the balanced shard
+	return res
+}
+
+// transfer describes one source->sink block in the interval-matching
+// schemes.
+type procExcess struct {
+	proc int
+	amt  int64
+}
+
+// sourceSink implements both Modified OMLB (sorted=false: processor-index
+// order) and Global Exchange (sorted=true: decreasing excess/need order).
+func sourceSink[K any](p *machine.Proc, local []K, elemBytes int, sorted bool) []K {
+	size := p.Procs()
+	counts := comm.GlobalConcat(p, int64(len(local)), machine.WordBytes)
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 || size == 1 {
+		return local
+	}
+	targ := targets(n, size)
+	var sources, sinks []procExcess
+	for j := 0; j < size; j++ {
+		d := counts[j] - targ[j]
+		if d > 0 {
+			sources = append(sources, procExcess{j, d})
+		} else if d < 0 {
+			sinks = append(sinks, procExcess{j, -d})
+		}
+	}
+	p.Charge(int64(size))
+	if sorted {
+		// Global exchange: largest excess first, largest need first;
+		// ties by processor index for determinism.
+		sortByAmtDesc(sources)
+		sortByAmtDesc(sinks)
+		p.Charge(int64(len(sources) + len(sinks))) // cheap local sorts
+	}
+	// Rank the excess/need units in the chosen order.
+	srcStart := make(map[int]int64, len(sources))
+	var cum int64
+	for _, s := range sources {
+		srcStart[s.proc] = cum
+		cum += s.amt
+	}
+	snkStart := make(map[int]int64, len(sinks))
+	cum = 0
+	for _, s := range sinks {
+		snkStart[s.proc] = cum
+		cum += s.amt
+	}
+
+	me := p.ID()
+	out := make([][]K, size)
+	inCounts := make([]int64, size)
+	keep := min64(int64(len(local)), targ[me])
+	res := local[:keep]
+
+	if excess, ok := srcStart[me]; ok {
+		// I am a source: my excess units occupy [excess, excess+amt);
+		// send each overlap with a sink's unit interval to that sink.
+		amt := counts[me] - targ[me]
+		sent := int64(0)
+		var sinkPos int64
+		for _, snk := range sinks {
+			lo := max64(excess, sinkPos)
+			hi := min64(excess+amt, sinkPos+snk.amt)
+			if lo < hi {
+				cnt := hi - lo
+				out[snk.proc] = local[keep+sent : keep+sent+cnt]
+				p.Charge(cnt)
+				sent += cnt
+			}
+			sinkPos += snk.amt
+		}
+	}
+	if need, ok := snkStart[me]; ok {
+		// I am a sink: my need units occupy [need, need+amt); receive
+		// each overlap with a source's unit interval from that source.
+		amt := targ[me] - counts[me]
+		var srcPos int64
+		for _, src := range sources {
+			lo := max64(need, srcPos)
+			hi := min64(need+amt, srcPos+src.amt)
+			if lo < hi {
+				inCounts[src.proc] = hi - lo
+			}
+			srcPos += src.amt
+		}
+	}
+	in := comm.TransportKnown(p, out, inCounts, elemBytes)
+	final := make([]K, 0, targ[me])
+	final = append(final, res...)
+	for s := 0; s < size; s++ {
+		if s != me {
+			final = append(final, in[s]...)
+		}
+	}
+	p.Charge(int64(len(final)))
+	return final
+}
+
+// sortByAmtDesc sorts by decreasing amount, breaking ties by processor
+// index (insertion sort: the lists have at most p entries).
+func sortByAmtDesc(a []procExcess) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && (a[j].amt < x.amt || (a[j].amt == x.amt && a[j].proc > x.proc)) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+// dimensionExchange implements Alg. 6. In round j, processors whose ranks
+// differ in bit j exchange element counts and the fuller half sends the
+// surplus so both end with ceil/floor of their joint total. For
+// non-power-of-two p a processor whose partner does not exist sits the
+// round out (the standard generalization); balance is then approximate.
+func dimensionExchange[K any](p *machine.Proc, local []K, elemBytes int) []K {
+	size := p.Procs()
+	me := p.ID()
+	for pow, round := 1, 0; pow < size; pow, round = pow<<1, round+1 {
+		partner := me ^ pow
+		if partner >= size {
+			continue
+		}
+		ni := int64(len(local))
+		p.Send(partner, tagDimCount+round, ni, machine.WordBytes)
+		nl := p.Recv(partner, tagDimCount+round).(int64)
+		navg := (ni + nl + 1) / 2
+		switch {
+		case ni > navg:
+			// Copy the surplus out: a later round may append into this
+			// slice's backing array, which must not alias the block the
+			// partner received.
+			give := ni - navg
+			blk := make([]K, give)
+			copy(blk, local[navg:ni])
+			p.Send(partner, tagDimData+round, blk, int(give)*elemBytes)
+			local = local[:navg]
+			p.Charge(give)
+		case nl > navg:
+			blk := p.Recv(partner, tagDimData+round).([]K)
+			local = append(local, blk...)
+			p.Charge(int64(len(blk)))
+		}
+	}
+	return local
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

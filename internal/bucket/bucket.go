@@ -1,0 +1,252 @@
+// Package bucket implements the local preprocessing of the paper's
+// bucket-based selection algorithm (Alg. 2, step 0): the n/p elements on a
+// processor are split into O(log p) buckets such that every element of
+// bucket i is no larger than any element of bucket j for i < j. The
+// buckets are built by recursively median-splitting, which costs
+// O((n/p) log log p) — cheaper than a full sort — and afterwards both the
+// local median and the partition against an estimated median touch only a
+// single bucket, i.e. O(log log p + n/(p log p)) operations per iteration.
+package bucket
+
+import (
+	"cmp"
+	"fmt"
+
+	"parsel/internal/seq"
+)
+
+// Selector finds the k-th smallest (0-based) element of a in place. Both
+// seq.SelectBFPRT and a Floyd–Rivest closure satisfy it; the hybrid
+// variants of the paper's §5 swap the deterministic selector for the
+// randomized one.
+type Selector[K cmp.Ordered] func(a []K, k int) (K, int64)
+
+// Table is the bucketed view of one processor's local elements. Elements
+// are stored in a single backing slice grouped into inter-ordered buckets;
+// discarded elements are excluded via per-bucket active windows rather
+// than moved.
+type Table[K cmp.Ordered] struct {
+	data []K
+	// off[i] is the start of bucket i in data; off has B+1 entries.
+	off []int
+	// splitters[i] separates buckets i and i+1: every element of buckets
+	// 0..i is <= splitters[i] and every element of buckets i+1.. is
+	// >= splitters[i]. len(splitters) == B-1.
+	splitters []K
+	// lo[i], hi[i] delimit the active window inside bucket i.
+	lo, hi []int
+
+	// lastLoB..lastHiB is the bucket range partitioned by the most
+	// recent Count; lastLess[i] and lastSplit[i] are the in-bucket
+	// boundaries (< pivot | == pivot | > pivot) for bucket lastLoB+i.
+	// KeepLess/KeepGreater use them to discard without rescanning.
+	lastLoB, lastHiB int
+	lastLess         []int
+	lastSplit        []int
+
+	sel Selector[K]
+}
+
+// NumBuckets returns the paper's bucket count for p processors: the
+// smallest power of two >= log2(p), and at least 2 (so that bucketing is
+// meaningful whenever it is used at all).
+func NumBuckets(p int) int {
+	logp := 1
+	for 1<<logp < p {
+		logp++
+	}
+	b := 2
+	for b < logp {
+		b <<= 1
+	}
+	return b
+}
+
+// Build constructs a bucket table over data (taking ownership of it) with
+// b buckets using sel for the median splits. It returns the table and the
+// preprocessing operation count.
+func Build[K cmp.Ordered](data []K, b int, sel Selector[K]) (*Table[K], int64) {
+	if b < 1 {
+		panic(fmt.Sprintf("bucket: invalid bucket count %d", b))
+	}
+	if b&(b-1) != 0 {
+		panic(fmt.Sprintf("bucket: bucket count %d not a power of two", b))
+	}
+	t := &Table[K]{data: data, sel: sel}
+	var ops int64
+	t.split(0, len(data), b, &ops)
+	// split appends off boundaries in order; finish the fence.
+	t.off = append(t.off, len(data))
+	B := len(t.off) - 1
+	t.lo = make([]int, B)
+	t.hi = make([]int, B)
+	for i := 0; i < B; i++ {
+		t.lo[i] = t.off[i]
+		t.hi[i] = t.off[i+1]
+	}
+	return t, ops
+}
+
+// split recursively median-splits data[from:to] into b buckets, recording
+// bucket starts and splitters in order.
+func (t *Table[K]) split(from, to, b int, ops *int64) {
+	if b == 1 || to-from <= 1 {
+		t.off = append(t.off, from)
+		// Degenerate leaves for remaining b-1 buckets when the segment
+		// is too small to split further.
+		for extra := 1; extra < b; extra++ {
+			t.off = append(t.off, to)
+			t.splitters = append(t.splitters, t.boundaryValue(from, to))
+		}
+		return
+	}
+	seg := t.data[from:to]
+	// Split around a deterministic pseudo-median rather than an exact
+	// median: the build then costs ~5(n/p) per level instead of BFPRT's
+	// ~21(n/p), and split quality affects only bucket-size balance,
+	// never correctness (Select and Count handle any sizes). This is
+	// what makes the bucket preprocessing cheaper than the repeated
+	// full scans of the median of medians algorithm in practice.
+	med, o := seq.PseudoMedian(seg)
+	*ops += o
+	lt, eq, o2 := seq.Partition3(seg, med)
+	*ops += o2
+	// Cut on whichever side of the equal run lands nearer the middle.
+	cut := lt + eq
+	if mid := len(seg) / 2; abs(lt-mid) < abs(cut-mid) {
+		cut = lt
+	}
+	t.split(from, from+cut, b/2, ops)
+	t.splitters = append(t.splitters, med)
+	t.split(from+cut, to, b/2, ops)
+}
+
+// boundaryValue produces a splitter for degenerate (empty or singleton)
+// leaves that keeps the splitter sequence non-decreasing: the leaf's own
+// element if it has one, otherwise the previous splitter. An empty table
+// falls back to the zero value, which is never consulted because all
+// buckets are empty.
+func (t *Table[K]) boundaryValue(from, to int) K {
+	if to > from {
+		return t.data[to-1]
+	}
+	if len(t.splitters) > 0 {
+		return t.splitters[len(t.splitters)-1]
+	}
+	var zero K
+	return zero
+}
+
+// Buckets returns the number of buckets.
+func (t *Table[K]) Buckets() int { return len(t.off) - 1 }
+
+// Remaining returns the number of active (not yet discarded) elements.
+func (t *Table[K]) Remaining() int {
+	n := 0
+	for i := range t.lo {
+		n += t.hi[i] - t.lo[i]
+	}
+	return n
+}
+
+// Select returns the k-th smallest (0-based) active element. It locates
+// the bucket holding rank k by a cumulative scan over O(log p) buckets and
+// then runs the sequential selector inside that bucket only (Alg. 2
+// step 1).
+func (t *Table[K]) Select(k int) (K, int64) {
+	if k < 0 || k >= t.Remaining() {
+		panic(fmt.Sprintf("bucket: Select rank %d out of %d active", k, t.Remaining()))
+	}
+	var ops int64
+	for i := range t.lo {
+		sz := t.hi[i] - t.lo[i]
+		ops++
+		if k < sz {
+			v, o := t.sel(t.data[t.lo[i]:t.hi[i]], k)
+			return v, ops + o
+		}
+		k -= sz
+	}
+	panic("bucket: Select fell off the table")
+}
+
+// Count partitions the straddling bucket range around pivot and returns
+// the number of active elements strictly below pivot and equal to pivot
+// (Alg. 2 step 4, refined to three-way for duplicate safety). Normally a
+// single bucket straddles the pivot; when duplicates of the pivot value
+// span several buckets, all of them are partitioned. The table records
+// the splits so a following Keep call can discard in O(#buckets).
+func (t *Table[K]) Count(pivot K) (less, equal int64, ops int64) {
+	loB, o1 := t.locateLower(pivot)
+	hiB, o2 := t.locate(pivot)
+	ops = o1 + o2
+	for i := 0; i < loB; i++ {
+		less += int64(t.hi[i] - t.lo[i])
+		ops++
+	}
+	t.lastLoB, t.lastHiB = loB, hiB
+	t.lastLess = t.lastLess[:0]
+	t.lastSplit = t.lastSplit[:0]
+	for b := loB; b <= hiB; b++ {
+		seg := t.data[t.lo[b]:t.hi[b]]
+		lt, eq, o := seq.Partition3(seg, pivot)
+		ops += o
+		less += int64(lt)
+		equal += int64(eq)
+		t.lastLess = append(t.lastLess, t.lo[b]+lt)
+		t.lastSplit = append(t.lastSplit, t.lo[b]+lt+eq)
+	}
+	return less, equal, ops
+}
+
+// KeepLess discards all active elements >= the pivot passed to the
+// immediately preceding Count call.
+func (t *Table[K]) KeepLess() {
+	for b := t.lastLoB; b <= t.lastHiB; b++ {
+		t.hi[b] = t.lastLess[b-t.lastLoB]
+	}
+	for i := t.lastHiB + 1; i < len(t.lo); i++ {
+		t.lo[i] = t.off[i]
+		t.hi[i] = t.off[i]
+	}
+}
+
+// KeepGreater discards all active elements <= the pivot passed to the
+// immediately preceding Count call.
+func (t *Table[K]) KeepGreater() {
+	for b := t.lastLoB; b <= t.lastHiB; b++ {
+		t.lo[b] = t.lastSplit[b-t.lastLoB]
+	}
+	for i := 0; i < t.lastLoB; i++ {
+		t.lo[i] = t.off[i]
+		t.hi[i] = t.off[i]
+	}
+}
+
+// locate returns the last bucket that can contain elements <= pivot:
+// buckets after it hold values >= splitters[idx] > pivot. Binary search
+// over the splitters is the paper's O(log log p) bucket search.
+func (t *Table[K]) locate(pivot K) (int, int64) {
+	return seq.UpperBound(t.splitters, pivot)
+}
+
+// locateLower returns the first bucket that can contain elements >= pivot:
+// buckets before it hold values <= splitters[idx-1] < pivot.
+func (t *Table[K]) locateLower(pivot K) (int, int64) {
+	return seq.LowerBound(t.splitters, pivot)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Collect appends all active elements to dst and returns it.
+func (t *Table[K]) Collect(dst []K) []K {
+	for i := range t.lo {
+		dst = append(dst, t.data[t.lo[i]:t.hi[i]]...)
+	}
+	return dst
+}

@@ -1,0 +1,275 @@
+package bucket
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"parsel/internal/seq"
+)
+
+func detSel(a []int64, k int) (int64, int64) { return seq.SelectBFPRT(a, k) }
+
+func randSlice(n int, span int64, r *rand.Rand) []int64 {
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = r.Int64N(span)
+	}
+	return a
+}
+
+func TestNumBuckets(t *testing.T) {
+	cases := []struct{ p, want int }{
+		{1, 2}, {2, 2}, {4, 2}, {8, 4}, {16, 4}, {32, 8}, {64, 8}, {128, 8}, {1024, 16},
+	}
+	for _, tc := range cases {
+		if got := NumBuckets(tc.p); got != tc.want {
+			t.Errorf("NumBuckets(%d) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestBuildOrdersBuckets(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, b := range []int{1, 2, 4, 8} {
+			data := randSlice(n, 50, r)
+			want := slices.Clone(data)
+			tab, _ := Build(slices.Clone(data), b, detSel)
+			if tab.Buckets() != b {
+				t.Fatalf("n=%d b=%d: Buckets() = %d", n, b, tab.Buckets())
+			}
+			if tab.Remaining() != n {
+				t.Fatalf("n=%d b=%d: Remaining() = %d", n, b, tab.Remaining())
+			}
+			// Multiset preserved.
+			got := tab.Collect(nil)
+			slices.Sort(got)
+			slices.Sort(want)
+			if !slices.Equal(got, want) {
+				t.Fatalf("n=%d b=%d: multiset changed", n, b)
+			}
+			// Inter-bucket ordering: max(bucket i) <= min(bucket j), i<j.
+			for i := 0; i < b; i++ {
+				bi := tab.data[tab.off[i]:tab.off[i+1]]
+				for j := i + 1; j < b; j++ {
+					bj := tab.data[tab.off[j]:tab.off[j+1]]
+					for _, x := range bi {
+						for _, y := range bj {
+							if x > y {
+								t.Fatalf("n=%d b=%d: bucket %d elem %d > bucket %d elem %d", n, b, i, x, j, y)
+							}
+						}
+					}
+				}
+			}
+			// Splitters non-decreasing (locate depends on it).
+			for i := 1; i < len(tab.splitters); i++ {
+				if tab.splitters[i] < tab.splitters[i-1] {
+					t.Fatalf("n=%d b=%d: splitters not sorted: %v", n, b, tab.splitters)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildPanicsOnBadCount(t *testing.T) {
+	for _, b := range []int{0, -1, 3, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("b=%d: expected panic", b)
+				}
+			}()
+			Build([]int64{1, 2, 3}, b, detSel)
+		}()
+	}
+}
+
+func TestSelectMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	for _, n := range []int{1, 5, 100, 999} {
+		data := randSlice(n, int64(n), r)
+		sorted := slices.Clone(data)
+		slices.Sort(sorted)
+		tab, _ := Build(slices.Clone(data), 8, detSel)
+		for _, k := range []int{0, n / 2, n - 1} {
+			got, _ := tab.Select(k)
+			if got != sorted[k] {
+				t.Errorf("n=%d k=%d: got %d want %d", n, k, got, sorted[k])
+			}
+		}
+	}
+}
+
+func TestSelectPanicsOutOfRange(t *testing.T) {
+	tab, _ := Build([]int64{5, 2, 8}, 2, detSel)
+	for _, k := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d: expected panic", k)
+				}
+			}()
+			tab.Select(k)
+		}()
+	}
+}
+
+func TestCountAndKeep(t *testing.T) {
+	data := []int64{9, 1, 7, 3, 5, 3, 8, 2}
+	tab, _ := Build(slices.Clone(data), 4, detSel)
+
+	less, eq, _ := tab.Count(5)
+	if less != 4 || eq != 1 { // <5: 1,3,3,2; ==5: one
+		t.Fatalf("Count(5) = (%d,%d), want (4,1)", less, eq)
+	}
+	tab.KeepLess()
+	if tab.Remaining() != 4 {
+		t.Fatalf("after KeepLess Remaining = %d", tab.Remaining())
+	}
+	act := tab.Collect(nil)
+	slices.Sort(act)
+	if !slices.Equal(act, []int64{1, 2, 3, 3}) {
+		t.Fatalf("active after KeepLess = %v", act)
+	}
+
+	less2, eq2, _ := tab.Count(2)
+	if less2 != 1 || eq2 != 1 {
+		t.Fatalf("Count(2) = (%d,%d), want (1,1)", less2, eq2)
+	}
+	tab.KeepGreater()
+	act2 := tab.Collect(nil)
+	slices.Sort(act2)
+	if !slices.Equal(act2, []int64{3, 3}) {
+		t.Fatalf("active after KeepGreater = %v", act2)
+	}
+}
+
+// TestIterativeNarrowingProperty simulates what the selection algorithm
+// does: repeatedly count against pivots and keep one side, checking the
+// active multiset always equals the value-interval filter of the input.
+func TestIterativeNarrowingProperty(t *testing.T) {
+	f := func(raw []int16, pivots []int16, keepLowBits uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		data := make([]int64, len(raw))
+		for i, v := range raw {
+			data[i] = int64(v)
+		}
+		tab, _ := Build(slices.Clone(data), 4, detSel)
+		// Track the surviving interval (lo, hi] by value.
+		reference := slices.Clone(data)
+		for i, pv := range pivots {
+			if i >= 6 {
+				break
+			}
+			pivot := int64(pv)
+			less, eq, _ := tab.Count(pivot)
+			var wantLess, wantEq int64
+			for _, v := range reference {
+				if v < pivot {
+					wantLess++
+				} else if v == pivot {
+					wantEq++
+				}
+			}
+			if less != wantLess || eq != wantEq {
+				return false
+			}
+			var next []int64
+			if keepLowBits&(1<<i) != 0 {
+				tab.KeepLess()
+				for _, v := range reference {
+					if v < pivot {
+						next = append(next, v)
+					}
+				}
+			} else {
+				tab.KeepGreater()
+				for _, v := range reference {
+					if v > pivot {
+						next = append(next, v)
+					}
+				}
+			}
+			reference = next
+			if tab.Remaining() != len(reference) {
+				return false
+			}
+			got := tab.Collect(nil)
+			slices.Sort(got)
+			slices.Sort(reference)
+			if !slices.Equal(got, reference) {
+				return false
+			}
+			if len(reference) == 0 {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllEqualElements(t *testing.T) {
+	data := make([]int64, 64)
+	for i := range data {
+		data[i] = 42
+	}
+	tab, _ := Build(data, 8, detSel)
+	if v, _ := tab.Select(31); v != 42 {
+		t.Errorf("Select on all-equal = %d", v)
+	}
+	less, eq, _ := tab.Count(42)
+	if less != 0 || eq != 64 {
+		t.Errorf("Count(42) = (%d,%d)", less, eq)
+	}
+	less2, eq2, _ := tab.Count(41)
+	if less2 != 0 || eq2 != 0 {
+		t.Errorf("Count(41) = (%d,%d)", less2, eq2)
+	}
+}
+
+func TestRandomizedSelectorVariant(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 9))
+	randSel := func(a []int64, k int) (int64, int64) { return seq.Quickselect(a, k, r) }
+	data := randSlice(500, 1000, r)
+	sorted := slices.Clone(data)
+	slices.Sort(sorted)
+	tab, _ := Build(slices.Clone(data), 8, randSel)
+	if got, _ := tab.Select(250); got != sorted[250] {
+		t.Errorf("randomized-selector Select = %d want %d", got, sorted[250])
+	}
+}
+
+// TestPerIterationCheaperThanRescan pins the point of the bucket
+// preprocessing (paper §3.2): after building, one selection iteration
+// (local median + partition against a pivot) touches roughly one bucket,
+// i.e. far fewer operations than the full-scan equivalent that the median
+// of medians algorithm pays every iteration.
+func TestPerIterationCheaperThanRescan(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 6))
+	const n = 100000
+	data := randSlice(n, 1<<40, r)
+	tab, _ := Build(slices.Clone(data), 8, detSel)
+
+	_, selOps := tab.Select(tab.Remaining() / 2)
+	_, _, countOps := tab.Count(data[0])
+
+	// The full-scan equivalents: BFPRT over all elements + full partition
+	// with the same kernel.
+	_, fullSel := seq.SelectBFPRT(slices.Clone(data), n/2)
+	_, _, fullScan := seq.Partition3(slices.Clone(data), data[0])
+
+	if selOps*4 >= fullSel {
+		t.Errorf("bucketed select ops %d not far below full BFPRT %d", selOps, fullSel)
+	}
+	if countOps*4 >= fullScan {
+		t.Errorf("bucketed partition ops %d not far below full scan %d", countOps, fullScan)
+	}
+}

@@ -1,0 +1,75 @@
+package comm
+
+import (
+	"testing"
+
+	"parsel/internal/machine"
+)
+
+// benchCollective times the *wall-clock* cost of running a collective on
+// p real goroutines (the simulated cost is exercised by the harness's
+// prims experiment).
+func benchCollective(b *testing.B, p int, body func(pr *machine.Proc, payload []int64)) {
+	m, err := machine.New(machine.DefaultParams(p))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const elems = 4096
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := m.Run(func(pr *machine.Proc) {
+			payload := make([]int64, elems)
+			body(pr, payload)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBroadcast16(b *testing.B) {
+	benchCollective(b, 16, func(pr *machine.Proc, payload []int64) {
+		BroadcastSlice(pr, 0, payload, machine.WordBytes)
+	})
+}
+
+func BenchmarkCombine16(b *testing.B) {
+	benchCollective(b, 16, func(pr *machine.Proc, payload []int64) {
+		CombineInt64(pr, int64(pr.ID()))
+	})
+}
+
+func BenchmarkPrefix16(b *testing.B) {
+	benchCollective(b, 16, func(pr *machine.Proc, payload []int64) {
+		PrefixSumInt64(pr, int64(pr.ID()))
+	})
+}
+
+func BenchmarkGatherv16(b *testing.B) {
+	benchCollective(b, 16, func(pr *machine.Proc, payload []int64) {
+		Gatherv(pr, 0, payload, machine.WordBytes)
+	})
+}
+
+func BenchmarkGlobalConcatv16(b *testing.B) {
+	benchCollective(b, 16, func(pr *machine.Proc, payload []int64) {
+		GlobalConcatv(pr, payload[:64], machine.WordBytes)
+	})
+}
+
+func BenchmarkTransport16(b *testing.B) {
+	benchCollective(b, 16, func(pr *machine.Proc, payload []int64) {
+		out := make([][]int64, pr.Procs())
+		per := len(payload) / pr.Procs()
+		for j := range out {
+			out[j] = payload[j*per : (j+1)*per]
+		}
+		Transport(pr, out, machine.WordBytes)
+	})
+}
+
+func BenchmarkBarrier64(b *testing.B) {
+	benchCollective(b, 64, func(pr *machine.Proc, payload []int64) {
+		Barrier(pr)
+	})
+}

@@ -1,0 +1,450 @@
+package comm
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"parsel/internal/machine"
+)
+
+// procCounts exercises the non-power-of-two paths deliberately.
+var procCounts = []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 32}
+
+func runSPMD(t *testing.T, p int, body func(*machine.Proc)) float64 {
+	t.Helper()
+	sim, err := machine.Run(machine.DefaultParams(p), body)
+	if err != nil {
+		t.Fatalf("p=%d: %v", p, err)
+	}
+	return sim
+}
+
+func TestBroadcastScalar(t *testing.T) {
+	for _, p := range procCounts {
+		for root := 0; root < p; root += max(1, p/3) {
+			got := make([]int64, p)
+			runSPMD(t, p, func(pr *machine.Proc) {
+				val := int64(-1)
+				if pr.ID() == root {
+					val = 4242
+				}
+				got[pr.ID()] = Broadcast(pr, root, val, 8)
+			})
+			for id, v := range got {
+				if v != 4242 {
+					t.Errorf("p=%d root=%d proc %d got %d", p, root, id, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastSlice(t *testing.T) {
+	want := []int64{5, 4, 3, 2, 1}
+	for _, p := range procCounts {
+		root := p - 1
+		results := make([][]int64, p)
+		runSPMD(t, p, func(pr *machine.Proc) {
+			var in []int64
+			if pr.ID() == root {
+				in = want
+			}
+			results[pr.ID()] = BroadcastSlice(pr, root, in, 8)
+		})
+		for id, res := range results {
+			if !reflect.DeepEqual(res, want) {
+				t.Errorf("p=%d proc %d got %v", p, id, res)
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, p := range procCounts {
+		for _, root := range []int{0, p / 2} {
+			var want int64
+			for i := 0; i < p; i++ {
+				want += int64(i * i)
+			}
+			runSPMD(t, p, func(pr *machine.Proc) {
+				v := int64(pr.ID() * pr.ID())
+				got, ok := Reduce(pr, root, v, 8, func(a, b int64) int64 { return a + b })
+				if (pr.ID() == root) != ok {
+					t.Errorf("p=%d proc %d ok=%v", p, pr.ID(), ok)
+				}
+				if ok && got != want {
+					t.Errorf("p=%d root sum=%d want %d", p, got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	for _, p := range procCounts {
+		runSPMD(t, p, func(pr *machine.Proc) {
+			v := int64((pr.ID()*7 + 3) % p)
+			got, ok := Reduce(pr, 0, v, 8, func(a, b int64) int64 {
+				if a > b {
+					return a
+				}
+				return b
+			})
+			if ok {
+				var want int64
+				for i := 0; i < p; i++ {
+					if w := int64((i*7 + 3) % p); w > want {
+						want = w
+					}
+				}
+				if got != want {
+					t.Errorf("p=%d max=%d want %d", p, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestCombineEveryoneGetsResult(t *testing.T) {
+	for _, p := range procCounts {
+		want := int64(p * (p - 1) / 2)
+		got := make([]int64, p)
+		runSPMD(t, p, func(pr *machine.Proc) {
+			got[pr.ID()] = CombineInt64(pr, int64(pr.ID()))
+		})
+		for id, v := range got {
+			if v != want {
+				t.Errorf("p=%d proc %d combine=%d want %d", p, id, v, want)
+			}
+		}
+	}
+}
+
+func TestPrefixSum(t *testing.T) {
+	for _, p := range procCounts {
+		got := make([]int64, p)
+		runSPMD(t, p, func(pr *machine.Proc) {
+			got[pr.ID()] = PrefixSumInt64(pr, int64(pr.ID()+1))
+		})
+		var run int64
+		for id, v := range got {
+			run += int64(id + 1)
+			if v != run {
+				t.Errorf("p=%d proc %d prefix=%d want %d", p, id, v, run)
+			}
+		}
+	}
+}
+
+func TestPrefixNonCommutativeOrder(t *testing.T) {
+	// String concatenation is associative but not commutative, so this
+	// detects any left/right mixups in the scan.
+	for _, p := range procCounts {
+		got := make([]string, p)
+		runSPMD(t, p, func(pr *machine.Proc) {
+			s := string(rune('a' + pr.ID()%26))
+			got[pr.ID()] = Prefix(pr, s, len(s), func(a, b string) string { return a + b })
+		})
+		want := ""
+		for id := 0; id < p; id++ {
+			want += string(rune('a' + id%26))
+			if got[id] != want {
+				t.Errorf("p=%d proc %d prefix=%q want %q", p, id, got[id], want)
+			}
+		}
+	}
+}
+
+func TestGatherScalar(t *testing.T) {
+	for _, p := range procCounts {
+		for _, root := range []int{0, p - 1} {
+			runSPMD(t, p, func(pr *machine.Proc) {
+				res := Gather(pr, root, int64(pr.ID()*10), 8)
+				if pr.ID() != root {
+					if res != nil {
+						t.Errorf("p=%d non-root %d got %v", p, pr.ID(), res)
+					}
+					return
+				}
+				if len(res) != p {
+					t.Fatalf("p=%d root got %d entries", p, len(res))
+				}
+				for i, v := range res {
+					if v != int64(i*10) {
+						t.Errorf("p=%d root entry %d = %d", p, i, v)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestGathervVariableSizes(t *testing.T) {
+	for _, p := range procCounts {
+		root := p / 2
+		runSPMD(t, p, func(pr *machine.Proc) {
+			mine := make([]int64, pr.ID()) // proc i contributes i elements
+			for j := range mine {
+				mine[j] = int64(pr.ID()*1000 + j)
+			}
+			res := Gatherv(pr, root, mine, 8)
+			if pr.ID() != root {
+				return
+			}
+			for src := 0; src < p; src++ {
+				if len(res[src]) != src {
+					t.Fatalf("p=%d block %d has %d elems", p, src, len(res[src]))
+				}
+				for j, v := range res[src] {
+					if v != int64(src*1000+j) {
+						t.Errorf("p=%d block %d elem %d = %d", p, src, j, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGatherFlat(t *testing.T) {
+	for _, p := range procCounts {
+		runSPMD(t, p, func(pr *machine.Proc) {
+			mine := []int64{int64(pr.ID()), int64(pr.ID() + 100)}
+			res := GatherFlat(pr, 0, mine, 8)
+			if pr.ID() != 0 {
+				return
+			}
+			if len(res) != 2*p {
+				t.Fatalf("p=%d flat len %d", p, len(res))
+			}
+			for i := 0; i < p; i++ {
+				if res[2*i] != int64(i) || res[2*i+1] != int64(i+100) {
+					t.Errorf("p=%d wrong flat order at %d: %v", p, i, res[2*i:2*i+2])
+				}
+			}
+		})
+	}
+}
+
+func TestGlobalConcatScalar(t *testing.T) {
+	for _, p := range procCounts {
+		runSPMD(t, p, func(pr *machine.Proc) {
+			res := GlobalConcat(pr, int64(pr.ID()*3+1), 8)
+			if len(res) != p {
+				t.Fatalf("p=%d len %d", p, len(res))
+			}
+			for i, v := range res {
+				if v != int64(i*3+1) {
+					t.Errorf("p=%d proc %d entry %d = %d", p, pr.ID(), i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestGlobalConcatvVariableSizes(t *testing.T) {
+	for _, p := range procCounts {
+		runSPMD(t, p, func(pr *machine.Proc) {
+			mine := make([]int64, (pr.ID()*13)%5)
+			for j := range mine {
+				mine[j] = int64(pr.ID()*100 + j)
+			}
+			res := GlobalConcatv(pr, mine, 8)
+			for src := 0; src < p; src++ {
+				wantLen := (src * 13) % 5
+				if len(res[src]) != wantLen {
+					t.Fatalf("p=%d src %d len %d want %d", p, src, len(res[src]), wantLen)
+				}
+				for j, v := range res[src] {
+					if v != int64(src*100+j) {
+						t.Errorf("p=%d src %d elem %d = %d", p, src, j, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// transportPattern builds a deterministic all-to-all pattern where proc i
+// sends (i+j)%4 elements to proc j with recognizable values.
+func transportPattern(p, src, dst int) []int64 {
+	n := (src + dst) % 4
+	out := make([]int64, n)
+	for k := range out {
+		out[k] = int64(src*10000 + dst*100 + k)
+	}
+	return out
+}
+
+func TestTransport(t *testing.T) {
+	for _, p := range procCounts {
+		runSPMD(t, p, func(pr *machine.Proc) {
+			out := make([][]int64, p)
+			for dst := 0; dst < p; dst++ {
+				out[dst] = transportPattern(p, pr.ID(), dst)
+			}
+			in := Transport(pr, out, 8)
+			for src := 0; src < p; src++ {
+				want := transportPattern(p, src, pr.ID())
+				if len(want) == 0 {
+					if len(in[src]) != 0 {
+						t.Errorf("p=%d got unexpected block from %d", p, src)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(in[src], want) {
+					t.Errorf("p=%d from %d got %v want %v", p, src, in[src], want)
+				}
+			}
+		})
+	}
+}
+
+func TestTransportKnown(t *testing.T) {
+	for _, p := range procCounts {
+		runSPMD(t, p, func(pr *machine.Proc) {
+			out := make([][]int64, p)
+			inCounts := make([]int64, p)
+			for dst := 0; dst < p; dst++ {
+				out[dst] = transportPattern(p, pr.ID(), dst)
+				inCounts[dst] = int64(len(transportPattern(p, dst, pr.ID())))
+			}
+			in := TransportKnown(pr, out, inCounts, 8)
+			for src := 0; src < p; src++ {
+				want := transportPattern(p, src, pr.ID())
+				if len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(in[src], want) {
+					t.Errorf("p=%d from %d got %v want %v", p, src, in[src], want)
+				}
+			}
+		})
+	}
+}
+
+func TestTransportSelfOnly(t *testing.T) {
+	runSPMD(t, 4, func(pr *machine.Proc) {
+		out := make([][]int64, 4)
+		out[pr.ID()] = []int64{int64(pr.ID())}
+		in := Transport(pr, out, 8)
+		if len(in[pr.ID()]) != 1 || in[pr.ID()][0] != int64(pr.ID()) {
+			t.Errorf("self block lost: %v", in)
+		}
+	})
+}
+
+func TestBarrierAlignsClocks(t *testing.T) {
+	for _, p := range procCounts {
+		if p == 1 {
+			continue
+		}
+		after := make([]float64, p)
+		runSPMD(t, p, func(pr *machine.Proc) {
+			// Skew the clocks heavily, then barrier.
+			pr.ChargeSeconds(float64(pr.ID()) * 0.01)
+			Barrier(pr)
+			after[pr.ID()] = pr.Now()
+		})
+		// After a barrier every clock must be at least the maximum
+		// pre-barrier clock (the slowest processor gates everyone).
+		slowest := float64(p-1) * 0.01
+		for id, ts := range after {
+			if ts < slowest {
+				t.Errorf("p=%d proc %d finished barrier at %g before slowest %g", p, id, ts, slowest)
+			}
+		}
+	}
+}
+
+// TestBroadcastModelCost checks the simulated cost of a broadcast against
+// the paper's O((tau+mu) log p) closed form for power-of-two p.
+func TestBroadcastModelCost(t *testing.T) {
+	params := machine.DefaultParams(8)
+	sim, err := machine.Run(params, func(pr *machine.Proc) {
+		Broadcast(pr, 0, int64(99), 8)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHop := params.TauSec + 2*params.MuSecPerByte*8
+	want := 3 * perHop // log2(8) levels along the critical path
+	if math.Abs(sim-want) > want*0.01 {
+		t.Errorf("broadcast sim cost %g, want ~%g", sim, want)
+	}
+}
+
+// TestGatherCostScalesLinearly: gather of m total elements must cost at
+// least mu*m (bandwidth bound at the root) and not more than a small
+// multiple of it plus log p startups.
+func TestGatherModelCost(t *testing.T) {
+	params := machine.DefaultParams(16)
+	const perProc = 4096
+	sim, err := machine.Run(params, func(pr *machine.Proc) {
+		mine := make([]int64, perProc)
+		Gatherv(pr, 0, mine, 8)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := params.MuSecPerByte * float64((16-1)*perProc*8)
+	high := 4*low + 16*params.TauSec
+	if sim < low || sim > high {
+		t.Errorf("gather sim cost %g outside [%g, %g]", sim, low, high)
+	}
+}
+
+func TestCollectivesDeterministic(t *testing.T) {
+	run := func() float64 {
+		sim, err := machine.Run(machine.DefaultParams(6), func(pr *machine.Proc) {
+			v := CombineInt64(pr, int64(pr.ID()))
+			Prefix(pr, v, 8, func(a, b int64) int64 { return a + b })
+			GlobalConcat(pr, v, 8)
+			Barrier(pr)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic simulated time: %g vs %g", a, b)
+	}
+}
+
+// TestRandomizedTransportFuzz cross-checks Transport against a serial
+// shuffle for random patterns and processor counts.
+func TestRandomizedTransportFuzz(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 25; trial++ {
+		p := 1 + rng.IntN(12)
+		pattern := make([][][]int64, p)
+		for src := 0; src < p; src++ {
+			pattern[src] = make([][]int64, p)
+			for dst := 0; dst < p; dst++ {
+				n := rng.IntN(5)
+				blk := make([]int64, n)
+				for k := range blk {
+					blk[k] = rng.Int64N(1 << 40)
+				}
+				pattern[src][dst] = blk
+			}
+		}
+		runSPMD(t, p, func(pr *machine.Proc) {
+			in := Transport(pr, pattern[pr.ID()], 8)
+			for src := 0; src < p; src++ {
+				want := pattern[src][pr.ID()]
+				if len(want) == 0 {
+					if len(in[src]) != 0 {
+						t.Errorf("trial %d: unexpected data from %d", trial, src)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(in[src], want) {
+					t.Errorf("trial %d: from %d got %v want %v", trial, src, in[src], want)
+				}
+			}
+		})
+	}
+}

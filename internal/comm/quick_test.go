@@ -1,0 +1,145 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parsel/internal/machine"
+)
+
+// quickRun executes an SPMD body or reports the failure through ok.
+func quickRun(p int, body func(pr *machine.Proc)) bool {
+	_, err := machine.Run(machine.DefaultParams(p), body)
+	return err == nil
+}
+
+// TestQuickCombineAgainstSerial: for arbitrary per-processor inputs and a
+// set of associative+commutative operators, Combine must equal the serial
+// fold on every processor.
+func TestQuickCombineAgainstSerial(t *testing.T) {
+	ops := map[string]func(int64, int64) int64{
+		"sum": func(a, b int64) int64 { return a + b },
+		"min": func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		"max": func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		"xor": func(a, b int64) int64 { return a ^ b },
+	}
+	for name, op := range ops {
+		f := func(raw []int32, pRaw uint8) bool {
+			p := 1 + int(pRaw%12)
+			vals := make([]int64, p)
+			for i := range vals {
+				if i < len(raw) {
+					vals[i] = int64(raw[i])
+				}
+			}
+			want := vals[0]
+			for _, v := range vals[1:] {
+				want = op(want, v)
+			}
+			good := true
+			ok := quickRun(p, func(pr *machine.Proc) {
+				got := Combine(pr, vals[pr.ID()], 8, op)
+				if got != want {
+					good = false
+				}
+			})
+			return ok && good
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestQuickPrefixAgainstSerial checks inclusive scans for arbitrary
+// inputs and processor counts.
+func TestQuickPrefixAgainstSerial(t *testing.T) {
+	f := func(raw []int32, pRaw uint8) bool {
+		p := 1 + int(pRaw%12)
+		vals := make([]int64, p)
+		for i := range vals {
+			if i < len(raw) {
+				vals[i] = int64(raw[i])
+			}
+		}
+		want := make([]int64, p)
+		run := int64(0)
+		for i, v := range vals {
+			run += v
+			want[i] = run
+		}
+		good := true
+		ok := quickRun(p, func(pr *machine.Proc) {
+			if PrefixSumInt64(pr, vals[pr.ID()]) != want[pr.ID()] {
+				good = false
+			}
+		})
+		return ok && good
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGatherConcatAgree: Gatherv on the root must agree with
+// GlobalConcatv everywhere, for arbitrary shard shapes.
+func TestQuickGatherConcatAgree(t *testing.T) {
+	f := func(raw [][]int16, pRaw, rootRaw uint8) bool {
+		p := 1 + int(pRaw%10)
+		root := int(rootRaw) % p
+		shards := make([][]int64, p)
+		for i := range shards {
+			if i < len(raw) {
+				shards[i] = make([]int64, len(raw[i]))
+				for j, v := range raw[i] {
+					shards[i][j] = int64(v)
+				}
+			}
+		}
+		good := true
+		ok := quickRun(p, func(pr *machine.Proc) {
+			gat := Gatherv(pr, root, shards[pr.ID()], 8)
+			all := GlobalConcatv(pr, shards[pr.ID()], 8)
+			for src := 0; src < p; src++ {
+				if len(all[src]) != len(shards[src]) {
+					good = false
+					return
+				}
+				for j, v := range all[src] {
+					if v != shards[src][j] {
+						good = false
+						return
+					}
+				}
+			}
+			if pr.ID() == root {
+				for src := 0; src < p; src++ {
+					if len(gat[src]) != len(all[src]) {
+						good = false
+						return
+					}
+					for j := range gat[src] {
+						if gat[src][j] != all[src][j] {
+							good = false
+							return
+						}
+					}
+				}
+			}
+		})
+		return ok && good
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"testing"
+
+	"parsel/internal/balance"
+	"parsel/internal/machine"
+	"parsel/internal/selection"
+	"parsel/internal/workload"
+)
+
+// TestFaithfulFastRandLBHelpsOnSorted reproduces the paper's §5 finding
+// that load balancing significantly improves the (paper-faithful) fast
+// randomized algorithm on sorted data — the uncapped sampling window
+// leaves a long tail of iterations scanning survivors concentrated on
+// few processors, which balancing spreads out.
+func TestFaithfulFastRandLBHelpsOnSorted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2M-element sweep")
+	}
+	const n = 2 << 20
+	const p = 32
+	run := func(bal balance.Method) float64 {
+		var total float64
+		for seed := 0; seed < 3; seed++ {
+			shards := workload.Generate(workload.Sorted, n, p, uint64(seed))
+			params := machine.DefaultParams(p)
+			params.Seed = uint64(seed + 1)
+			sim, err := machine.Run(params, func(pr *machine.Proc) {
+				selection.Select(pr, shards[pr.ID()], (n+1)/2, selection.Options{
+					Algorithm: selection.FastRandomized,
+					Balancer:  bal,
+					Faithful:  true,
+				})
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += sim
+		}
+		return total / 3
+	}
+	none := run(balance.None)
+	lb := run(balance.ModifiedOMLB)
+	t.Logf("faithful fastrand sorted n=2M p=32: none=%.3fs modomlb=%.3fs", none, lb)
+	if lb >= none {
+		t.Errorf("LB (%.3fs) did not improve faithful fastrand on sorted data (none %.3fs)", lb, none)
+	}
+}

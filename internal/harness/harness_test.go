@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runQuick(t *testing.T, id string) string {
+	t.Helper()
+	exp, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not found", id)
+	}
+	var buf bytes.Buffer
+	if err := exp.Run(Config{Out: &buf, Seeds: 1, Quick: true}); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return buf.String()
+}
+
+func TestByID(t *testing.T) {
+	for _, e := range Experiments {
+		got, ok := ByID(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Errorf("ByID(%q) failed", e.ID)
+		}
+		if e.Title == "" {
+			t.Errorf("%s has no title", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick harness sweep still takes seconds")
+	}
+	for _, e := range Experiments {
+		out := runQuick(t, e.ID)
+		if !strings.Contains(out, "#") {
+			t.Errorf("%s produced no captioned output", e.ID)
+		}
+		if len(strings.Split(strings.TrimSpace(out), "\n")) < 3 {
+			t.Errorf("%s produced fewer than 3 lines:\n%s", e.ID, out)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	exp, _ := ByID("fig1r")
+	var buf bytes.Buffer
+	if err := exp.Run(Config{Out: &buf, Seeds: 1, Quick: true, CSV: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "p,rand,fastrand") {
+		t.Errorf("missing CSV header:\n%s", out)
+	}
+}
+
+func TestMeasureAveragesSeeds(t *testing.T) {
+	cfg := Config{Seeds: 2, Quick: true}
+	c := measure(cfg, spec{n: 8 << 10, p: 4}) // mom, none, random
+	if c.sim <= 0 || c.iters <= 0 {
+		t.Errorf("empty measurement: %+v", c)
+	}
+}
+
+func TestSizeName(t *testing.T) {
+	cases := map[int64]string{
+		128 << 10: "128k",
+		512 << 10: "512k",
+		2 << 20:   "2M",
+		1000:      "1000",
+	}
+	for n, want := range cases {
+		if got := sizeName(n); got != want {
+			t.Errorf("sizeName(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestMeasurePrim(t *testing.T) {
+	for _, op := range []primOp{primBroadcast, primCombine, primPrefix, primConcat, primTransport} {
+		if v := measurePrim(4, 64, op); v <= 0 {
+			t.Error("primitive reported nonpositive time")
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package machine simulates a coarse-grained distributed-memory parallel
+// computer of the kind the paper targets (CM-5, SP-2, Paragon, T3D): p
+// relatively powerful processors connected by an interconnection network
+// that behaves like a virtual crossbar.
+//
+// Each simulated processor is a goroutine executing the same SPMD program.
+// Point-to-point messages travel over Go channels, so programs written
+// against this package really run in parallel; in addition, every processor
+// carries a simulated clock advanced according to the paper's two-level
+// model of computation:
+//
+//   - sending a message of b bytes costs tau + mu*b on the sender,
+//   - the message arrives at the sender's post-send time, and the receiver
+//     pays a further mu*b to drain it off its node interface,
+//   - local computation costs ops*cyclesPerOp/clockHz, where ops are
+//     operation counts reported by the sequential kernels.
+//
+// Simulated time is deterministic for a fixed seed and processor count,
+// independent of the host machine, which is what lets a laptop reproduce
+// the shape of 128-processor CM-5 curves.
+package machine
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+)
+
+// WordBytes is the size of one data element (int64 keys) on the wire.
+const WordBytes = 8
+
+// Params describes the simulated machine. The zero value is not useful;
+// use DefaultParams (CM-5-like constants) or fill in all fields.
+type Params struct {
+	// Procs is the number of simulated processors (p >= 1).
+	Procs int
+	// TauSec is the communication start-up overhead in seconds (the
+	// paper's tau). CM-5 CMMD start-up is on the order of 100 us.
+	TauSec float64
+	// MuSecPerByte is the inverse data-transfer rate in seconds per byte
+	// (the paper's mu = 1/rate). CM-5 per-node bandwidth is ~8 MB/s.
+	MuSecPerByte float64
+	// SecPerOp is the simulated cost of one element-level operation
+	// (comparison, move, arithmetic step) as counted by the sequential
+	// kernels. The CM-5 default assumes ~10 cycles per counted op on a
+	// 33 MHz SPARC: selection kernels stream multi-hundred-KB working
+	// sets that do not fit the node cache, so loads dominate.
+	SecPerOp float64
+	// Seed feeds all deterministic random streams on the machine.
+	Seed uint64
+	// Topology prices messages with a per-hop latency on top of the
+	// two-level model: cost = Tau + PerHopSec*(hops-1) + Mu*bytes. The
+	// zero value (Crossbar) is the paper's distance-independent model.
+	Topology Topology
+	// PerHopSec is the extra latency per hop beyond the first. Zero
+	// with a non-crossbar topology defaults to Tau/20, a
+	// wormhole-routing-like small per-hop cost.
+	PerHopSec float64
+}
+
+// DefaultParams returns CM-5-like machine constants for p processors:
+// tau = 100 microseconds, bandwidth = 8 MB/s, and a 33 MHz processor
+// retiring one counted operation every 10 cycles (memory-bound kernels;
+// see Params.SecPerOp).
+func DefaultParams(p int) Params {
+	return Params{
+		Procs:        p,
+		TauSec:       100e-6,
+		MuSecPerByte: 0.125e-6,
+		SecPerOp:     10.0 / 33e6,
+		Seed:         1,
+	}
+}
+
+// Validate reports whether the parameters describe a runnable machine.
+func (pr Params) Validate() error {
+	switch {
+	case pr.Procs < 1:
+		return fmt.Errorf("machine: Procs must be >= 1, got %d", pr.Procs)
+	case pr.TauSec < 0:
+		return fmt.Errorf("machine: TauSec must be >= 0, got %g", pr.TauSec)
+	case pr.MuSecPerByte < 0:
+		return fmt.Errorf("machine: MuSecPerByte must be >= 0, got %g", pr.MuSecPerByte)
+	case pr.SecPerOp < 0:
+		return fmt.Errorf("machine: SecPerOp must be >= 0, got %g", pr.SecPerOp)
+	case pr.PerHopSec < 0:
+		return fmt.Errorf("machine: PerHopSec must be >= 0, got %g", pr.PerHopSec)
+	case pr.Topology < Crossbar || pr.Topology > Ring:
+		return fmt.Errorf("machine: unknown topology %d", int(pr.Topology))
+	}
+	return nil
+}
+
+// hopCost returns the extra latency of a message from src to dst beyond
+// the first hop.
+func (pr Params) hopCost(src, dst int) float64 {
+	if pr.Topology == Crossbar {
+		return 0
+	}
+	perHop := pr.PerHopSec
+	if perHop == 0 {
+		perHop = pr.TauSec / 20
+	}
+	h := pr.Topology.Hops(src, dst, pr.Procs)
+	if h <= 1 {
+		return 0
+	}
+	return perHop * float64(h-1)
+}
+
+// message is a point-to-point payload with simulated arrival time.
+type message struct {
+	tag     int
+	payload any
+	bytes   int
+	arrive  float64 // simulated time at which the message is available
+}
+
+// Machine owns the channel fabric connecting the simulated processors.
+type Machine struct {
+	params Params
+	// links[src*p+dst] carries messages from src to dst in FIFO order,
+	// which models the virtual crossbar: one dedicated, uncongested
+	// channel per ordered processor pair.
+	links []chan message
+}
+
+// New allocates the channel fabric for a machine with the given parameters.
+func New(params Params) (*Machine, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	p := params.Procs
+	m := &Machine{params: params, links: make([]chan message, p*p)}
+	for i := range m.links {
+		// Generous buffering keeps senders non-blocking in the common
+		// case; simulated time, not channel backpressure, is the model.
+		m.links[i] = make(chan message, 64)
+	}
+	return m, nil
+}
+
+// Params returns the machine's parameters.
+func (m *Machine) Params() Params { return m.params }
+
+// Run executes body as an SPMD program: one goroutine per processor, each
+// receiving its own *Proc. Run returns once every processor has finished.
+// It returns the maximum simulated completion time across processors, which
+// corresponds to the parallel running time the paper reports.
+func Run(params Params, body func(*Proc)) (simSeconds float64, err error) {
+	m, err := New(params)
+	if err != nil {
+		return 0, err
+	}
+	return m.Run(body)
+}
+
+// Run executes body on each simulated processor of m and returns the
+// maximum simulated completion time. A machine may be reused for multiple
+// consecutive runs, but not concurrently.
+func (m *Machine) Run(body func(*Proc)) (simSeconds float64, err error) {
+	p := m.params.Procs
+	times := make([]float64, p)
+	panics := make([]any, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for id := 0; id < p; id++ {
+		proc := m.newProc(id)
+		go func(proc *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[proc.id] = r
+				}
+				times[proc.id] = proc.now
+			}()
+			body(proc)
+		}(proc)
+	}
+	wg.Wait()
+	for id, r := range panics {
+		if r != nil {
+			return 0, fmt.Errorf("machine: processor %d panicked: %v", id, r)
+		}
+	}
+	var max float64
+	for _, t := range times {
+		if t > max {
+			max = t
+		}
+	}
+	return max, nil
+}
+
+// newProc builds the per-processor handle, including its random streams.
+func (m *Machine) newProc(id int) *Proc {
+	seed := m.params.Seed
+	return &Proc{
+		m:   m,
+		id:  id,
+		p:   m.params.Procs,
+		now: 0,
+		// Shared stream: identical on every processor (same seed), used
+		// where the paper requires all processors to draw the same
+		// random number (Alg. 3 step 2).
+		Shared: rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
+		// Local stream: unique per processor, used for local sampling
+		// (Alg. 4 step 1).
+		Local: rand.New(rand.NewPCG(seed, uint64(id)+1)),
+	}
+}
+
+// Proc is a simulated processor's view of the machine: its identity, its
+// clock, its random streams, and its communication endpoints. All methods
+// are for use only by the goroutine running that processor's SPMD body.
+type Proc struct {
+	m  *Machine
+	id int
+	p  int
+
+	now float64 // simulated clock, seconds
+
+	// Shared draws the same sequence on every processor (common seed);
+	// Local draws an independent per-processor sequence.
+	Shared *rand.Rand
+	Local  *rand.Rand
+
+	// Counters accumulates message/byte/op statistics for reporting.
+	Counters Counters
+}
+
+// Counters records communication and computation volume on one processor.
+type Counters struct {
+	MsgsSent      int64
+	BytesSent     int64
+	MsgsReceived  int64
+	BytesReceived int64
+	Ops           int64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.MsgsSent += other.MsgsSent
+	c.BytesSent += other.BytesSent
+	c.MsgsReceived += other.MsgsReceived
+	c.BytesReceived += other.BytesReceived
+	c.Ops += other.Ops
+}
+
+// ID returns the processor's rank in [0, Procs).
+func (p *Proc) ID() int { return p.id }
+
+// Procs returns the machine size.
+func (p *Proc) Procs() int { return p.p }
+
+// Params returns the machine parameters.
+func (p *Proc) Params() Params { return p.m.params }
+
+// Now returns the processor's current simulated time in seconds.
+func (p *Proc) Now() float64 { return p.now }
+
+// AdvanceTo moves the clock forward to t (no-op if t is in the past).
+func (p *Proc) AdvanceTo(t float64) {
+	if t > p.now {
+		p.now = t
+	}
+}
+
+// Charge advances the clock by the cost of ops counted element operations.
+func (p *Proc) Charge(ops int64) {
+	if ops < 0 {
+		panic(fmt.Sprintf("machine: negative op charge %d", ops))
+	}
+	p.Counters.Ops += ops
+	p.now += float64(ops) * p.m.params.SecPerOp
+}
+
+// ChargeSeconds advances the clock by raw simulated seconds. It is used by
+// higher layers that price work directly (rarely; prefer Charge).
+func (p *Proc) ChargeSeconds(s float64) {
+	if s < 0 {
+		panic(fmt.Sprintf("machine: negative time charge %g", s))
+	}
+	p.now += s
+}
+
+// Send transmits payload (bytes long on the wire) to processor dst with the
+// given tag. Per the two-level model the sender pays tau + mu*bytes; the
+// message becomes available to dst at the sender's post-send clock.
+// Sending to self is allowed and costs nothing (local move is charged by
+// the caller as computation, as the paper's analysis does).
+func (p *Proc) Send(dst, tag int, payload any, bytes int) {
+	if dst < 0 || dst >= p.p {
+		panic(fmt.Sprintf("machine: Send to invalid processor %d of %d", dst, p.p))
+	}
+	if bytes < 0 {
+		panic(fmt.Sprintf("machine: Send with negative byte count %d", bytes))
+	}
+	if dst == p.id {
+		p.m.links[p.id*p.p+dst] <- message{tag: tag, payload: payload, bytes: bytes, arrive: p.now}
+		return
+	}
+	pr := p.m.params
+	p.now += pr.TauSec + pr.hopCost(p.id, dst) + pr.MuSecPerByte*float64(bytes)
+	p.Counters.MsgsSent++
+	p.Counters.BytesSent += int64(bytes)
+	p.m.links[p.id*p.p+dst] <- message{tag: tag, payload: payload, bytes: bytes, arrive: p.now}
+}
+
+// Recv blocks until the next message from src arrives, checks its tag, and
+// returns the payload. The receiver's clock advances to the message arrival
+// time plus the mu*bytes cost of draining it off the node interface.
+func (p *Proc) Recv(src, tag int) any {
+	if src < 0 || src >= p.p {
+		panic(fmt.Sprintf("machine: Recv from invalid processor %d of %d", src, p.p))
+	}
+	msg := <-p.m.links[src*p.p+p.id]
+	if msg.tag != tag {
+		panic(fmt.Sprintf("machine: processor %d expected tag %d from %d, got %d",
+			p.id, tag, src, msg.tag))
+	}
+	if src != p.id {
+		p.AdvanceTo(msg.arrive)
+		p.now += p.m.params.MuSecPerByte * float64(msg.bytes)
+		p.Counters.MsgsReceived++
+		p.Counters.BytesReceived += int64(msg.bytes)
+	}
+	return msg.payload
+}

@@ -1,0 +1,107 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Topology selects the interconnection network used to price
+// point-to-point messages. The paper's two-level model (§2.1) treats the
+// network as a virtual crossbar — a fixed cost independent of distance —
+// arguing that wormhole routing makes distance a minor factor. The other
+// topologies let that claim be quantified: they add a per-hop latency
+// term PerHopSec*(hops-1) to every message, with hop counts taken from
+// the named network.
+type Topology int
+
+const (
+	// Crossbar is the paper's model: cost tau + mu*b regardless of the
+	// communicating pair. The default.
+	Crossbar Topology = iota
+	// Hypercube routes along differing address bits: hops = popcount
+	// of src XOR dst (as on the nCUBE 2).
+	Hypercube
+	// Mesh2D embeds the processors in a near-square grid and routes
+	// X-then-Y (as on the Paragon or T3D without the third dimension).
+	Mesh2D
+	// Ring routes along the shorter arc of a cycle.
+	Ring
+)
+
+// Topologies lists all supported network shapes.
+var Topologies = []Topology{Crossbar, Hypercube, Mesh2D, Ring}
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case Crossbar:
+		return "crossbar"
+	case Hypercube:
+		return "hypercube"
+	case Mesh2D:
+		return "mesh2d"
+	case Ring:
+		return "ring"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// Hops returns the routing distance between two processors of a p-node
+// network under topology t (0 for src == dst, at least 1 otherwise).
+func (t Topology) Hops(src, dst, p int) int {
+	if src == dst {
+		return 0
+	}
+	switch t {
+	case Crossbar:
+		return 1
+	case Hypercube:
+		return bits.OnesCount(uint(src ^ dst))
+	case Mesh2D:
+		cols := int(math.Ceil(math.Sqrt(float64(p))))
+		sr, sc := src/cols, src%cols
+		dr, dc := dst/cols, dst%cols
+		return absInt(sr-dr) + absInt(sc-dc)
+	case Ring:
+		d := src - dst
+		if d < 0 {
+			d = -d
+		}
+		if p-d < d {
+			d = p - d
+		}
+		return d
+	default:
+		panic(fmt.Sprintf("machine: unknown topology %d", int(t)))
+	}
+}
+
+// Diameter returns the maximum hop distance of a p-node network.
+func (t Topology) Diameter(p int) int {
+	if p <= 1 {
+		return 0
+	}
+	switch t {
+	case Crossbar:
+		return 1
+	case Hypercube:
+		return bits.Len(uint(p - 1))
+	case Mesh2D:
+		cols := int(math.Ceil(math.Sqrt(float64(p))))
+		rows := (p + cols - 1) / cols
+		return (rows - 1) + (cols - 1)
+	case Ring:
+		return p / 2
+	default:
+		panic(fmt.Sprintf("machine: unknown topology %d", int(t)))
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,166 @@
+package selection
+
+import (
+	"cmp"
+	"math"
+
+	"parsel/internal/comm"
+	"parsel/internal/machine"
+	"parsel/internal/psort"
+	"parsel/internal/seq"
+)
+
+// debugFastRand enables an iteration trace on processor 0 (development
+// aid; kept off).
+var debugFastRand = false
+
+// windowRanks brackets the scaled target rank m = ceil(rank*S/n) with the
+// slack delta of Alg. 4 step 3, returning 1-based sample ranks r1 <= r2.
+//
+// The paper's slack sqrt(|S| ln n) approaches |S| once the population is
+// small, which stalls the geometric shrink in a long tail of iterations
+// that keep ~85% of the survivors each; because the §3.4 modification
+// makes window misses cheap (misses still discard one side), the
+// optimized mode caps the slack at |S|/8 so every iteration keeps at
+// most about a quarter of the sample range. The faithful mode uses the
+// paper's uncapped slack — and consequently also reproduces the paper's
+// finding that load balancing helps this algorithm on sorted inputs (the
+// tail repeatedly scans survivors concentrated on few processors). See
+// DESIGN.md (deviations) and the harness's ablate experiment.
+func windowRanks(rank, S, n int64, opts Options) (r1, r2 int64) {
+	m := (rank*S + n - 1) / n
+	delta := int64(opts.RankSlack*math.Sqrt(float64(S)*math.Log(float64(n)))) + 1
+	if cap := 1 + S/8; !opts.Faithful && delta > cap {
+		delta = cap
+	}
+	r1 = max(1, m-delta)
+	r2 = min(S, m+delta)
+	return r1, r2
+}
+
+// selectFastRandomized is Alg. 4, the fast randomized algorithm of
+// Rajasekaran et al.: each iteration draws an o(n) random sample, sorts
+// it in parallel, and brackets the target rank between two sample keys k1
+// and k2 whose sample ranks sit sqrt(|S| ln n) on either side of the
+// scaled target. With high probability the answer lies in [k1, k2] and
+// everything outside is discarded, giving O(log log n) iterations. When
+// the window misses (an "unsuccessful" iteration), the §3.4 modification
+// still discards everything on the wrong side of the window. When an
+// iteration fails to shrink the population at all (possible only with
+// massive duplication), one single-pivot randomized step runs instead —
+// a documented termination safeguard.
+func selectFastRandomized[K cmp.Ordered](p *machine.Proc, local []K, rank, n int64, opts Options, st *Stats, sel selector[K]) K {
+	thr := threshold(p)
+	for n > thr {
+		if st.Iterations >= opts.MaxIterations {
+			st.CapHit = true
+			break
+		}
+		st.Iterations++
+
+		// Step 1: draw |S| ~ n^e keys, each processor contributing in
+		// proportion to its surviving population.
+		ni := int64(len(local))
+		sTarget := int64(math.Pow(float64(n), opts.SampleExponent))
+		if sTarget < 1 {
+			sTarget = 1
+		}
+		si := 0
+		if ni > 0 {
+			// Ceil keeps the global sample non-empty and spreads it
+			// across all non-empty processors.
+			si = int((ni*sTarget + n - 1) / n)
+		}
+		sample, ops := seq.SampleWithReplacement(local, si, p.Local)
+		p.Charge(ops)
+
+		// Steps 2–4: order the sample and extract the two window keys
+		// k1 and k2 bracketing the scaled target rank.
+		//
+		// When the sample is comparable to the p^2 sequential threshold
+		// it is cheaper to gather it on P0 and pick the two ranks with
+		// two Floyd–Rivest selections (the paper's own "On P0, pick k1,
+		// k2 from S") than to run a full parallel sort; the PSRS path
+		// pays ~10 collectives per iteration and dominates at high p.
+		var k1, k2 K
+		if !opts.Faithful && sTarget <= int64(4*p.Procs()*p.Procs()) {
+			all := comm.GatherFlat(p, 0, sample, opts.ElemBytes)
+			var pair []K
+			if p.ID() == 0 {
+				r1, r2 := windowRanks(rank, int64(len(all)), n, opts)
+				v1, o1 := seq.Quickselect(all, int(r1-1), p.Local)
+				v2, o2 := seq.Quickselect(all, int(r2-1), p.Local)
+				p.Charge(o1 + o2)
+				pair = []K{v1, v2}
+			}
+			pair = comm.BroadcastSlice(p, 0, pair, opts.ElemBytes)
+			k1, k2 = pair[0], pair[1]
+		} else {
+			// Oversampling factor 8: classic PSRS's p samples per
+			// processor would make the root sort p^2 keys, which
+			// dwarfs the o(n) sample itself at high p.
+			run := psort.SortOversampled(p, sample, opts.ElemBytes, 8)
+			S := comm.CombineInt64(p, int64(len(run)))
+			r1, r2 := windowRanks(rank, S, n, opts)
+			k1 = psort.RankElement(p, run, r1-1, opts.ElemBytes)
+			k2 = psort.RankElement(p, run, r2-1, opts.ElemBytes)
+		}
+
+		// Step 5: three-way partition against the window [k1, k2].
+		nLess, nMid, ops2 := seq.PartitionRange(local, k1, k2)
+		p.Charge(ops2)
+
+		// Steps 6–8: tallies and the discard decision (c.eq holds the
+		// in-window count here).
+		c := combineCounts(p, int64(nLess), int64(nMid))
+		if debugFastRand && p.ID() == 0 {
+			println("iter", st.Iterations, "n", n, "cless", c.less, "cmid", c.eq, "rank", rank)
+		}
+		var newN int64
+		switch {
+		case rank > c.less && rank <= c.less+c.eq:
+			// Window hit. If the window has collapsed to a single key,
+			// every middle element equals it: done.
+			if k1 == k2 {
+				st.PivotExit = true
+				return k1
+			}
+			local = local[nLess : nLess+nMid]
+			rank -= c.less
+			newN = c.eq
+		case rank <= c.less:
+			// Both window keys rank above the target: keep the < side.
+			st.Unsuccessful++
+			local = local[:nLess]
+			newN = c.less
+		default:
+			// Both window keys rank below the target: keep the > side.
+			st.Unsuccessful++
+			local = local[nLess+nMid:]
+			rank -= c.less + c.eq
+			newN = n - c.less - c.eq
+		}
+
+		if newN >= n {
+			// No progress (duplicates spanning the whole window): fall
+			// back to one single-pivot step, which always either shrinks
+			// the population or proves a pivot.
+			st.Stalled++
+			var piv K
+			var done bool
+			local, rank, newN, piv, done = randomizedStep(p, local, rank, n, opts)
+			if done {
+				st.PivotExit = true
+				return piv
+			}
+		}
+		n = newN
+
+		// Load balancing between iterations (the paper's best variant
+		// for sorted data uses modified OMLB here).
+		local = runBalance(p, local, opts, st)
+		st.record(p, opts, n, rank, len(local))
+	}
+	// Steps 9–10: gather the survivors and solve sequentially.
+	return finalSolve(p, local, rank, opts, st, sel)
+}

@@ -1,0 +1,72 @@
+package selection
+
+import (
+	"cmp"
+
+	"parsel/internal/comm"
+	"parsel/internal/machine"
+	"parsel/internal/seq"
+)
+
+// selectMoM is Alg. 1, the median of medians algorithm: every iteration
+// each processor finds the median of its local elements, the medians are
+// gathered on processor 0, their median becomes the estimated global
+// median, everyone partitions against it, and a Combine decides which
+// side survives. The guaranteed-fraction property of the median of
+// medians bounds the iteration count by O(log n).
+//
+// sel is the sequential selection kernel: deterministic BFPRT for the
+// paper's Alg. 1, Floyd–Rivest for the §5 hybrid.
+func selectMoM[K cmp.Ordered](p *machine.Proc, local []K, rank, n int64, opts Options, st *Stats, sel selector[K]) K {
+	thr := threshold(p)
+	for n > thr {
+		if st.Iterations >= opts.MaxIterations {
+			st.CapHit = true
+			break
+		}
+		st.Iterations++
+
+		// Step 1: local median (processors that ran out of elements
+		// contribute nothing).
+		var meds []K
+		if len(local) > 0 {
+			m, ops := sel(local, seq.MedianIndex(len(local)))
+			p.Charge(ops)
+			meds = []K{m}
+		}
+
+		// Steps 2–3: gather medians on P0, find their median, broadcast.
+		all := comm.GatherFlat(p, 0, meds, opts.ElemBytes)
+		var pivS []K
+		if p.ID() == 0 {
+			m, ops := sel(all, seq.MedianIndex(len(all)))
+			p.Charge(ops)
+			pivS = []K{m}
+		}
+		piv := comm.BroadcastSlice(p, 0, pivS, opts.ElemBytes)[0]
+
+		// Step 4: partition the local list around the estimate.
+		lt, eq, ops := seq.Partition3(local, piv)
+		p.Charge(ops)
+
+		// Steps 5–6: global tallies and the discard decision.
+		c := combineCounts(p, int64(lt), int64(eq))
+		side, newRank, newN := decide(rank, n, c)
+		switch side {
+		case -1:
+			local = local[:lt]
+		case 0:
+			st.PivotExit = true
+			return piv
+		case +1:
+			local = local[lt+eq:]
+		}
+		rank, n = newRank, newN
+
+		// Step 7: rebalance the survivors.
+		local = runBalance(p, local, opts, st)
+		st.record(p, opts, n, rank, len(local))
+	}
+	// Steps 8–9: gather the remainder and solve sequentially.
+	return finalSolve(p, local, rank, opts, st, sel)
+}

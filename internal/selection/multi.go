@@ -1,0 +1,128 @@
+package selection
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+
+	"parsel/internal/comm"
+	"parsel/internal/machine"
+	"parsel/internal/seq"
+)
+
+// SelectMany returns the elements at the given 1-based ranks (in the
+// order requested; duplicate ranks are allowed), sharing partitioning
+// work across the ranks instead of running one selection per rank. It is
+// the natural extension of the paper's randomized algorithm to
+// simultaneous quantile extraction (e.g. all three quartiles in roughly
+// one selection's work).
+//
+// The algorithm maintains a work list of disjoint population segments,
+// each carrying the ranks that fall inside it. Every step partitions one
+// segment with a shared random pivot; ranks hitting the pivot resolve
+// immediately, the others split between the two sides, and segments at
+// or below the p^2 threshold are gathered on processor 0 and solved
+// together. Load balancing is not applied (segments alias one another's
+// storage), so Options.Balancer is ignored.
+func SelectMany[K cmp.Ordered](p *machine.Proc, local []K, ranks []int64, opts Options) ([]K, Stats) {
+	opts = opts.withDefaults()
+	st := &Stats{}
+	n := comm.CombineInt64(p, int64(len(local)))
+	if n == 0 {
+		panic("selection: SelectMany on an empty population")
+	}
+	for _, r := range ranks {
+		if r < 1 || r > n {
+			panic(fmt.Sprintf("selection: rank %d out of range [1,%d]", r, n))
+		}
+	}
+	results := make([]K, len(ranks))
+	if len(ranks) == 0 {
+		return results, *st
+	}
+
+	// Sort the rank set once, remembering result positions.
+	order := make([]int, len(ranks))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortFunc(order, func(a, b int) int { return cmp.Compare(ranks[a], ranks[b]) })
+
+	type segTask struct {
+		data  []K     // this processor's share of the segment
+		n     int64   // global population of the segment
+		ranks []int64 // target ranks within the segment, ascending
+		out   []int   // result positions, aligned with ranks
+	}
+	first := segTask{data: local, n: n, ranks: make([]int64, len(order)), out: order}
+	for i, idx := range order {
+		first.ranks[i] = ranks[idx]
+	}
+	queue := []segTask{first}
+	thr := threshold(p)
+
+	for len(queue) > 0 {
+		seg := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		if seg.n <= thr || st.Iterations >= opts.MaxIterations || p.Procs() == 1 {
+			if st.Iterations >= opts.MaxIterations {
+				st.CapHit = true
+			}
+			// Gather the whole segment once and answer all its ranks.
+			all := comm.GatherFlat(p, 0, seg.data, opts.ElemBytes)
+			var vals []K
+			if p.ID() == 0 {
+				st.FinalGatherElems += int64(len(all))
+				p.Charge(seq.Sort(all))
+				vals = make([]K, len(seg.ranks))
+				for i, r := range seg.ranks {
+					vals[i] = all[r-1]
+				}
+			}
+			vals = comm.BroadcastSlice(p, 0, vals, opts.ElemBytes)
+			for i, pos := range seg.out {
+				results[pos] = vals[i]
+			}
+			continue
+		}
+
+		st.Iterations++
+		// One shared-pivot partition step (as in Alg. 3).
+		ni := int64(len(seg.data))
+		s := comm.PrefixSumInt64(p, ni)
+		nr := p.Shared.Int64N(seg.n)
+		mine := owned[K]{}
+		if nr >= s-ni && nr < s {
+			mine = owned[K]{has: true, val: seg.data[nr-(s-ni)]}
+		}
+		piv := combineOwned(p, mine, opts.ElemBytes)
+		lt, eq, ops := seq.Partition3(seg.data, piv)
+		p.Charge(ops)
+		c := combineCounts(p, int64(lt), int64(eq))
+
+		// Distribute the segment's ranks across the three regions.
+		var lo, hi segTask
+		lo = segTask{data: seg.data[:lt], n: c.less}
+		hi = segTask{data: seg.data[lt+eq:], n: seg.n - c.less - c.eq}
+		for i, r := range seg.ranks {
+			switch {
+			case r <= c.less:
+				lo.ranks = append(lo.ranks, r)
+				lo.out = append(lo.out, seg.out[i])
+			case r <= c.less+c.eq:
+				results[seg.out[i]] = piv
+			default:
+				hi.ranks = append(hi.ranks, r-c.less-c.eq)
+				hi.out = append(hi.out, seg.out[i])
+			}
+		}
+		if len(lo.ranks) > 0 {
+			queue = append(queue, lo)
+		}
+		if len(hi.ranks) > 0 {
+			queue = append(queue, hi)
+		}
+	}
+	return results, *st
+}

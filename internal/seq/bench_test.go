@@ -1,0 +1,109 @@
+package seq
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+func benchData(n int) []int64 {
+	r := rand.New(rand.NewPCG(11, 12))
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = r.Int64N(1 << 40)
+	}
+	return a
+}
+
+func BenchmarkQuickselect(b *testing.B) {
+	a := benchData(1 << 20)
+	r := rand.New(rand.NewPCG(1, 1))
+	buf := make([]int64, len(a))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, a)
+		Quickselect(buf, len(buf)/2, r)
+	}
+	b.SetBytes(int64(len(a) * 8))
+}
+
+func BenchmarkSelectBFPRT(b *testing.B) {
+	a := benchData(1 << 20)
+	buf := make([]int64, len(a))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, a)
+		SelectBFPRT(buf, len(buf)/2)
+	}
+	b.SetBytes(int64(len(a) * 8))
+}
+
+func BenchmarkPseudoMedian(b *testing.B) {
+	a := benchData(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PseudoMedian(a)
+	}
+	b.SetBytes(int64(len(a) * 8))
+}
+
+func BenchmarkPartition3(b *testing.B) {
+	a := benchData(1 << 20)
+	pivot := a[0]
+	buf := make([]int64, len(a))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, a)
+		Partition3(buf, pivot)
+	}
+	b.SetBytes(int64(len(a) * 8))
+}
+
+func BenchmarkSortIntro(b *testing.B) {
+	a := benchData(1 << 18)
+	buf := make([]int64, len(a))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, a)
+		Sort(buf)
+	}
+	b.SetBytes(int64(len(a) * 8))
+}
+
+func BenchmarkSortStdlibBaseline(b *testing.B) {
+	a := benchData(1 << 18)
+	buf := make([]int64, len(a))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, a)
+		slices.Sort(buf)
+	}
+	b.SetBytes(int64(len(a) * 8))
+}
+
+func BenchmarkMergeK(b *testing.B) {
+	const runs = 16
+	const per = 1 << 14
+	data := make([][]int64, runs)
+	for i := range data {
+		data[i] = benchData(per)
+		slices.Sort(data[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeK(data)
+	}
+	b.SetBytes(runs * per * 8)
+}
+
+func BenchmarkWeightedMedian(b *testing.B) {
+	vals := benchData(4096)
+	weights := make([]int64, len(vals))
+	for i := range weights {
+		weights[i] = int64(i%7 + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WeightedMedian(vals, weights)
+	}
+}

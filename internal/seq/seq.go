@@ -1,0 +1,346 @@
+// Package seq provides the sequential building blocks of the parallel
+// selection algorithms: deterministic (BFPRT) and randomized
+// (Floyd–Rivest) selection, three-way partitioning, introsort, weighted
+// median, binary searches, and sampling.
+//
+// Every kernel reports an operation count — roughly one unit per key
+// comparison or key move — which the simulation layer converts into
+// processor time. Counting operations of real implementations is what
+// reproduces the paper's observation that the deterministic algorithms
+// carry much larger constants than the randomized ones.
+package seq
+
+import (
+	"cmp"
+	"math"
+	"math/rand/v2"
+)
+
+// insertionCutoff is the subproblem size below which selection and sorting
+// kernels switch to insertion sort.
+const insertionCutoff = 24
+
+// InsertionSort sorts a in place and returns the operation count.
+func InsertionSort[K cmp.Ordered](a []K) int64 {
+	var ops int64
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		ops++
+		for j >= 0 && a[j] > x {
+			a[j+1] = a[j]
+			j--
+			ops += 2
+		}
+		a[j+1] = x
+	}
+	return ops
+}
+
+// IsSorted reports whether a is in non-decreasing order.
+func IsSorted[K cmp.Ordered](a []K) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Partition3 performs an in-place three-way (Dutch national flag)
+// partition of a around pivot. On return a[:lt] < pivot,
+// a[lt:lt+eq] == pivot, and a[lt+eq:] > pivot.
+func Partition3[K cmp.Ordered](a []K, pivot K) (lt, eq int, ops int64) {
+	lo, mid, hi := 0, 0, len(a)
+	for mid < hi {
+		switch {
+		case a[mid] < pivot:
+			a[lo], a[mid] = a[mid], a[lo]
+			lo++
+			mid++
+			ops += 2
+		case a[mid] > pivot:
+			hi--
+			a[mid], a[hi] = a[hi], a[mid]
+			ops += 3
+		default:
+			mid++
+			ops += 2
+		}
+	}
+	return lo, mid - lo, ops
+}
+
+// PartitionRange performs an in-place partition of a into three regions
+// around the closed interval [lo, hi]: a[:nLess] < lo,
+// a[nLess:nLess+nMid] in [lo, hi], and the rest > hi. It is the scan step
+// of the fast randomized algorithm (Alg. 4 step 5). Requires lo <= hi.
+func PartitionRange[K cmp.Ordered](a []K, lo, hi K) (nLess, nMid int, ops int64) {
+	lt, eq, o1 := Partition3(a, lo)
+	ops = o1
+	// a[:lt] < lo; a[lt:lt+eq] == lo belongs to the middle region.
+	rest := a[lt+eq:]
+	lt2, eq2, o2 := Partition3(rest, hi)
+	ops += o2
+	// rest[:lt2] in (lo, hi); rest[lt2:lt2+eq2] == hi.
+	return lt, eq + lt2 + eq2, ops
+}
+
+// CountLE returns how many elements of a are <= x (no reordering).
+func CountLE[K cmp.Ordered](a []K, x K) (int, int64) {
+	n := 0
+	for _, v := range a {
+		if v <= x {
+			n++
+		}
+	}
+	return n, int64(len(a))
+}
+
+// Quickselect returns the k-th smallest (0-based) element of a using the
+// Floyd–Rivest SELECT algorithm, the randomized expected-O(n) method the
+// paper's randomized algorithms build on. a is permuted in place.
+func Quickselect[K cmp.Ordered](a []K, k int, rng *rand.Rand) (K, int64) {
+	if k < 0 || k >= len(a) {
+		panic("seq: Quickselect rank out of range")
+	}
+	var ops int64
+	floydRivest(a, 0, len(a)-1, k, rng, &ops)
+	return a[k], ops
+}
+
+// floydRivest is the classic SELECT of Floyd & Rivest (CACM 1975),
+// confining k into a small sampled window before partitioning.
+func floydRivest[K cmp.Ordered](a []K, left, right, k int, rng *rand.Rand, ops *int64) {
+	for right > left {
+		if right-left > 600 {
+			n := float64(right - left + 1)
+			i := float64(k - left + 1)
+			z := math.Log(n)
+			s := 0.5 * math.Exp(2*z/3)
+			sd := 0.5 * math.Sqrt(z*s*(n-s)/n)
+			if i < n/2 {
+				sd = -sd
+			}
+			newLeft := max(left, int(float64(k)-i*s/n+sd))
+			newRight := min(right, int(float64(k)+(n-i)*s/n+sd))
+			floydRivest(a, newLeft, newRight, k, rng, ops)
+		}
+		t := a[k]
+		i, j := left, right
+		a[left], a[k] = a[k], a[left]
+		*ops += 2
+		if a[right] > t {
+			a[right], a[left] = a[left], a[right]
+			*ops++
+		}
+		for i < j {
+			a[i], a[j] = a[j], a[i]
+			i++
+			j--
+			*ops++
+			for a[i] < t {
+				i++
+				*ops++
+			}
+			for a[j] > t {
+				j--
+				*ops++
+			}
+		}
+		if a[left] == t {
+			a[left], a[j] = a[j], a[left]
+		} else {
+			j++
+			a[j], a[right] = a[right], a[j]
+		}
+		*ops += 2
+		if j <= k {
+			left = j + 1
+		}
+		if k <= j {
+			right = j - 1
+		}
+	}
+}
+
+// SelectBFPRT returns the k-th smallest (0-based) element of a using the
+// deterministic median-of-medians algorithm of Blum, Floyd, Pratt, Rivest
+// and Tarjan, the worst-case O(n) method the paper's deterministic
+// algorithms build on. a is permuted in place.
+func SelectBFPRT[K cmp.Ordered](a []K, k int) (K, int64) {
+	if k < 0 || k >= len(a) {
+		panic("seq: SelectBFPRT rank out of range")
+	}
+	var ops int64
+	for {
+		n := len(a)
+		if n <= insertionCutoff {
+			ops += InsertionSort(a)
+			return a[k], ops
+		}
+		// Medians of groups of five, compacted to the front.
+		g := 0
+		for i := 0; i < n; i += 5 {
+			j := min(i+5, n)
+			ops += InsertionSort(a[i:j])
+			m := i + (j-i-1)/2
+			a[g], a[m] = a[m], a[g]
+			g++
+			ops++
+		}
+		mom, o := SelectBFPRT(a[:g], (g-1)/2)
+		ops += o
+		lt, eq, o2 := Partition3(a, mom)
+		ops += o2
+		switch {
+		case k < lt:
+			a = a[:lt]
+		case k < lt+eq:
+			return mom, ops
+		default:
+			a = a[lt+eq:]
+			k -= lt + eq
+		}
+	}
+}
+
+// Median returns the element with rank ceil(n/2) (the paper's definition
+// of the median) using the deterministic selection algorithm.
+func Median[K cmp.Ordered](a []K) (K, int64) {
+	if len(a) == 0 {
+		panic("seq: Median of empty slice")
+	}
+	return SelectBFPRT(a, MedianIndex(len(a)))
+}
+
+// MedianRandomized is Median using Floyd–Rivest selection.
+func MedianRandomized[K cmp.Ordered](a []K, rng *rand.Rand) (K, int64) {
+	if len(a) == 0 {
+		panic("seq: MedianRandomized of empty slice")
+	}
+	return Quickselect(a, MedianIndex(len(a)), rng)
+}
+
+// MedianIndex converts the paper's 1-based median rank ceil(n/2) into a
+// 0-based index.
+func MedianIndex(n int) int { return (n+1)/2 - 1 }
+
+// WeightedMedian returns the weighted (lower) median of vals: the smallest
+// value m such that the total weight of elements strictly below m is less
+// than half the total and the weight of elements up to and including m is
+// at least half. Used for the bucket-based algorithm's weighted median of
+// local medians (Alg. 2 step 3). Zero-weight entries are ignored; total
+// weight must be positive. vals and weights are not modified.
+func WeightedMedian[K cmp.Ordered](vals []K, weights []int64) (K, int64) {
+	if len(vals) != len(weights) {
+		panic("seq: WeightedMedian length mismatch")
+	}
+	type wv struct {
+		v K
+		w int64
+	}
+	var total int64
+	items := make([]wv, 0, len(vals))
+	for i, v := range vals {
+		if weights[i] < 0 {
+			panic("seq: WeightedMedian negative weight")
+		}
+		if weights[i] == 0 {
+			continue
+		}
+		items = append(items, wv{v, weights[i]})
+		total += weights[i]
+	}
+	if total <= 0 {
+		panic("seq: WeightedMedian requires positive total weight")
+	}
+	ops := sortFunc(items, func(x, y wv) bool { return x.v < y.v })
+	half := (total + 1) / 2 // weight of the lower median position
+	var run int64
+	for _, it := range items {
+		run += it.w
+		ops++
+		if run >= half {
+			return it.v, ops
+		}
+	}
+	return items[len(items)-1].v, ops // unreachable; run reaches total
+}
+
+// LowerBound returns the first index i with a[i] >= x in sorted a, and the
+// number of comparisons made.
+func LowerBound[K cmp.Ordered](a []K, x K) (int, int64) {
+	lo, hi := 0, len(a)
+	var ops int64
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		ops++
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, ops
+}
+
+// UpperBound returns the first index i with a[i] > x in sorted a, and the
+// number of comparisons made.
+func UpperBound[K cmp.Ordered](a []K, x K) (int, int64) {
+	lo, hi := 0, len(a)
+	var ops int64
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		ops++
+		if a[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, ops
+}
+
+// PseudoMedian returns a deterministic near-median of a: the iterated
+// median-of-medians-of-five pivot (repeatedly replace the array by the
+// medians of its groups of five until few elements remain, then take the
+// exact middle). Unlike full BFPRT it does not recurse to certify a
+// constant rank guarantee, so it costs only ~3n operations; callers use
+// it where split quality affects performance but never correctness (the
+// bucket preprocessing). a is not modified.
+func PseudoMedian[K cmp.Ordered](a []K) (K, int64) {
+	if len(a) == 0 {
+		panic("seq: PseudoMedian of empty slice")
+	}
+	var ops int64
+	buf := make([]K, len(a))
+	copy(buf, a)
+	ops += int64(len(a))
+	for len(buf) > insertionCutoff {
+		g := 0
+		for i := 0; i < len(buf); i += 5 {
+			j := min(i+5, len(buf))
+			ops += InsertionSort(buf[i:j])
+			buf[g] = buf[i+(j-i-1)/2]
+			g++
+			ops++
+		}
+		buf = buf[:g]
+	}
+	ops += InsertionSort(buf)
+	return buf[(len(buf)-1)/2], ops
+}
+
+// SampleWithReplacement draws m elements of a uniformly at random (with
+// replacement). It never fails for m > len(a); duplicates simply repeat.
+func SampleWithReplacement[K cmp.Ordered](a []K, m int, rng *rand.Rand) ([]K, int64) {
+	if m < 0 {
+		panic("seq: negative sample size")
+	}
+	out := make([]K, m)
+	for i := range out {
+		out[i] = a[rng.IntN(len(a))]
+	}
+	return out, int64(m)
+}

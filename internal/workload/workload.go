@@ -1,0 +1,180 @@
+// Package workload generates the input distributions used by the paper's
+// experiments (random and sorted), plus additional adversarial
+// distributions used to widen test and benchmark coverage. All generators
+// are deterministic in (kind, n, p, seed).
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Kind identifies an input distribution.
+type Kind int
+
+const (
+	// Random draws n/p independent uniform keys on every processor —
+	// the paper's "random" input, close to the best case.
+	Random Kind = iota
+	// Sorted assigns processor i the keys i*n/p .. (i+1)*n/p - 1 — the
+	// paper's "sorted" input, close to the worst case: after the first
+	// iteration about half the processors lose all their data.
+	Sorted
+	// ReverseSorted is Sorted with processors in reverse order; it
+	// stresses the same imbalance pattern mirrored.
+	ReverseSorted
+	// Gaussian draws sums of uniforms, concentrating keys near the
+	// middle of the range (duplicate-free is not guaranteed).
+	Gaussian
+	// FewDistinct draws keys from a tiny alphabet, stressing the
+	// duplicate handling of the partition steps.
+	FewDistinct
+	// ZipfLike draws keys with a heavy-tailed (power-law-ish) skew.
+	ZipfLike
+)
+
+// String returns the name used in harness output.
+func (k Kind) String() string {
+	switch k {
+	case Random:
+		return "random"
+	case Sorted:
+		return "sorted"
+	case ReverseSorted:
+		return "revsorted"
+	case Gaussian:
+		return "gaussian"
+	case FewDistinct:
+		return "fewdistinct"
+	case ZipfLike:
+		return "zipf"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists every distribution (for exhaustive tests).
+var Kinds = []Kind{Random, Sorted, ReverseSorted, Gaussian, FewDistinct, ZipfLike}
+
+// keySpan is the value range for random keys.
+const keySpan = int64(1) << 40
+
+// Generate produces p shards totalling exactly n keys; shard sizes differ
+// by at most one (floor/ceil of n/p), the paper's initial balanced
+// distribution. It panics on invalid n or p.
+func Generate(kind Kind, n int64, p int, seed uint64) [][]int64 {
+	if n < 0 || p < 1 {
+		panic(fmt.Sprintf("workload: invalid n=%d p=%d", n, p))
+	}
+	shards := make([][]int64, p)
+	var start int64
+	for i := 0; i < p; i++ {
+		size := n / int64(p)
+		if int64(i) < n%int64(p) {
+			size++
+		}
+		shards[i] = fill(kind, start, size, n, i, seed)
+		start += size
+	}
+	return shards
+}
+
+// fill produces the keys with global positions [start, start+size) of the
+// distribution.
+func fill(kind Kind, start, size, n int64, proc int, seed uint64) []int64 {
+	out := make([]int64, size)
+	rng := rand.New(rand.NewPCG(seed, uint64(proc)*0x9e3779b97f4a7c15+uint64(kind)))
+	switch kind {
+	case Random:
+		for i := range out {
+			out[i] = rng.Int64N(keySpan)
+		}
+	case Sorted:
+		for i := range out {
+			out[i] = start + int64(i)
+		}
+	case ReverseSorted:
+		for i := range out {
+			out[i] = n - 1 - (start + int64(i))
+		}
+	case Gaussian:
+		for i := range out {
+			var s int64
+			for j := 0; j < 6; j++ {
+				s += rng.Int64N(keySpan / 6)
+			}
+			out[i] = s
+		}
+	case FewDistinct:
+		for i := range out {
+			out[i] = rng.Int64N(8)
+		}
+	case ZipfLike:
+		for i := range out {
+			// Inverse-power transform of a uniform: small values are
+			// overwhelmingly more common.
+			u := rng.Float64()
+			v := int64(1.0 / (u + 1e-9))
+			if v >= keySpan {
+				v = keySpan - 1
+			}
+			out[i] = v
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown kind %d", int(kind)))
+	}
+	return out
+}
+
+// Unbalanced produces p shards with an adversarial size skew for load
+// balancer tests: shard i holds a share proportional to (i+1)^2 of n
+// random keys (the last processor dominates). The total is exactly n.
+func Unbalanced(n int64, p int, seed uint64) [][]int64 {
+	if n < 0 || p < 1 {
+		panic(fmt.Sprintf("workload: invalid n=%d p=%d", n, p))
+	}
+	weights := make([]int64, p)
+	var totalW int64
+	for i := range weights {
+		weights[i] = int64((i + 1) * (i + 1))
+		totalW += weights[i]
+	}
+	shards := make([][]int64, p)
+	var assigned int64
+	for i := 0; i < p; i++ {
+		size := n * weights[i] / totalW
+		if i == p-1 {
+			size = n - assigned
+		}
+		assigned += size
+		rng := rand.New(rand.NewPCG(seed, uint64(i)+77))
+		shard := make([]int64, size)
+		for j := range shard {
+			shard[j] = rng.Int64N(keySpan)
+		}
+		shards[i] = shard
+	}
+	return shards
+}
+
+// Flatten concatenates shards into one slice (for oracle checks).
+func Flatten(shards [][]int64) []int64 {
+	var total int
+	for _, s := range shards {
+		total += len(s)
+	}
+	out := make([]int64, 0, total)
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Total returns the number of keys across all shards.
+func Total(shards [][]int64) int64 {
+	var n int64
+	for _, s := range shards {
+		n += int64(len(s))
+	}
+	return n
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestGenerateSizesBalanced(t *testing.T) {
+	for _, kind := range Kinds {
+		for _, p := range []int{1, 2, 3, 7, 16} {
+			for _, n := range []int64{0, 1, 10, 101, 1 << 12} {
+				shards := Generate(kind, n, p, 5)
+				if len(shards) != p {
+					t.Fatalf("%v n=%d p=%d: %d shards", kind, n, p, len(shards))
+				}
+				if Total(shards) != n {
+					t.Fatalf("%v n=%d p=%d: total %d", kind, n, p, Total(shards))
+				}
+				lo, hi := int64(1<<62), int64(0)
+				for _, s := range shards {
+					if int64(len(s)) < lo {
+						lo = int64(len(s))
+					}
+					if int64(len(s)) > hi {
+						hi = int64(len(s))
+					}
+				}
+				if hi-lo > 1 {
+					t.Errorf("%v n=%d p=%d: shard size spread %d..%d", kind, n, p, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestSortedIsGloballySorted(t *testing.T) {
+	shards := Generate(Sorted, 1000, 8, 1)
+	flat := Flatten(shards)
+	for i, v := range flat {
+		if v != int64(i) {
+			t.Fatalf("sorted key %d = %d", i, v)
+		}
+	}
+}
+
+func TestReverseSortedCoversRange(t *testing.T) {
+	shards := Generate(ReverseSorted, 100, 4, 1)
+	flat := Flatten(shards)
+	slices.Sort(flat)
+	for i, v := range flat {
+		if v != int64(i) {
+			t.Fatalf("revsorted key %d = %d after sort", i, v)
+		}
+	}
+	// First shard must hold the largest keys.
+	if shards[0][0] != 99 {
+		t.Errorf("revsorted shard0[0] = %d", shards[0][0])
+	}
+}
+
+func TestDeterministicAndSeedSensitive(t *testing.T) {
+	a := Generate(Random, 512, 4, 9)
+	b := Generate(Random, 512, 4, 9)
+	c := Generate(Random, 512, 4, 10)
+	for i := range a {
+		if !slices.Equal(a[i], b[i]) {
+			t.Fatalf("same seed produced different shard %d", i)
+		}
+	}
+	same := true
+	for i := range a {
+		if !slices.Equal(a[i], c[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestFewDistinctAlphabet(t *testing.T) {
+	for _, v := range Flatten(Generate(FewDistinct, 2000, 3, 2)) {
+		if v < 0 || v >= 8 {
+			t.Fatalf("fewdistinct key %d out of alphabet", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	flat := Flatten(Generate(ZipfLike, 10000, 2, 3))
+	small := 0
+	for _, v := range flat {
+		if v <= 4 {
+			small++
+		}
+	}
+	if small < len(flat)/2 {
+		t.Errorf("zipf distribution not skewed: only %d/%d small keys", small, len(flat))
+	}
+}
+
+func TestUnbalanced(t *testing.T) {
+	shards := Unbalanced(10000, 5, 4)
+	if Total(shards) != 10000 {
+		t.Fatalf("total %d", Total(shards))
+	}
+	if len(shards[4]) <= len(shards[0]) {
+		t.Errorf("expected strong skew, got %d vs %d", len(shards[4]), len(shards[0]))
+	}
+}
+
+func TestPanicsOnInvalidArgs(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"neg n":     func() { Generate(Random, -1, 2, 1) },
+		"zero p":    func() { Generate(Random, 10, 0, 1) },
+		"bad kind":  func() { Generate(Kind(99), 10, 2, 1) },
+		"unbal bad": func() { Unbalanced(5, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range Kinds {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", int(k))
+		}
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Errorf("unknown kind name = %q", Kind(42).String())
+	}
+}

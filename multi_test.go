@@ -1,0 +1,99 @@
+package parsel
+
+import (
+	"errors"
+	"slices"
+	"testing"
+)
+
+func TestSelectRanks(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64((i * 37) % 1009)
+	}
+	sorted := slices.Clone(vals)
+	slices.Sort(sorted)
+	shards := shardInts(vals, 4)
+	ranks := []int64{1000, 1, 500, 250, 750, 1}
+	got, rep, err := SelectRanks(shards, ranks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ranks {
+		if got[i] != sorted[r-1] {
+			t.Errorf("rank %d = %d, want %d", r, got[i], sorted[r-1])
+		}
+	}
+	if rep.SimSeconds <= 0 {
+		t.Error("no simulated time")
+	}
+}
+
+func TestQuantilesPublic(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	shards := shardInts(vals, 8)
+	got, _, err := Quantiles(shards, []float64{0.25, 0.5, 0.75}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{249, 499, 749}
+	if !slices.Equal(got, want) {
+		t.Errorf("quartiles = %v, want %v", got, want)
+	}
+}
+
+func TestSelectRanksErrors(t *testing.T) {
+	if _, _, err := SelectRanks[int64](nil, []int64{1}, Options{}); !errors.Is(err, ErrNoShards) {
+		t.Errorf("nil shards: %v", err)
+	}
+	if _, _, err := SelectRanks([][]int64{{}}, []int64{1}, Options{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("no data: %v", err)
+	}
+	if _, _, err := SelectRanks([][]int64{{1, 2}}, []int64{3}, Options{}); !errors.Is(err, ErrRankRange) {
+		t.Errorf("bad rank: %v", err)
+	}
+	if _, _, err := Quantiles([][]int64{{1, 2}}, []float64{-0.1}, Options{}); !errors.Is(err, ErrBadQuantile) {
+		t.Errorf("bad quantile: %v", err)
+	}
+	if _, _, err := Quantiles([][]int64{{}}, []float64{0.5}, Options{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("quantiles no data: %v", err)
+	}
+}
+
+func TestSelectRanksEmptyRequest(t *testing.T) {
+	got, _, err := SelectRanks([][]int64{{5, 2, 9}}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty request returned %v", got)
+	}
+}
+
+func TestSelectRanksMuchCheaperThanSeparate(t *testing.T) {
+	vals := make([]int64, 100000)
+	for i := range vals {
+		vals[i] = int64((i * 2654435761) % 999983)
+	}
+	shards := shardInts(vals, 8)
+	qs := []float64{0.01, 0.25, 0.5, 0.75, 0.99}
+	_, repMany, err := Quantiles(shards, qs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumSingles float64
+	for _, q := range qs {
+		res, err := Quantile(shards, q, Options{Algorithm: Randomized, Balancer: NoBalance})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumSingles += res.SimSeconds
+	}
+	if repMany.SimSeconds >= sumSingles {
+		t.Errorf("multi-rank (%g s) not cheaper than %d singles (%g s)",
+			repMany.SimSeconds, len(qs), sumSingles)
+	}
+}

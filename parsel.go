@@ -1,0 +1,484 @@
+// Package parsel is a library of practical selection algorithms for
+// coarse-grained parallel machines, reproducing Al-Furaih, Aluru, Goil and
+// Ranka, "Practical Algorithms for Selection on Coarse-Grained Parallel
+// Computers" (IPPS 1996).
+//
+// Given a dataset sharded across p (simulated) processors, parsel finds
+// the element of any rank — median, quantiles, extremes — without sorting,
+// using one of four parallel algorithms (two deterministic, two
+// randomized) and optionally one of four dynamic load balancers. The
+// processors are goroutines connected by a virtual crossbar whose
+// communication is priced with the paper's two-level (tau, mu) cost
+// model, so results carry both a wall-clock time and a simulated parallel
+// time that reproduces the paper's CM-5 measurements in shape.
+//
+// Quick start:
+//
+//	shards := [][]int64{{9, 1, 5}, {3, 7, 2}}       // 2 processors
+//	res, err := parsel.Select(shards, 3, parsel.Options{})
+//	// res.Value == 3, the 3rd smallest of {1,2,3,5,7,9}
+//
+// The Options zero value picks the paper's overall winner: fast
+// randomized selection with modified order-maintaining load balancing on
+// a CM-5-like machine.
+package parsel
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"time"
+
+	"parsel/internal/balance"
+	"parsel/internal/machine"
+	"parsel/internal/selection"
+)
+
+// Algorithm selects the parallel selection algorithm (paper §3).
+type Algorithm int
+
+const (
+	// FastRandomized is Alg. 4: O(log log n) sampling iterations; the
+	// paper's recommendation for all input distributions. The default.
+	FastRandomized Algorithm = iota
+	// Randomized is Alg. 3: single random pivot per iteration; fastest
+	// on well-behaved (random) data.
+	Randomized
+	// MedianOfMedians is Alg. 1: deterministic; an order of magnitude
+	// slower than the randomized algorithms but worst-case O(log n)
+	// iterations with certainty.
+	MedianOfMedians
+	// BucketBased is Alg. 2: deterministic with local bucket
+	// preprocessing; the faster deterministic choice, needing no load
+	// balancing.
+	BucketBased
+	// MedianOfMediansHybrid and BucketBasedHybrid keep the
+	// deterministic parallel structure but use randomized sequential
+	// kernels (the §5 hybrid experiment).
+	MedianOfMediansHybrid
+	// BucketBasedHybrid is the bucket-based hybrid; see
+	// MedianOfMediansHybrid.
+	BucketBasedHybrid
+)
+
+// String names the algorithm as in the paper's figures.
+func (a Algorithm) String() string { return toInternalAlg(a).String() }
+
+// Balancer selects the dynamic load-balancing strategy (paper §4).
+type Balancer int
+
+const (
+	// ModifiedOMLB retains min(ni, navg) locally and moves only the
+	// excess (Alg. 5) — the paper's best partner for fast randomized
+	// selection on adversarial data. The default.
+	ModifiedOMLB Balancer = iota
+	// NoBalance disables balancing — the paper's best choice for
+	// randomized selection and for random data generally.
+	NoBalance
+	// OMLB preserves the global element order while balancing (§4.1).
+	OMLB
+	// DimensionExchange balances pairwise along hypercube dimensions
+	// (Alg. 6).
+	DimensionExchange
+	// GlobalExchange pairs the fullest processors with the emptiest
+	// (Alg. 7).
+	GlobalExchange
+)
+
+// String names the balancer as in the paper's figures.
+func (b Balancer) String() string { return toInternalBal(b).String() }
+
+// Topology selects the interconnection network used to price messages.
+// The paper's model is the distance-independent crossbar (§2.1); the
+// other shapes add a per-hop latency so the crossbar abstraction can be
+// stress-tested.
+type Topology int
+
+const (
+	// TopologyCrossbar is the paper's model (the default).
+	TopologyCrossbar Topology = iota
+	// TopologyHypercube routes along differing rank bits.
+	TopologyHypercube
+	// TopologyMesh2D routes X-then-Y on a near-square grid.
+	TopologyMesh2D
+	// TopologyRing routes along the shorter arc of a cycle.
+	TopologyRing
+)
+
+// String names the topology.
+func (t Topology) String() string { return machine.Topology(t).String() }
+
+// Machine describes the simulated coarse-grained machine. The zero value
+// of each field is replaced by the CM-5-like default.
+type Machine struct {
+	// Procs is the number of simulated processors (default 8).
+	Procs int
+	// Tau is the message start-up overhead (default 100 microseconds).
+	Tau time.Duration
+	// BytesPerSecond is the per-link bandwidth, the inverse of the
+	// paper's mu (default 8 MB/s).
+	BytesPerSecond float64
+	// SecondsPerOp prices one counted element operation (default: 10
+	// cycles at 33 MHz — memory-bound kernels).
+	SecondsPerOp float64
+	// Seed drives every random stream (default 1).
+	Seed uint64
+	// Topology prices messages by routing distance (default crossbar,
+	// the paper's model).
+	Topology Topology
+	// PerHop is the extra latency per hop beyond the first for
+	// non-crossbar topologies (default Tau/20, wormhole-like).
+	PerHop time.Duration
+}
+
+// Options configures Select and friends. The zero value means: fast
+// randomized selection with modified OMLB balancing on an 8-processor
+// CM-5-like machine (the number of processors is overridden by the number
+// of shards passed in; see Select).
+type Options struct {
+	// Algorithm picks the selection algorithm (default FastRandomized).
+	Algorithm Algorithm
+	// Balancer picks the load balancer (default ModifiedOMLB; ignored
+	// by the bucket-based algorithms, which never balance).
+	Balancer Balancer
+	// Machine configures the simulated hardware. Machine.Procs is
+	// ignored by the sharded entry points, which use one processor per
+	// shard.
+	Machine Machine
+	// SampleExponent and RankSlack tune the fast randomized algorithm;
+	// zero means the paper's values (0.6 and 1.0).
+	SampleExponent float64
+	RankSlack      float64
+	// MaxIterations caps pivot iterations before the safety fallback
+	// (default 200).
+	MaxIterations int
+	// Faithful forces the fast randomized algorithm to follow the
+	// paper's Alg. 4 exactly (parallel sample sort every iteration,
+	// uncapped rank-window slack). Leave false for best performance;
+	// set for paper-faithful runs.
+	Faithful bool
+}
+
+// Report describes one collective run.
+type Report struct {
+	// SimSeconds is the simulated parallel time (the paper's metric):
+	// the maximum over processors of communication plus priced
+	// computation.
+	SimSeconds float64
+	// BalanceSeconds is the simulated time spent inside load balancing
+	// (maximum over processors).
+	BalanceSeconds float64
+	// WallSeconds is the host wall-clock time of the run.
+	WallSeconds float64
+	// Iterations is the number of parallel pivot iterations.
+	Iterations int
+	// Unsuccessful counts fast randomized iterations whose sample
+	// window missed the target rank.
+	Unsuccessful int
+	// Messages and Bytes total the point-to-point traffic across all
+	// processors.
+	Messages int64
+	// Bytes is the total number of bytes sent across all processors.
+	Bytes int64
+}
+
+// Result is a selection outcome.
+type Result[K cmp.Ordered] struct {
+	Value K
+	Report
+}
+
+// errors returned by argument validation.
+var (
+	ErrNoData      = errors.New("parsel: no elements")
+	ErrRankRange   = errors.New("parsel: rank out of range")
+	ErrNoShards    = errors.New("parsel: need at least one shard")
+	ErrBadQuantile = errors.New("parsel: quantile must be in [0,1]")
+)
+
+// Select returns the element of 1-based rank among all elements of
+// shards, running one simulated processor per shard. Shards may have any
+// (including zero) lengths; shard contents are not modified.
+func Select[K cmp.Ordered](shards [][]K, rank int64, opts Options) (Result[K], error) {
+	var zero Result[K]
+	if len(shards) == 0 {
+		return zero, ErrNoShards
+	}
+	var n int64
+	for _, s := range shards {
+		n += int64(len(s))
+	}
+	if n == 0 {
+		return zero, ErrNoData
+	}
+	if rank < 1 || rank > n {
+		return zero, fmt.Errorf("%w: rank %d, population %d", ErrRankRange, rank, n)
+	}
+	return run(shards, rank, opts)
+}
+
+// Median returns the element of rank ceil(n/2) (the paper's median).
+func Median[K cmp.Ordered](shards [][]K, opts Options) (Result[K], error) {
+	var n int64
+	for _, s := range shards {
+		n += int64(len(s))
+	}
+	return Select(shards, (n+1)/2, opts)
+}
+
+// Quantile returns the element of rank ceil(q*n) for q in (0,1], and the
+// minimum for q = 0.
+func Quantile[K cmp.Ordered](shards [][]K, q float64, opts Options) (Result[K], error) {
+	var zero Result[K]
+	if q < 0 || q > 1 {
+		return zero, fmt.Errorf("%w: %g", ErrBadQuantile, q)
+	}
+	var n int64
+	for _, s := range shards {
+		n += int64(len(s))
+	}
+	if n == 0 {
+		if len(shards) == 0 {
+			return zero, ErrNoShards
+		}
+		return zero, ErrNoData
+	}
+	rank := int64(float64(n)*q + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return Select(shards, rank, opts)
+}
+
+// SelectRanks returns the elements at several 1-based ranks in one
+// collective run, sharing partitioning work across the ranks (roughly one
+// selection's cost for a handful of ranks). Ranks may repeat and appear
+// in any order; results align with the request. Options.Balancer is
+// ignored (multi-rank segments alias storage and cannot migrate).
+func SelectRanks[K cmp.Ordered](shards [][]K, ranks []int64, opts Options) ([]K, Report, error) {
+	if len(shards) == 0 {
+		return nil, Report{}, ErrNoShards
+	}
+	var n int64
+	for _, s := range shards {
+		n += int64(len(s))
+	}
+	if n == 0 {
+		return nil, Report{}, ErrNoData
+	}
+	for _, r := range ranks {
+		if r < 1 || r > n {
+			return nil, Report{}, fmt.Errorf("%w: rank %d, population %d", ErrRankRange, r, n)
+		}
+	}
+	p := len(shards)
+	params, err := opts.Machine.params(p)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	iopts := selection.Options{
+		MaxIterations: opts.MaxIterations,
+	}
+	vals := make([][]K, p)
+	stats := make([]selection.Stats, p)
+	counters := make([]machine.Counters, p)
+	start := time.Now()
+	sim, err := machine.Run(params, func(pr *machine.Proc) {
+		local := make([]K, len(shards[pr.ID()]))
+		copy(local, shards[pr.ID()])
+		vals[pr.ID()], stats[pr.ID()] = selection.SelectMany(pr, local, ranks, iopts)
+		counters[pr.ID()] = pr.Counters
+	})
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return nil, Report{}, err
+	}
+	rep := Report{SimSeconds: sim, WallSeconds: wall}
+	for i := range stats {
+		if stats[i].Iterations > rep.Iterations {
+			rep.Iterations = stats[i].Iterations
+		}
+		rep.Messages += counters[i].MsgsSent
+		rep.Bytes += counters[i].BytesSent
+	}
+	return vals[0], rep, nil
+}
+
+// Quantiles returns the elements at several quantiles (each in [0,1]) in
+// one collective run; see SelectRanks.
+func Quantiles[K cmp.Ordered](shards [][]K, qs []float64, opts Options) ([]K, Report, error) {
+	var n int64
+	for _, s := range shards {
+		n += int64(len(s))
+	}
+	if len(shards) == 0 {
+		return nil, Report{}, ErrNoShards
+	}
+	if n == 0 {
+		return nil, Report{}, ErrNoData
+	}
+	ranks := make([]int64, len(qs))
+	for i, q := range qs {
+		if q < 0 || q > 1 {
+			return nil, Report{}, fmt.Errorf("%w: %g", ErrBadQuantile, q)
+		}
+		r := int64(float64(n)*q + 0.9999999)
+		if r < 1 {
+			r = 1
+		}
+		if r > n {
+			r = n
+		}
+		ranks[i] = r
+	}
+	return SelectRanks(shards, ranks, opts)
+}
+
+// run executes the collective selection.
+func run[K cmp.Ordered](shards [][]K, rank int64, opts Options) (Result[K], error) {
+	p := len(shards)
+	params, err := opts.Machine.params(p)
+	if err != nil {
+		return Result[K]{}, err
+	}
+	iopts := selection.Options{
+		Algorithm:      toInternalAlg(opts.Algorithm),
+		Balancer:       toInternalBal(opts.Balancer),
+		SampleExponent: opts.SampleExponent,
+		RankSlack:      opts.RankSlack,
+		MaxIterations:  opts.MaxIterations,
+		Faithful:       opts.Faithful,
+	}
+
+	vals := make([]K, p)
+	stats := make([]selection.Stats, p)
+	counters := make([]machine.Counters, p)
+	start := time.Now()
+	sim, err := machine.Run(params, func(pr *machine.Proc) {
+		local := make([]K, len(shards[pr.ID()]))
+		copy(local, shards[pr.ID()])
+		vals[pr.ID()], stats[pr.ID()] = selection.Select(pr, local, rank, iopts)
+		counters[pr.ID()] = pr.Counters
+	})
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return Result[K]{}, err
+	}
+
+	rep := Report{SimSeconds: sim, WallSeconds: wall}
+	for i := range stats {
+		if stats[i].BalanceSeconds > rep.BalanceSeconds {
+			rep.BalanceSeconds = stats[i].BalanceSeconds
+		}
+		if stats[i].Iterations > rep.Iterations {
+			rep.Iterations = stats[i].Iterations
+		}
+		if stats[i].Unsuccessful > rep.Unsuccessful {
+			rep.Unsuccessful = stats[i].Unsuccessful
+		}
+		rep.Messages += counters[i].MsgsSent
+		rep.Bytes += counters[i].BytesSent
+	}
+	return Result[K]{Value: vals[0], Report: rep}, nil
+}
+
+// Balance redistributes shards so that every shard ends with floor(n/p)
+// or ceil(n/p) elements, using the configured balancer. It returns the
+// new shards and a report. Shard contents are not modified.
+func Balance[K cmp.Ordered](shards [][]K, opts Options) ([][]K, Report, error) {
+	p := len(shards)
+	if p == 0 {
+		return nil, Report{}, ErrNoShards
+	}
+	params, err := opts.Machine.params(p)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	method := toInternalBal(opts.Balancer)
+	out := make([][]K, p)
+	counters := make([]machine.Counters, p)
+	start := time.Now()
+	sim, err := machine.Run(params, func(pr *machine.Proc) {
+		local := make([]K, len(shards[pr.ID()]))
+		copy(local, shards[pr.ID()])
+		out[pr.ID()] = balance.Run(pr, local, method, machine.WordBytes)
+		counters[pr.ID()] = pr.Counters
+	})
+	if err != nil {
+		return nil, Report{}, err
+	}
+	rep := Report{SimSeconds: sim, BalanceSeconds: sim, WallSeconds: time.Since(start).Seconds()}
+	for i := range counters {
+		rep.Messages += counters[i].MsgsSent
+		rep.Bytes += counters[i].BytesSent
+	}
+	return out, rep, nil
+}
+
+// params converts the public machine description to internal parameters.
+func (m Machine) params(procs int) (machine.Params, error) {
+	params := machine.DefaultParams(procs)
+	if m.Tau > 0 {
+		params.TauSec = m.Tau.Seconds()
+	}
+	if m.BytesPerSecond > 0 {
+		params.MuSecPerByte = 1 / m.BytesPerSecond
+	}
+	if m.SecondsPerOp > 0 {
+		params.SecPerOp = m.SecondsPerOp
+	}
+	if m.Seed != 0 {
+		params.Seed = m.Seed
+	}
+	params.Topology = machine.Topology(m.Topology)
+	if m.PerHop > 0 {
+		params.PerHopSec = m.PerHop.Seconds()
+	}
+	if err := params.Validate(); err != nil {
+		return machine.Params{}, err
+	}
+	return params, nil
+}
+
+// toInternalAlg maps the public algorithm enum (default-first) onto the
+// internal one (paper order).
+func toInternalAlg(a Algorithm) selection.Algorithm {
+	switch a {
+	case FastRandomized:
+		return selection.FastRandomized
+	case Randomized:
+		return selection.Randomized
+	case MedianOfMedians:
+		return selection.MedianOfMedians
+	case BucketBased:
+		return selection.BucketBased
+	case MedianOfMediansHybrid:
+		return selection.MedianOfMediansHybrid
+	case BucketBasedHybrid:
+		return selection.BucketBasedHybrid
+	default:
+		panic(fmt.Sprintf("parsel: unknown algorithm %d", int(a)))
+	}
+}
+
+// toInternalBal maps the public balancer enum (default-first) onto the
+// internal one.
+func toInternalBal(b Balancer) balance.Method {
+	switch b {
+	case ModifiedOMLB:
+		return balance.ModifiedOMLB
+	case NoBalance:
+		return balance.None
+	case OMLB:
+		return balance.OMLB
+	case DimensionExchange:
+		return balance.DimensionExchange
+	case GlobalExchange:
+		return balance.GlobalExchange
+	default:
+		panic(fmt.Sprintf("parsel: unknown balancer %d", int(b)))
+	}
+}

@@ -1,0 +1,238 @@
+package parsel
+
+import (
+	"errors"
+	"slices"
+	"testing"
+	"time"
+)
+
+func shardInts(vals []int64, p int) [][]int64 {
+	shards := make([][]int64, p)
+	for i, v := range vals {
+		shards[i%p] = append(shards[i%p], v)
+	}
+	return shards
+}
+
+func TestSelectBasic(t *testing.T) {
+	shards := [][]int64{{9, 1, 5}, {3, 7, 2}}
+	res, err := Select(shards, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 3 {
+		t.Errorf("rank 3 = %d, want 3", res.Value)
+	}
+	if res.SimSeconds <= 0 || res.WallSeconds <= 0 {
+		t.Errorf("missing timing: %+v", res.Report)
+	}
+}
+
+func TestSelectAllAlgorithmsAndBalancers(t *testing.T) {
+	vals := make([]int64, 500)
+	for i := range vals {
+		vals[i] = int64((i * 7919) % 1000)
+	}
+	sorted := slices.Clone(vals)
+	slices.Sort(sorted)
+	shards := shardInts(vals, 4)
+	algs := []Algorithm{FastRandomized, Randomized, MedianOfMedians, BucketBased,
+		MedianOfMediansHybrid, BucketBasedHybrid}
+	bals := []Balancer{ModifiedOMLB, NoBalance, OMLB, DimensionExchange, GlobalExchange}
+	for _, a := range algs {
+		for _, b := range bals {
+			for _, rank := range []int64{1, 250, 500} {
+				res, err := Select(shards, rank, Options{Algorithm: a, Balancer: b})
+				if err != nil {
+					t.Fatalf("%v/%v: %v", a, b, err)
+				}
+				if res.Value != sorted[rank-1] {
+					t.Errorf("%v/%v rank %d = %d, want %d", a, b, rank, res.Value, sorted[rank-1])
+				}
+			}
+		}
+	}
+}
+
+func TestShardsNotModified(t *testing.T) {
+	shards := [][]int64{{9, 1, 5}, {3, 7, 2}}
+	want := [][]int64{{9, 1, 5}, {3, 7, 2}}
+	if _, err := Select(shards, 4, Options{Balancer: GlobalExchange}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !slices.Equal(shards[i], want[i]) {
+			t.Errorf("shard %d modified: %v", i, shards[i])
+		}
+	}
+}
+
+func TestMedianAndQuantile(t *testing.T) {
+	vals := make([]int64, 101)
+	for i := range vals {
+		vals[i] = int64(i) // 0..100
+	}
+	shards := shardInts(vals, 3)
+	med, err := Median(shards, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med.Value != 50 { // rank ceil(101/2)=51 -> value 50
+		t.Errorf("median = %d, want 50", med.Value)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0, 0}, {0.01, 1}, {0.5, 50}, {0.99, 99}, {1, 100}} {
+		res, err := Quantile(shards, tc.q, Options{})
+		if err != nil {
+			t.Fatalf("q=%g: %v", tc.q, err)
+		}
+		if res.Value != tc.want {
+			t.Errorf("q=%g = %d, want %d", tc.q, res.Value, tc.want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Select[int64](nil, 1, Options{}); !errors.Is(err, ErrNoShards) {
+		t.Errorf("nil shards: %v", err)
+	}
+	if _, err := Select([][]int64{{}, {}}, 1, Options{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty shards: %v", err)
+	}
+	if _, err := Select([][]int64{{1, 2}}, 0, Options{}); !errors.Is(err, ErrRankRange) {
+		t.Errorf("rank 0: %v", err)
+	}
+	if _, err := Select([][]int64{{1, 2}}, 3, Options{}); !errors.Is(err, ErrRankRange) {
+		t.Errorf("rank 3 of 2: %v", err)
+	}
+	if _, err := Quantile([][]int64{{1}}, 1.5, Options{}); !errors.Is(err, ErrBadQuantile) {
+		t.Errorf("q=1.5: %v", err)
+	}
+	if _, err := Quantile([][]int64{}, 0.5, Options{}); !errors.Is(err, ErrNoShards) {
+		t.Errorf("quantile no shards: %v", err)
+	}
+	if _, _, err := Balance([][]int64{}, Options{}); !errors.Is(err, ErrNoShards) {
+		t.Errorf("balance no shards: %v", err)
+	}
+}
+
+func TestBalancePublic(t *testing.T) {
+	shards := [][]int64{{1, 2, 3, 4, 5, 6, 7, 8}, {}, {9}, {}}
+	out, rep, err := Balance(shards, Options{Balancer: GlobalExchange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []int64
+	for i, s := range out {
+		if len(s) < 2 || len(s) > 3 {
+			t.Errorf("shard %d size %d, want 2..3", i, len(s))
+		}
+		all = append(all, s...)
+	}
+	slices.Sort(all)
+	if !slices.Equal(all, []int64{1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+		t.Errorf("elements changed: %v", all)
+	}
+	if rep.SimSeconds <= 0 {
+		t.Error("no simulated time reported")
+	}
+	// Originals untouched.
+	if !slices.Equal(shards[0], []int64{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Error("input shard modified")
+	}
+}
+
+func TestCustomMachine(t *testing.T) {
+	shards := shardInts([]int64{5, 3, 8, 1, 9, 2, 7, 4, 6, 0}, 2)
+	fast := Options{Machine: Machine{Tau: time.Microsecond, BytesPerSecond: 1e9}}
+	slow := Options{Machine: Machine{Tau: 10 * time.Millisecond, BytesPerSecond: 1e3}}
+	rf, err := Select(shards, 5, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Select(shards, 5, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Value != 4 || rs.Value != 4 {
+		t.Errorf("values %d, %d want 4", rf.Value, rs.Value)
+	}
+	if rs.SimSeconds <= rf.SimSeconds {
+		t.Errorf("slow machine (%g) not slower than fast (%g)", rs.SimSeconds, rf.SimSeconds)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	vals := make([]int64, 2000)
+	for i := range vals {
+		vals[i] = int64((i * 31) % 997)
+	}
+	shards := shardInts(vals, 4)
+	o := Options{Algorithm: Randomized, Machine: Machine{Seed: 42}}
+	r1, err := Select(shards, 1000, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Select(shards, 1000, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Value != r2.Value || r1.SimSeconds != r2.SimSeconds || r1.Messages != r2.Messages {
+		t.Errorf("non-deterministic: %+v vs %+v", r1.Report, r2.Report)
+	}
+}
+
+func TestStringKeysPublic(t *testing.T) {
+	shards := [][]string{{"pear", "apple"}, {"fig", "date", "cherry"}}
+	res, err := Select(shards, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "apple" {
+		t.Errorf("min = %q", res.Value)
+	}
+}
+
+func TestFloatKeys(t *testing.T) {
+	shards := [][]float64{{3.5, 1.25}, {2.75, 0.5, 9.0}}
+	res, err := Median(shards, Options{Algorithm: Randomized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 2.75 {
+		t.Errorf("float median = %g", res.Value)
+	}
+}
+
+func TestReportTraffic(t *testing.T) {
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = int64(i * 13 % 4999)
+	}
+	res, err := Select(shardInts(vals, 8), 2500, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages <= 0 || res.Bytes <= 0 {
+		t.Errorf("traffic not reported: %+v", res.Report)
+	}
+	if res.Iterations <= 0 {
+		t.Error("iterations not reported")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for _, a := range []Algorithm{FastRandomized, Randomized, MedianOfMedians, BucketBased, MedianOfMediansHybrid, BucketBasedHybrid} {
+		if a.String() == "" {
+			t.Errorf("algorithm %d unnamed", int(a))
+		}
+	}
+	for _, b := range []Balancer{ModifiedOMLB, NoBalance, OMLB, DimensionExchange, GlobalExchange} {
+		if b.String() == "" {
+			t.Errorf("balancer %d unnamed", int(b))
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package parsel
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+)
+
+// TopK returns the k largest elements across all shards in descending
+// order, computed with one selection (the threshold element of rank
+// n-k+1) plus one filtering pass — never a full sort. Duplicates of the
+// threshold value are included only as many times as needed to return
+// exactly k elements.
+func TopK[K cmp.Ordered](shards [][]K, k int, opts Options) ([]K, Report, error) {
+	if len(shards) == 0 {
+		return nil, Report{}, ErrNoShards
+	}
+	var n int64
+	for _, s := range shards {
+		n += int64(len(s))
+	}
+	if n == 0 {
+		return nil, Report{}, ErrNoData
+	}
+	if k < 0 || int64(k) > n {
+		return nil, Report{}, fmt.Errorf("%w: k=%d, population %d", ErrRankRange, k, n)
+	}
+	if k == 0 {
+		return []K{}, Report{}, nil
+	}
+	res, err := Select(shards, n-int64(k)+1, opts)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	threshold := res.Value
+	// Collect everything strictly above the threshold plus enough
+	// threshold copies to reach exactly k.
+	out := make([]K, 0, k)
+	need := k
+	for _, s := range shards {
+		for _, v := range s {
+			if v > threshold {
+				out = append(out, v)
+				need--
+			}
+		}
+	}
+	for _, s := range shards {
+		for _, v := range s {
+			if need > 0 && v == threshold {
+				out = append(out, v)
+				need--
+			}
+		}
+	}
+	slices.SortFunc(out, func(a, b K) int { return cmp.Compare(b, a) })
+	return out, res.Report, nil
+}
+
+// BottomK returns the k smallest elements in ascending order; see TopK.
+func BottomK[K cmp.Ordered](shards [][]K, k int, opts Options) ([]K, Report, error) {
+	if len(shards) == 0 {
+		return nil, Report{}, ErrNoShards
+	}
+	var n int64
+	for _, s := range shards {
+		n += int64(len(s))
+	}
+	if n == 0 {
+		return nil, Report{}, ErrNoData
+	}
+	if k < 0 || int64(k) > n {
+		return nil, Report{}, fmt.Errorf("%w: k=%d, population %d", ErrRankRange, k, n)
+	}
+	if k == 0 {
+		return []K{}, Report{}, nil
+	}
+	res, err := Select(shards, int64(k), opts)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	threshold := res.Value
+	out := make([]K, 0, k)
+	need := k
+	for _, s := range shards {
+		for _, v := range s {
+			if v < threshold {
+				out = append(out, v)
+				need--
+			}
+		}
+	}
+	for _, s := range shards {
+		for _, v := range s {
+			if need > 0 && v == threshold {
+				out = append(out, v)
+				need--
+			}
+		}
+	}
+	slices.Sort(out)
+	return out, res.Report, nil
+}
+
+// FiveNumber is Tukey's five-number summary of a distributed dataset.
+type FiveNumber[K cmp.Ordered] struct {
+	Min, Q1, Median, Q3, Max K
+}
+
+// Summary computes the five-number summary in a single multi-rank
+// selection run (roughly one selection's cost for all five statistics).
+func Summary[K cmp.Ordered](shards [][]K, opts Options) (FiveNumber[K], Report, error) {
+	var zero FiveNumber[K]
+	var n int64
+	for _, s := range shards {
+		n += int64(len(s))
+	}
+	if len(shards) == 0 {
+		return zero, Report{}, ErrNoShards
+	}
+	if n == 0 {
+		return zero, Report{}, ErrNoData
+	}
+	ranks := []int64{
+		1,
+		max64(1, (n+3)/4),
+		(n + 1) / 2,
+		max64(1, (3*n+3)/4),
+		n,
+	}
+	vals, rep, err := SelectRanks(shards, ranks, opts)
+	if err != nil {
+		return zero, Report{}, err
+	}
+	return FiveNumber[K]{
+		Min:    vals[0],
+		Q1:     vals[1],
+		Median: vals[2],
+		Q3:     vals[3],
+		Max:    vals[4],
+	}, rep, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
