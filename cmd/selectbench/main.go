@@ -8,15 +8,136 @@
 //	selectbench -exp fig1            # one experiment, full grid
 //	selectbench -exp all -quick      # everything, shrunk grid
 //	selectbench -exp fig2 -csv -seeds 3
+//	selectbench -perf BENCH_PR1.json # host-performance snapshot (JSON)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"testing"
+	"time"
 
+	"parsel"
 	"parsel/internal/harness"
 )
+
+// perfResult is one benchmark row of the -perf snapshot.
+type perfResult struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	SimSeconds  float64 `json:"sim_seconds"`
+}
+
+// perfSnapshot is the schema of the -perf JSON file. Future PRs track the
+// perf trajectory by regenerating the file and quoting the old and new
+// Results side by side; Baselines pins the fixed pre-engine reference.
+type perfSnapshot struct {
+	Generated string                `json:"generated"`
+	Workload  map[string]any        `json:"workload"`
+	Results   map[string]perfResult `json:"results"`
+	// Baselines carries fixed reference points (the pre-engine seed
+	// measurements) so the file is self-describing.
+	Baselines map[string]perfResult `json:"baselines"`
+}
+
+// perfShards builds the standard 256k x 8 benchmark sharding (identical
+// to bench_test.go's makeShards).
+func perfShards() [][]int64 {
+	const n, p = 256 << 10, 8
+	shards := make([][]int64, p)
+	x := uint64(88172645463325252)
+	for i := range shards {
+		shards[i] = make([]int64, n/p)
+		for j := range shards[i] {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			shards[i][j] = int64(x >> 24)
+		}
+	}
+	return shards
+}
+
+// runPerf measures the one-shot and amortized selection paths on the
+// standard workload and writes the JSON snapshot to path.
+func runPerf(path string) error {
+	shards := perfShards()
+	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
+	var n int64
+	for _, s := range shards {
+		n += int64(len(s))
+	}
+
+	measure := func(body func(b *testing.B)) perfResult {
+		r := testing.Benchmark(body)
+		return perfResult{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+
+	results := map[string]perfResult{}
+	sim := 0.0
+	results["one_shot"] = measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := parsel.Median(shards, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim = res.SimSeconds
+		}
+	})
+	r := results["one_shot"]
+	r.SimSeconds = sim
+	results["one_shot"] = r
+
+	selOpts := opts
+	selOpts.Machine.Procs = len(shards)
+	sel, err := parsel.NewSelector[int64](selOpts)
+	if err != nil {
+		return err
+	}
+	defer sel.Close()
+	results["selector_reuse"] = measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sel.Median(shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim = res.SimSeconds
+		}
+	})
+	r = results["selector_reuse"]
+	r.SimSeconds = sim
+	results["selector_reuse"] = r
+
+	snap := perfSnapshot{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Workload: map[string]any{
+			"n": n, "procs": len(shards),
+			"algorithm": opts.Algorithm.String(), "balancer": opts.Balancer.String(),
+			"rank": (n + 1) / 2,
+		},
+		Results: results,
+		Baselines: map[string]perfResult{
+			// The seed repo's BenchmarkSelectFastRandomized (one machine
+			// build + shard deep-copies per call), measured on the PR-1
+			// reference host before the amortized engine landed.
+			"seed_one_shot": {NsPerOp: 4677042, AllocsPerOp: 2328, BytesPerOp: 2977319},
+		},
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
 
 func main() {
 	var (
@@ -25,8 +146,18 @@ func main() {
 		quick = flag.Bool("quick", false, "shrink problem sizes for a fast smoke run")
 		seeds = flag.Int("seeds", 5, "trials averaged per random data point")
 		csv   = flag.Bool("csv", false, "emit comma-separated rows instead of aligned text")
+		perf  = flag.String("perf", "", "write a host-performance JSON snapshot to this path and exit")
 	)
 	flag.Parse()
+
+	if *perf != "" {
+		if err := runPerf(*perf); err != nil {
+			fmt.Fprintf(os.Stderr, "selectbench: perf: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *perf)
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")

@@ -1,0 +1,12 @@
+package parsel
+
+// Test hooks for white-box tests of the engine internals.
+
+// SetAgreementChecks toggles the cross-processor result assertion.
+func SetAgreementChecks(on bool) { agreementChecks = on }
+
+// Exported internals under test.
+var (
+	QuantileRankForTest = quantileRank
+	DisagreementForTest = disagreement[int64]
+)

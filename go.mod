@@ -1,0 +1,3 @@
+module parsel
+
+go 1.24

@@ -74,31 +74,115 @@ const (
 	tagDimData  = 10 << 20
 )
 
+// Scratch holds one processor's reusable balancing buffers, so that the
+// migrate paths of a long-lived machine allocate nothing in steady state.
+// A zero Scratch is ready to use; buffers grow on demand and are retained
+// between rounds. The assembled output alternates between two retained
+// arrays because the current round's input is a view of the previous
+// round's output — the sourced blocks it sends must stay intact until
+// every receiver has copied them, which the collectives between two
+// balancing rounds guarantee.
+type Scratch[K any] struct {
+	cbuf     []int64 // Bruck all-gather working space (2p)
+	targ     []int64
+	cumT     []int64
+	inCounts []int64
+	out      [][]K
+	in       [][]K
+	sources  []procExcess
+	sinks    []procExcess
+	bufA     []K
+	bufB     []K
+	useB     bool
+	dim      [][]K // per-round staging blocks for dimension exchange
+}
+
+// outBuf returns an empty output buffer with the requested capacity,
+// alternating between the two retained arrays so it never aliases the
+// previous round's output (this round's input).
+func (s *Scratch[K]) outBuf(n int) []K {
+	s.useB = !s.useB
+	buf := &s.bufA
+	if s.useB {
+		buf = &s.bufB
+	}
+	if cap(*buf) < n {
+		*buf = make([]K, 0, n)
+	}
+	return (*buf)[:0]
+}
+
+// outSlices returns the per-destination block table, cleared.
+func (s *Scratch[K]) outSlices(p int) [][]K {
+	if cap(s.out) < p {
+		s.out = make([][]K, p)
+	}
+	s.out = s.out[:p]
+	for i := range s.out {
+		s.out[i] = nil
+	}
+	return s.out
+}
+
+// int64Buf returns a zeroed int64 buffer of length p from the given slot.
+func int64Buf(slot *[]int64, p int) []int64 {
+	if cap(*slot) < p {
+		*slot = make([]int64, p)
+	}
+	*slot = (*slot)[:p]
+	for i := range *slot {
+		(*slot)[i] = 0
+	}
+	return *slot
+}
+
+// dimBuf returns a staging buffer of length n for the given exchange round.
+func (s *Scratch[K]) dimBuf(round, n int) []K {
+	for len(s.dim) <= round {
+		s.dim = append(s.dim, nil)
+	}
+	if cap(s.dim[round]) < n {
+		s.dim[round] = make([]K, n)
+	}
+	s.dim[round] = s.dim[round][:n]
+	return s.dim[round]
+}
+
 // Run redistributes local using the given method and returns the new local
 // slice. It must be called by all processors collectively. elemBytes is
 // the wire size of one element.
 func Run[K any](p *machine.Proc, local []K, method Method, elemBytes int) []K {
+	return RunScratch(p, local, method, elemBytes, nil)
+}
+
+// RunScratch is Run with per-processor reusable scratch (nil behaves like
+// Run). Simulated cost and traffic are identical to Run; only host-side
+// allocation differs.
+func RunScratch[K any](p *machine.Proc, local []K, method Method, elemBytes int, scr *Scratch[K]) []K {
+	if scr == nil {
+		scr = &Scratch[K]{}
+	}
 	switch method {
 	case None:
 		return local
 	case OMLB:
-		return orderMaintaining(p, local, elemBytes)
+		return orderMaintaining(p, local, elemBytes, scr)
 	case ModifiedOMLB:
-		return sourceSink(p, local, elemBytes, false)
+		return sourceSink(p, local, elemBytes, false, scr)
 	case DimensionExchange:
-		return dimensionExchange(p, local, elemBytes)
+		return dimensionExchange(p, local, elemBytes, scr)
 	case GlobalExchange:
-		return sourceSink(p, local, elemBytes, true)
+		return sourceSink(p, local, elemBytes, true, scr)
 	default:
 		panic(fmt.Sprintf("balance: unknown method %d", int(method)))
 	}
 }
 
-// targets returns the balanced shard sizes: the first n%p processors get
+// targets fills the balanced shard sizes: the first n%p processors get
 // ceil(n/p), the rest floor(n/p).
-func targets(n int64, p int) []int64 {
+func targets(slot *[]int64, n int64, p int) []int64 {
+	t := int64Buf(slot, p)
 	base, rem := n/int64(p), n%int64(p)
-	t := make([]int64, p)
 	for i := range t {
 		t[i] = base
 		if int64(i) < rem {
@@ -111,9 +195,10 @@ func targets(n int64, p int) []int64 {
 // orderMaintaining implements the unmodified OMLB: elements keep their
 // global order; processor i ends with the elements whose global positions
 // fall in its target interval.
-func orderMaintaining[K any](p *machine.Proc, local []K, elemBytes int) []K {
+func orderMaintaining[K any](p *machine.Proc, local []K, elemBytes int, scr *Scratch[K]) []K {
 	size := p.Procs()
-	counts := comm.GlobalConcat(p, int64(len(local)), machine.WordBytes)
+	counts, cbuf := comm.GlobalConcatInt64(p, int64(len(local)), scr.cbuf)
+	scr.cbuf = cbuf
 	var n int64
 	for _, c := range counts {
 		n += c
@@ -121,9 +206,9 @@ func orderMaintaining[K any](p *machine.Proc, local []K, elemBytes int) []K {
 	if n == 0 || size == 1 {
 		return local
 	}
-	targ := targets(n, size)
+	targ := targets(&scr.targ, n, size)
 	// Cumulative target starts: processor j owns [cumT[j], cumT[j+1]).
-	cumT := make([]int64, size+1)
+	cumT := int64Buf(&scr.cumT, size+1)
 	for j := 0; j < size; j++ {
 		cumT[j+1] = cumT[j] + targ[j]
 	}
@@ -134,7 +219,7 @@ func orderMaintaining[K any](p *machine.Proc, local []K, elemBytes int) []K {
 	}
 	p.Charge(int64(2 * size)) // the two local prefix walks above
 
-	out := make([][]K, size)
+	out := scr.outSlices(size)
 	for j := 0; j < size; j++ {
 		lo := max64(myStart, cumT[j])
 		hi := min64(myStart+int64(len(local)), cumT[j+1])
@@ -144,7 +229,7 @@ func orderMaintaining[K any](p *machine.Proc, local []K, elemBytes int) []K {
 		}
 	}
 	// Incoming counts: intersect my target interval with source ranges.
-	inCounts := make([]int64, size)
+	inCounts := int64Buf(&scr.inCounts, size)
 	var srcStart int64
 	for s := 0; s < size; s++ {
 		lo := max64(srcStart, cumT[p.ID()])
@@ -154,8 +239,9 @@ func orderMaintaining[K any](p *machine.Proc, local []K, elemBytes int) []K {
 		}
 		srcStart += counts[s]
 	}
-	in := comm.TransportKnown(p, out, inCounts, elemBytes)
-	res := make([]K, 0, targ[p.ID()])
+	in := comm.TransportKnownInto(p, out, inCounts, elemBytes, scr.in)
+	scr.in = in
+	res := scr.outBuf(int(targ[p.ID()]))
 	for s := 0; s < size; s++ {
 		res = append(res, in[s]...)
 	}
@@ -163,8 +249,8 @@ func orderMaintaining[K any](p *machine.Proc, local []K, elemBytes int) []K {
 	return res
 }
 
-// transfer describes one source->sink block in the interval-matching
-// schemes.
+// procExcess is one processor's surplus (source) or deficit (sink) in the
+// interval-matching schemes.
 type procExcess struct {
 	proc int
 	amt  int64
@@ -172,9 +258,10 @@ type procExcess struct {
 
 // sourceSink implements both Modified OMLB (sorted=false: processor-index
 // order) and Global Exchange (sorted=true: decreasing excess/need order).
-func sourceSink[K any](p *machine.Proc, local []K, elemBytes int, sorted bool) []K {
+func sourceSink[K any](p *machine.Proc, local []K, elemBytes int, sorted bool, scr *Scratch[K]) []K {
 	size := p.Procs()
-	counts := comm.GlobalConcat(p, int64(len(local)), machine.WordBytes)
+	counts, cbuf := comm.GlobalConcatInt64(p, int64(len(local)), scr.cbuf)
+	scr.cbuf = cbuf
 	var n int64
 	for _, c := range counts {
 		n += c
@@ -182,8 +269,8 @@ func sourceSink[K any](p *machine.Proc, local []K, elemBytes int, sorted bool) [
 	if n == 0 || size == 1 {
 		return local
 	}
-	targ := targets(n, size)
-	var sources, sinks []procExcess
+	targ := targets(&scr.targ, n, size)
+	sources, sinks := scr.sources[:0], scr.sinks[:0]
 	for j := 0; j < size; j++ {
 		d := counts[j] - targ[j]
 		if d > 0 {
@@ -192,6 +279,7 @@ func sourceSink[K any](p *machine.Proc, local []K, elemBytes int, sorted bool) [
 			sinks = append(sinks, procExcess{j, -d})
 		}
 	}
+	scr.sources, scr.sinks = sources, sinks
 	p.Charge(int64(size))
 	if sorted {
 		// Global exchange: largest excess first, largest need first;
@@ -200,27 +288,13 @@ func sourceSink[K any](p *machine.Proc, local []K, elemBytes int, sorted bool) [
 		sortByAmtDesc(sinks)
 		p.Charge(int64(len(sources) + len(sinks))) // cheap local sorts
 	}
-	// Rank the excess/need units in the chosen order.
-	srcStart := make(map[int]int64, len(sources))
-	var cum int64
-	for _, s := range sources {
-		srcStart[s.proc] = cum
-		cum += s.amt
-	}
-	snkStart := make(map[int]int64, len(sinks))
-	cum = 0
-	for _, s := range sinks {
-		snkStart[s.proc] = cum
-		cum += s.amt
-	}
 
 	me := p.ID()
-	out := make([][]K, size)
-	inCounts := make([]int64, size)
+	out := scr.outSlices(size)
+	inCounts := int64Buf(&scr.inCounts, size)
 	keep := min64(int64(len(local)), targ[me])
-	res := local[:keep]
 
-	if excess, ok := srcStart[me]; ok {
+	if excess := unitStart(sources, me); excess >= 0 {
 		// I am a source: my excess units occupy [excess, excess+amt);
 		// send each overlap with a sink's unit interval to that sink.
 		amt := counts[me] - targ[me]
@@ -238,7 +312,7 @@ func sourceSink[K any](p *machine.Proc, local []K, elemBytes int, sorted bool) [
 			sinkPos += snk.amt
 		}
 	}
-	if need, ok := snkStart[me]; ok {
+	if need := unitStart(sinks, me); need >= 0 {
 		// I am a sink: my need units occupy [need, need+amt); receive
 		// each overlap with a source's unit interval from that source.
 		amt := targ[me] - counts[me]
@@ -252,9 +326,10 @@ func sourceSink[K any](p *machine.Proc, local []K, elemBytes int, sorted bool) [
 			srcPos += src.amt
 		}
 	}
-	in := comm.TransportKnown(p, out, inCounts, elemBytes)
-	final := make([]K, 0, targ[me])
-	final = append(final, res...)
+	in := comm.TransportKnownInto(p, out, inCounts, elemBytes, scr.in)
+	scr.in = in
+	final := scr.outBuf(int(targ[me]))
+	final = append(final, local[:keep]...)
 	for s := 0; s < size; s++ {
 		if s != me {
 			final = append(final, in[s]...)
@@ -262,6 +337,19 @@ func sourceSink[K any](p *machine.Proc, local []K, elemBytes int, sorted bool) [
 	}
 	p.Charge(int64(len(final)))
 	return final
+}
+
+// unitStart returns the cumulative unit rank at which proc's entry starts
+// in the chosen ordering, or -1 when proc is not in the list.
+func unitStart(list []procExcess, proc int) int64 {
+	var cum int64
+	for _, e := range list {
+		if e.proc == proc {
+			return cum
+		}
+		cum += e.amt
+	}
+	return -1
 }
 
 // sortByAmtDesc sorts by decreasing amount, breaking ties by processor
@@ -283,7 +371,7 @@ func sortByAmtDesc(a []procExcess) {
 // surplus so both end with ceil/floor of their joint total. For
 // non-power-of-two p a processor whose partner does not exist sits the
 // round out (the standard generalization); balance is then approximate.
-func dimensionExchange[K any](p *machine.Proc, local []K, elemBytes int) []K {
+func dimensionExchange[K any](p *machine.Proc, local []K, elemBytes int, scr *Scratch[K]) []K {
 	size := p.Procs()
 	me := p.ID()
 	for pow, round := 1, 0; pow < size; pow, round = pow<<1, round+1 {
@@ -292,16 +380,18 @@ func dimensionExchange[K any](p *machine.Proc, local []K, elemBytes int) []K {
 			continue
 		}
 		ni := int64(len(local))
-		p.Send(partner, tagDimCount+round, ni, machine.WordBytes)
-		nl := p.Recv(partner, tagDimCount+round).(int64)
+		p.SendInt64Pair(partner, tagDimCount+round, ni, 0, machine.WordBytes)
+		nl, _ := p.RecvInt64Pair(partner, tagDimCount+round)
 		navg := (ni + nl + 1) / 2
 		switch {
 		case ni > navg:
 			// Copy the surplus out: a later round may append into this
 			// slice's backing array, which must not alias the block the
-			// partner received.
+			// partner received. The staging block is per-round scratch;
+			// it is free for reuse once the collectives separating two
+			// balancing rounds have synchronized every processor.
 			give := ni - navg
-			blk := make([]K, give)
+			blk := scr.dimBuf(round, int(give))
 			copy(blk, local[navg:ni])
 			p.Send(partner, tagDimData+round, blk, int(give)*elemBytes)
 			local = local[:navg]

@@ -269,17 +269,17 @@ func TestUnknownMethodPanics(t *testing.T) {
 }
 
 func TestTargets(t *testing.T) {
-	got := targets(10, 4)
+	got := targets(new([]int64), 10, 4)
 	want := []int64{3, 3, 2, 2}
 	if !slices.Equal(got, want) {
 		t.Errorf("targets(10,4) = %v, want %v", got, want)
 	}
-	got = targets(8, 4)
+	got = targets(new([]int64), 8, 4)
 	want = []int64{2, 2, 2, 2}
 	if !slices.Equal(got, want) {
 		t.Errorf("targets(8,4) = %v, want %v", got, want)
 	}
-	got = targets(2, 4)
+	got = targets(new([]int64), 2, 4)
 	want = []int64{1, 1, 0, 0}
 	if !slices.Equal(got, want) {
 		t.Errorf("targets(2,4) = %v, want %v", got, want)

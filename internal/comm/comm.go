@@ -125,12 +125,6 @@ func Combine[T any](p *machine.Proc, val T, bytes int, op func(T, T) T) T {
 	return Broadcast(p, 0, res, bytes)
 }
 
-// CombineInt64 is Combine specialised to int64 sums, the most common use
-// in the selection algorithms (counting elements below a pivot).
-func CombineInt64(p *machine.Proc, val int64) int64 {
-	return Combine(p, val, machine.WordBytes, func(a, b int64) int64 { return a + b })
-}
-
 // Prefix computes the inclusive parallel prefix of val under the
 // associative op: processor i returns op(x0, x1, ..., xi). Implemented as a
 // dissemination (Hillis–Steele) scan in ceil(log2 p) rounds for any p.
@@ -148,11 +142,6 @@ func Prefix[T any](p *machine.Proc, val T, bytes int, op func(T, T) T) T {
 		}
 	}
 	return acc
-}
-
-// PrefixSumInt64 returns the inclusive prefix sum of val across processors.
-func PrefixSumInt64(p *machine.Proc, val int64) int64 {
-	return Prefix(p, val, machine.WordBytes, func(a, b int64) int64 { return a + b })
 }
 
 // gatherBlock is a contiguous run of per-processor slices in relative-rank
@@ -231,6 +220,55 @@ func GatherFlat[T any](p *machine.Proc, root int, vals []T, elemBytes int) []T {
 	return out
 }
 
+// flatRun is a contiguous run of relative-rank blocks already flattened
+// into one slice, the payload of the allocation-light gather tree.
+type flatRun[T any] struct {
+	data []T
+}
+
+// GatherFlatInto is GatherFlat with caller-provided storage: every
+// processor passes its own reusable buffer (dst may be nil), interior tree
+// nodes flatten their subtree into it, and the root's buffer carries the
+// final concatenation. It returns the gathered slice (nil on non-roots)
+// and the possibly grown buffer, which the caller should retain for the
+// next call. Tree shape, tags and byte counts are identical to GatherFlat;
+// only host-side allocation differs. Requires root 0 (all hot callers
+// gather on processor 0); other roots fall back to GatherFlat.
+func GatherFlatInto[T any](p *machine.Proc, root int, vals []T, elemBytes int, dst []T) (out, buf []T) {
+	size := p.Procs()
+	if root != 0 {
+		// The flat representation loses per-processor boundaries, which
+		// the rank rotation of a non-zero root would need.
+		flat := GatherFlat(p, root, vals, elemBytes)
+		if flat == nil {
+			return nil, dst
+		}
+		buf = append(dst[:0], flat...)
+		return buf, buf
+	}
+	if size == 1 {
+		buf = append(dst[:0], vals...)
+		return buf, buf
+	}
+	rel := p.ID()
+	buf = append(dst[:0], vals...)
+	bufBytes := len(vals) * elemBytes
+	for mask := 1; mask < size; mask <<= 1 {
+		if rel&mask == 0 {
+			srcRel := rel + mask
+			if srcRel < size {
+				in := p.Recv(srcRel, tagGather+mask).(flatRun[T])
+				buf = append(buf, in.data...)
+				bufBytes += len(in.data) * elemBytes
+			}
+		} else {
+			p.Send(rel-mask, tagGather+mask, flatRun[T]{buf}, bufBytes)
+			return nil, buf
+		}
+	}
+	return buf, buf
+}
+
 // GlobalConcatv is the paper's Global Concatenate for variable-length
 // slices: every processor receives all p slices, indexed by absolute rank.
 // Implemented with the Bruck all-gather: ceil(log2 p) rounds, total data
@@ -292,10 +330,10 @@ func Transport[T any](p *machine.Proc, out [][]T, elemBytes int) [][]T {
 	for j, block := range out {
 		myCounts[j] = int64(len(block))
 	}
-	all := GlobalConcatv(p, myCounts, machine.WordBytes)
-	inCounts := make([]int64, size)
+	all, _ := GlobalConcatInt64Flat(p, myCounts, nil)
+	inCounts := myCounts
 	for src := 0; src < size; src++ {
-		inCounts[src] = all[src][p.ID()]
+		inCounts[src] = all[src*size+p.ID()]
 	}
 	return TransportKnown(p, out, inCounts, elemBytes)
 }
@@ -306,12 +344,24 @@ func Transport[T any](p *machine.Proc, out [][]T, elemBytes int) [][]T {
 // (step k exchanges with ranks me±k) to avoid hot spots, giving the
 // ~2*mu*t behaviour the paper cites for bounded in/out traffic t.
 func TransportKnown[T any](p *machine.Proc, out [][]T, inCounts []int64, elemBytes int) [][]T {
+	return TransportKnownInto(p, out, inCounts, elemBytes, nil)
+}
+
+// TransportKnownInto is TransportKnown with a caller-provided result
+// buffer for the p incoming block headers (grown as needed).
+func TransportKnownInto[T any](p *machine.Proc, out [][]T, inCounts []int64, elemBytes int, in [][]T) [][]T {
 	size := p.Procs()
 	me := p.ID()
 	if len(out) != size || len(inCounts) != size {
 		panic("comm: TransportKnown requires p outgoing blocks and p incoming counts")
 	}
-	in := make([][]T, size)
+	if cap(in) < size {
+		in = make([][]T, size)
+	}
+	in = in[:size]
+	for i := range in {
+		in[i] = nil
+	}
 	if len(out[me]) > 0 {
 		in[me] = out[me]
 	}

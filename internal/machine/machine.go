@@ -23,6 +23,7 @@ package machine
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sync"
 )
 
@@ -108,105 +109,209 @@ func (pr Params) hopCost(src, dst int) float64 {
 	return perHop * float64(h-1)
 }
 
-// message is a point-to-point payload with simulated arrival time.
+// message is a point-to-point payload with simulated arrival time. Small
+// integer payloads travel in the inline i64 array and int64 slices in the
+// typed i64s field, so the hot collectives (counts, prefix sums, tallies)
+// never box values into the payload interface.
 type message struct {
 	tag     int
 	payload any
+	i64     [2]int64
+	i64s    []int64
 	bytes   int
 	arrive  float64 // simulated time at which the message is available
 }
 
-// Machine owns the channel fabric connecting the simulated processors.
+// job is one processor's share of an SPMD run, handed to a parked worker.
+type job struct {
+	proc *Proc
+	body func(*Proc)
+	done chan<- int
+}
+
+// run executes the job body, trapping panics on the proc.
+func (j job) run() {
+	defer func() {
+		j.proc.panicVal = recover()
+		j.done <- j.proc.id
+	}()
+	j.body(j.proc)
+}
+
+// pool is the set of parked worker goroutines serving a machine. It is a
+// separate allocation holding no reference back to the Machine, so a
+// runtime cleanup can shut the workers down once the machine itself
+// becomes unreachable (callers that forget Close do not leak goroutines).
+type pool struct {
+	jobs []chan job
+	once sync.Once
+}
+
+// shutdown closes the work channels, releasing the parked workers.
+func (pl *pool) shutdown() {
+	pl.once.Do(func() {
+		for _, c := range pl.jobs {
+			close(c)
+		}
+	})
+}
+
+// worker serves one processor slot: it parks on the job channel and runs
+// each submitted body to completion. It deliberately drops the job value
+// after each run so an idle pool holds no reference to the machine.
+func worker(jobs <-chan job) {
+	for {
+		j, ok := <-jobs
+		if !ok {
+			return
+		}
+		j.run()
+		j = job{}
+		_ = j
+	}
+}
+
+// Machine owns the channel fabric connecting the simulated processors and
+// a pool of parked goroutines, one per processor. Constructing a Machine
+// once and calling Run repeatedly amortizes the fabric allocation, the
+// goroutine spawns, and (through Proc.Scratch) all per-processor scratch
+// memory across calls.
 type Machine struct {
 	params Params
 	// links[src*p+dst] carries messages from src to dst in FIFO order,
 	// which models the virtual crossbar: one dedicated, uncongested
 	// channel per ordered processor pair.
 	links []chan message
+	procs []*Proc
+	pl    *pool
+	done  chan int
+	// dirty is set when a run ended in a panic and residual messages may
+	// be parked in the links; the next run drains them first.
+	dirty  bool
+	closed bool
 }
 
-// New allocates the channel fabric for a machine with the given parameters.
+// New allocates the channel fabric for a machine with the given parameters
+// and parks one worker goroutine per processor. Call Close when done with
+// the machine; a runtime cleanup releases the workers of machines that are
+// dropped without Close.
 func New(params Params) (*Machine, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
 	p := params.Procs
-	m := &Machine{params: params, links: make([]chan message, p*p)}
+	m := &Machine{
+		params: params,
+		links:  make([]chan message, p*p),
+		procs:  make([]*Proc, p),
+		pl:     &pool{jobs: make([]chan job, p)},
+		done:   make(chan int, p),
+	}
 	for i := range m.links {
 		// Generous buffering keeps senders non-blocking in the common
 		// case; simulated time, not channel backpressure, is the model.
 		m.links[i] = make(chan message, 64)
 	}
+	seed := params.Seed
+	for id := 0; id < p; id++ {
+		m.procs[id] = &Proc{
+			m:         m,
+			id:        id,
+			p:         p,
+			sharedSrc: rand.NewPCG(seed, sharedStream),
+			localSrc:  rand.NewPCG(seed, uint64(id)+1),
+		}
+		// Shared stream: identical on every processor (same seed), used
+		// where the paper requires all processors to draw the same
+		// random number (Alg. 3 step 2). Local stream: unique per
+		// processor, used for local sampling (Alg. 4 step 1).
+		m.procs[id].Shared = rand.New(m.procs[id].sharedSrc)
+		m.procs[id].Local = rand.New(m.procs[id].localSrc)
+		m.pl.jobs[id] = make(chan job, 1)
+		go worker(m.pl.jobs[id])
+	}
+	runtime.AddCleanup(m, func(pl *pool) { pl.shutdown() }, m.pl)
 	return m, nil
 }
+
+// sharedStream is the PCG stream selector of the machine-wide shared RNG.
+const sharedStream = 0x9e3779b97f4a7c15
 
 // Params returns the machine's parameters.
 func (m *Machine) Params() Params { return m.params }
 
-// Run executes body as an SPMD program: one goroutine per processor, each
-// receiving its own *Proc. Run returns once every processor has finished.
-// It returns the maximum simulated completion time across processors, which
-// corresponds to the parallel running time the paper reports.
+// Close releases the machine's parked worker goroutines. The machine must
+// not be used after Close. Closing is optional — unreachable machines are
+// cleaned up by the runtime — but deterministic release is cheaper.
+func (m *Machine) Close() {
+	m.closed = true
+	m.pl.shutdown()
+}
+
+// Run executes body as an SPMD program: one simulated processor per
+// goroutine, each receiving its own *Proc. Run returns once every
+// processor has finished. It returns the maximum simulated completion time
+// across processors, which corresponds to the parallel running time the
+// paper reports.
 func Run(params Params, body func(*Proc)) (simSeconds float64, err error) {
 	m, err := New(params)
 	if err != nil {
 		return 0, err
 	}
+	defer m.Close()
 	return m.Run(body)
 }
 
 // Run executes body on each simulated processor of m and returns the
 // maximum simulated completion time. A machine may be reused for multiple
-// consecutive runs, but not concurrently.
+// consecutive runs, but not concurrently. Each run starts from a pristine
+// simulated state: clocks at zero, counters cleared, and random streams
+// re-seeded, so repeated runs are bit-identical to one-shot runs.
 func (m *Machine) Run(body func(*Proc)) (simSeconds float64, err error) {
-	p := m.params.Procs
-	times := make([]float64, p)
-	panics := make([]any, p)
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for id := 0; id < p; id++ {
-		proc := m.newProc(id)
-		go func(proc *Proc) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics[proc.id] = r
-				}
-				times[proc.id] = proc.now
-			}()
-			body(proc)
-		}(proc)
+	if m.closed {
+		return 0, fmt.Errorf("machine: Run on closed machine")
 	}
-	wg.Wait()
-	for id, r := range panics {
-		if r != nil {
-			return 0, fmt.Errorf("machine: processor %d panicked: %v", id, r)
+	if m.dirty {
+		m.drainLinks()
+		m.dirty = false
+	}
+	p := m.params.Procs
+	for _, proc := range m.procs {
+		proc.reset(m.params.Seed)
+	}
+	for id := 0; id < p; id++ {
+		m.pl.jobs[id] <- job{proc: m.procs[id], body: body, done: m.done}
+	}
+	for i := 0; i < p; i++ {
+		<-m.done
+	}
+	for _, proc := range m.procs {
+		if proc.panicVal != nil {
+			m.dirty = true
+			return 0, fmt.Errorf("machine: processor %d panicked: %v", proc.id, proc.panicVal)
 		}
 	}
 	var max float64
-	for _, t := range times {
-		if t > max {
-			max = t
+	for _, proc := range m.procs {
+		if proc.now > max {
+			max = proc.now
 		}
 	}
 	return max, nil
 }
 
-// newProc builds the per-processor handle, including its random streams.
-func (m *Machine) newProc(id int) *Proc {
-	seed := m.params.Seed
-	return &Proc{
-		m:   m,
-		id:  id,
-		p:   m.params.Procs,
-		now: 0,
-		// Shared stream: identical on every processor (same seed), used
-		// where the paper requires all processors to draw the same
-		// random number (Alg. 3 step 2).
-		Shared: rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
-		// Local stream: unique per processor, used for local sampling
-		// (Alg. 4 step 1).
-		Local: rand.New(rand.NewPCG(seed, uint64(id)+1)),
+// drainLinks discards messages left in the fabric by a failed run.
+func (m *Machine) drainLinks() {
+	for _, link := range m.links {
+		for {
+			select {
+			case <-link:
+			default:
+			}
+			if len(link) == 0 {
+				break
+			}
+		}
 	}
 }
 
@@ -227,6 +332,30 @@ type Proc struct {
 
 	// Counters accumulates message/byte/op statistics for reporting.
 	Counters Counters
+
+	// Scratch is an arbitrary per-processor scratch slot that survives
+	// across runs of a reused machine. Higher layers park reusable
+	// buffers (arenas) here so repeated runs allocate nothing; the
+	// machine itself never touches it beyond keeping it alive.
+	Scratch any
+
+	// sharedSrc and localSrc are the retained RNG sources, re-seeded on
+	// every run so reused machines replay the exact random streams of a
+	// fresh one.
+	sharedSrc *rand.PCG
+	localSrc  *rand.PCG
+
+	panicVal any // recovered panic of the last run, if any
+}
+
+// reset returns the processor to its pristine pre-run state. Scratch is
+// deliberately preserved: it holds cross-run arenas.
+func (p *Proc) reset(seed uint64) {
+	p.now = 0
+	p.Counters = Counters{}
+	p.panicVal = nil
+	p.sharedSrc.Seed(seed, sharedStream)
+	p.localSrc.Seed(seed, uint64(p.id)+1)
 }
 
 // Counters records communication and computation volume on one processor.
@@ -284,33 +413,28 @@ func (p *Proc) ChargeSeconds(s float64) {
 	p.now += s
 }
 
-// Send transmits payload (bytes long on the wire) to processor dst with the
-// given tag. Per the two-level model the sender pays tau + mu*bytes; the
-// message becomes available to dst at the sender's post-send clock.
-// Sending to self is allowed and costs nothing (local move is charged by
-// the caller as computation, as the paper's analysis does).
-func (p *Proc) Send(dst, tag int, payload any, bytes int) {
+// post prices an outgoing message (tau + mu*bytes for remote sends,
+// nothing for self-sends), stamps its arrival time, and enqueues it.
+func (p *Proc) post(dst int, msg message) {
 	if dst < 0 || dst >= p.p {
 		panic(fmt.Sprintf("machine: Send to invalid processor %d of %d", dst, p.p))
 	}
-	if bytes < 0 {
-		panic(fmt.Sprintf("machine: Send with negative byte count %d", bytes))
+	if msg.bytes < 0 {
+		panic(fmt.Sprintf("machine: Send with negative byte count %d", msg.bytes))
 	}
-	if dst == p.id {
-		p.m.links[p.id*p.p+dst] <- message{tag: tag, payload: payload, bytes: bytes, arrive: p.now}
-		return
+	if dst != p.id {
+		pr := p.m.params
+		p.now += pr.TauSec + pr.hopCost(p.id, dst) + pr.MuSecPerByte*float64(msg.bytes)
+		p.Counters.MsgsSent++
+		p.Counters.BytesSent += int64(msg.bytes)
 	}
-	pr := p.m.params
-	p.now += pr.TauSec + pr.hopCost(p.id, dst) + pr.MuSecPerByte*float64(bytes)
-	p.Counters.MsgsSent++
-	p.Counters.BytesSent += int64(bytes)
-	p.m.links[p.id*p.p+dst] <- message{tag: tag, payload: payload, bytes: bytes, arrive: p.now}
+	msg.arrive = p.now
+	p.m.links[p.id*p.p+dst] <- msg
 }
 
-// Recv blocks until the next message from src arrives, checks its tag, and
-// returns the payload. The receiver's clock advances to the message arrival
-// time plus the mu*bytes cost of draining it off the node interface.
-func (p *Proc) Recv(src, tag int) any {
+// take dequeues the next message from src, checks its tag, and advances
+// the receiver's clock to the arrival time plus the mu*bytes drain cost.
+func (p *Proc) take(src, tag int) message {
 	if src < 0 || src >= p.p {
 		panic(fmt.Sprintf("machine: Recv from invalid processor %d of %d", src, p.p))
 	}
@@ -325,5 +449,48 @@ func (p *Proc) Recv(src, tag int) any {
 		p.Counters.MsgsReceived++
 		p.Counters.BytesReceived += int64(msg.bytes)
 	}
-	return msg.payload
+	return msg
+}
+
+// Send transmits payload (bytes long on the wire) to processor dst with the
+// given tag. Per the two-level model the sender pays tau + mu*bytes; the
+// message becomes available to dst at the sender's post-send clock.
+// Sending to self is allowed and costs nothing (local move is charged by
+// the caller as computation, as the paper's analysis does).
+func (p *Proc) Send(dst, tag int, payload any, bytes int) {
+	p.post(dst, message{tag: tag, payload: payload, bytes: bytes})
+}
+
+// Recv blocks until the next message from src arrives, checks its tag, and
+// returns the payload. The receiver's clock advances to the message arrival
+// time plus the mu*bytes cost of draining it off the node interface.
+func (p *Proc) Recv(src, tag int) any {
+	return p.take(src, tag).payload
+}
+
+// SendInt64Pair transmits up to two int64 values without boxing them into
+// an interface: the values ride inline in the message struct, so the send
+// allocates nothing on the host. Pricing and counters are identical to
+// Send with the same bytes.
+func (p *Proc) SendInt64Pair(dst, tag int, a, b int64, bytes int) {
+	p.post(dst, message{tag: tag, i64: [2]int64{a, b}, bytes: bytes})
+}
+
+// RecvInt64Pair receives a message sent with SendInt64Pair.
+func (p *Proc) RecvInt64Pair(src, tag int) (int64, int64) {
+	msg := p.take(src, tag)
+	return msg.i64[0], msg.i64[1]
+}
+
+// SendInt64Slice transmits an int64 slice through the typed slice field of
+// the message, avoiding the interface boxing of Send. The receiver sees
+// the sender's backing array (as with Send of a slice); the usual SPMD
+// synchronization rules make that safe.
+func (p *Proc) SendInt64Slice(dst, tag int, v []int64, bytes int) {
+	p.post(dst, message{tag: tag, i64s: v, bytes: bytes})
+}
+
+// RecvInt64Slice receives a message sent with SendInt64Slice.
+func (p *Proc) RecvInt64Slice(src, tag int) []int64 {
+	return p.take(src, tag).i64s
 }

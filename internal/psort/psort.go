@@ -36,6 +36,31 @@ func Sort[K cmp.Ordered](p *machine.Proc, local []K, elemBytes int) []K {
 // output balance for a cheaper splitter phase; correctness (global order,
 // multiset preservation) never depends on c.
 func SortOversampled[K cmp.Ordered](p *machine.Proc, local []K, elemBytes, c int) []K {
+	return SortOversampledScratch(p, local, elemBytes, c, nil)
+}
+
+// Scratch holds one processor's reusable sample-sort buffers. A zero
+// Scratch is ready; buffers grow on demand. The merged output of a
+// scratch-backed sort aliases the scratch and is valid only until the
+// next sort that reuses it.
+type Scratch[K cmp.Ordered] struct {
+	samples   []K
+	gather    []K
+	splitters []K
+	out       [][]K
+	in        [][]K
+	counts    []int64
+	cbuf      []int64
+	merged    []K
+}
+
+// SortOversampledScratch is SortOversampled drawing every buffer from scr
+// (nil behaves like SortOversampled). Simulated cost and traffic are
+// identical; only host-side allocation differs.
+func SortOversampledScratch[K cmp.Ordered](p *machine.Proc, local []K, elemBytes, c int, scr *Scratch[K]) []K {
+	if scr == nil {
+		scr = &Scratch[K]{}
+	}
 	size := p.Procs()
 	p.Charge(seq.Sort(local))
 	if size == 1 {
@@ -48,26 +73,27 @@ func SortOversampled[K cmp.Ordered](p *machine.Proc, local []K, elemBytes, c int
 	// Regular sampling: up to c evenly-strided samples per processor
 	// (fewer when the processor holds fewer keys — duplicated samples
 	// would only inflate the root gather).
-	var samples []K
+	samples := scr.samples[:0]
 	if len(local) > 0 {
 		cnt := c
 		if len(local) < cnt {
 			cnt = len(local)
 		}
-		samples = make([]K, 0, cnt)
 		for i := 0; i < cnt; i++ {
 			idx := i * len(local) / cnt
 			samples = append(samples, local[idx])
 		}
 		p.Charge(int64(cnt))
 	}
-	all := comm.GatherFlat(p, 0, samples, elemBytes)
+	scr.samples = samples
+	all, gbuf := comm.GatherFlatInto(p, 0, samples, elemBytes, scr.gather)
+	scr.gather = gbuf
 
 	// Root: sort samples, choose p-1 regular splitters.
 	var splitters []K
 	if p.ID() == 0 {
 		p.Charge(seq.Sort(all))
-		splitters = make([]K, 0, size-1)
+		splitters = scr.splitters[:0]
 		for i := 1; i < size; i++ {
 			if len(all) == 0 {
 				break
@@ -78,13 +104,20 @@ func SortOversampled[K cmp.Ordered](p *machine.Proc, local []K, elemBytes, c int
 			}
 			splitters = append(splitters, all[idx])
 		}
+		scr.splitters = splitters
 	}
 	splitters = comm.BroadcastSlice(p, 0, splitters, elemBytes)
 
 	// Split the sorted local run along the splitters. Splitter j is the
 	// upper bound of destination j's range, so destination j receives
 	// keys in (splitters[j-1], splitters[j]].
-	out := make([][]K, size)
+	if cap(scr.out) < size {
+		scr.out = make([][]K, size)
+	}
+	out := scr.out[:size]
+	for i := range out {
+		out[i] = nil
+	}
 	start := 0
 	for j, s := range splitters {
 		end, ops := seq.UpperBound(local[start:], s)
@@ -104,8 +137,26 @@ func SortOversampled[K cmp.Ordered](p *machine.Proc, local []K, elemBytes, c int
 		}
 	}
 
-	in := comm.Transport(p, out, elemBytes)
-	merged, ops := seq.MergeK(in)
+	// The transportation primitive, with its counts exchange drawn from
+	// scratch (identical wire behaviour to comm.Transport).
+	counts := scr.counts
+	if cap(counts) < size {
+		counts = make([]int64, size)
+	}
+	counts = counts[:size]
+	for j, block := range out {
+		counts[j] = int64(len(block))
+	}
+	allCounts, cbuf := comm.GlobalConcatInt64Flat(p, counts, scr.cbuf)
+	scr.cbuf = cbuf
+	for src := 0; src < size; src++ {
+		counts[src] = allCounts[src*size+p.ID()]
+	}
+	scr.counts = counts
+	in := comm.TransportKnownInto(p, out, counts, elemBytes, scr.in)
+	scr.in = in
+	merged, ops := seq.MergeKInto(scr.merged, in)
+	scr.merged = merged
 	p.Charge(ops)
 	return merged
 }
@@ -117,7 +168,7 @@ func SortOversampled[K cmp.Ordered](p *machine.Proc, local []K, elemBytes, c int
 func RankElement[K cmp.Ordered](p *machine.Proc, run []K, r int64, elemBytes int) K {
 	prefix := comm.PrefixSumInt64(p, int64(len(run)))
 	myStart := prefix - int64(len(run))
-	total := comm.Broadcast(p, p.Procs()-1, prefix, machine.WordBytes)
+	total := comm.BroadcastInt64(p, p.Procs()-1, prefix, machine.WordBytes)
 	if r < 0 || r >= total {
 		panic("psort: RankElement rank out of range")
 	}
@@ -134,12 +185,6 @@ func RankElement[K cmp.Ordered](p *machine.Proc, run []K, r int64, elemBytes int
 	if mine {
 		cand = int64(p.ID())
 	}
-	ownerID := comm.Combine(p, cand, machine.WordBytes, func(a, b int64) int64 {
-		if a > b {
-			return a
-		}
-		return b
-	})
-	owner = int(ownerID)
+	owner = int(comm.CombineMaxInt64(p, cand, machine.WordBytes))
 	return comm.Broadcast(p, owner, val, elemBytes)
 }

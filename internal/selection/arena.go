@@ -1,0 +1,52 @@
+package selection
+
+import (
+	"cmp"
+
+	"parsel/internal/balance"
+	"parsel/internal/machine"
+	"parsel/internal/psort"
+)
+
+// Arena holds one simulated processor's reusable scratch memory: the
+// copy-in buffer for borrowed caller shards, the per-iteration sample and
+// pivot buffers, the gather-tree staging buffer, and the nested balance
+// and sample-sort scratches. It is parked in machine.Proc.Scratch, so a
+// long-lived machine serves repeated selections without per-call
+// allocation. Buffers grow on demand and are never shrunk.
+//
+// Reuse safety: every buffer is written by exactly one processor and is
+// re-filled only after a full collective (Combine, gather + broadcast) has
+// synchronized all processors, which is when any cross-processor aliases
+// created by the zero-copy message layer are guaranteed drained.
+type Arena[K cmp.Ordered] struct {
+	local   []K    // copy-in buffer for borrowed caller shards
+	sample  []K    // fast randomized per-iteration sample
+	gather  []K    // gather-tree staging / root gather target
+	kbuf    []K    // tiny pivot and window-key slices (1–2 elements)
+	win     [3][]K // rotating targets for the out-of-place filter kernels
+	wts     []int64
+	wgather []int64
+	bal     balance.Scratch[K]
+	sort    psort.Scratch[K]
+}
+
+// arenaOf returns the processor's arena, creating and parking it in
+// Proc.Scratch on first use. One machine always serves one key type
+// through the public API, so the type assertion never churns.
+func arenaOf[K cmp.Ordered](p *machine.Proc) *Arena[K] {
+	if a, ok := p.Scratch.(*Arena[K]); ok {
+		return a
+	}
+	a := &Arena[K]{}
+	p.Scratch = a
+	return a
+}
+
+// copyIn copies borrowed caller data into the arena so the algorithms can
+// permute and migrate it freely. The copy is host work only — the
+// simulated model never charged for the entry copy and still does not.
+func (a *Arena[K]) copyIn(data []K) []K {
+	a.local = append(a.local[:0], data...)
+	return a.local
+}

@@ -17,6 +17,7 @@ import (
 // medians, each weighted by its processor's surviving element count,
 // which preserves the guaranteed-fraction discard.
 func selectBucket[K cmp.Ordered](p *machine.Proc, local []K, rank, n int64, opts Options, st *Stats, sel selector[K]) K {
+	ar := arenaOf[K](p)
 	// Step 0: bucket preprocessing.
 	tab, ops := bucket.Build(local, bucket.NumBuckets(p.Procs()), bucket.Selector[K](sel))
 	p.Charge(ops)
@@ -37,19 +38,24 @@ func selectBucket[K cmp.Ordered](p *machine.Proc, local []K, rank, n int64, opts
 		if ni > 0 {
 			m, o := tab.Select(seq.MedianIndex(ni))
 			p.Charge(o)
-			meds = []K{m}
-			wts = []int64{int64(ni)}
+			meds = append(ar.kbuf[:0], m)
+			ar.kbuf = meds
+			wts = append(ar.wts[:0], int64(ni))
+			ar.wts = wts
 		}
 
 		// Steps 2–3: gather (median, weight) pairs on P0, compute the
 		// weighted median of medians, broadcast it.
-		ms := comm.GatherFlat(p, 0, meds, opts.ElemBytes)
-		qs := comm.GatherFlat(p, 0, wts, machine.WordBytes)
+		ms, gbuf := comm.GatherFlatInto(p, 0, meds, opts.ElemBytes, ar.gather)
+		ar.gather = gbuf
+		qs, wbuf := comm.GatherFlatInto(p, 0, wts, machine.WordBytes, ar.wgather)
+		ar.wgather = wbuf
 		var pivS []K
 		if p.ID() == 0 {
 			wm, o := seq.WeightedMedian(ms, qs)
 			p.Charge(o)
-			pivS = []K{wm}
+			pivS = append(ar.kbuf[:0], wm)
+			ar.kbuf = pivS
 		}
 		piv := comm.BroadcastSlice(p, 0, pivS, opts.ElemBytes)[0]
 
@@ -74,5 +80,6 @@ func selectBucket[K cmp.Ordered](p *machine.Proc, local []K, rank, n int64, opts
 		st.record(p, opts, n, rank, tab.Remaining())
 	}
 	// Steps 7–8: gather the survivors and solve sequentially.
-	return finalSolve(p, tab.Collect(nil), rank, opts, st, sel)
+	ar.sample = tab.Collect(ar.sample[:0])
+	return finalSolve(p, ar.sample, rank, opts, st, sel)
 }

@@ -50,7 +50,11 @@ func windowRanks(rank, S, n int64, opts Options) (r1, r2 int64) {
 // massive duplication), one single-pivot randomized step runs instead —
 // a documented termination safeguard.
 func selectFastRandomized[K cmp.Ordered](p *machine.Proc, local []K, rank, n int64, opts Options, st *Stats, sel selector[K]) K {
+	ar := arenaOf[K](p)
 	thr := threshold(p)
+	// curWin tracks which arena window buffer currently backs local, so
+	// each iteration's out-of-place filter targets the other one.
+	curWin := -1
 	for n > thr {
 		if st.Iterations >= opts.MaxIterations {
 			st.CapHit = true
@@ -71,7 +75,8 @@ func selectFastRandomized[K cmp.Ordered](p *machine.Proc, local []K, rank, n int
 			// across all non-empty processors.
 			si = int((ni*sTarget + n - 1) / n)
 		}
-		sample, ops := seq.SampleWithReplacement(local, si, p.Local)
+		sample, ops := seq.SampleAppend(ar.sample, local, si, p.Local)
+		ar.sample = sample
 		p.Charge(ops)
 
 		// Steps 2–4: order the sample and extract the two window keys
@@ -84,14 +89,16 @@ func selectFastRandomized[K cmp.Ordered](p *machine.Proc, local []K, rank, n int
 		// pays ~10 collectives per iteration and dominates at high p.
 		var k1, k2 K
 		if !opts.Faithful && sTarget <= int64(4*p.Procs()*p.Procs()) {
-			all := comm.GatherFlat(p, 0, sample, opts.ElemBytes)
+			all, gbuf := comm.GatherFlatInto(p, 0, sample, opts.ElemBytes, ar.gather)
+			ar.gather = gbuf
 			var pair []K
 			if p.ID() == 0 {
 				r1, r2 := windowRanks(rank, int64(len(all)), n, opts)
 				v1, o1 := seq.Quickselect(all, int(r1-1), p.Local)
 				v2, o2 := seq.Quickselect(all, int(r2-1), p.Local)
 				p.Charge(o1 + o2)
-				pair = []K{v1, v2}
+				pair = append(ar.kbuf[:0], v1, v2)
+				ar.kbuf = pair
 			}
 			pair = comm.BroadcastSlice(p, 0, pair, opts.ElemBytes)
 			k1, k2 = pair[0], pair[1]
@@ -99,15 +106,29 @@ func selectFastRandomized[K cmp.Ordered](p *machine.Proc, local []K, rank, n int
 			// Oversampling factor 8: classic PSRS's p samples per
 			// processor would make the root sort p^2 keys, which
 			// dwarfs the o(n) sample itself at high p.
-			run := psort.SortOversampled(p, sample, opts.ElemBytes, 8)
+			run := psort.SortOversampledScratch(p, sample, opts.ElemBytes, 8, &ar.sort)
 			S := comm.CombineInt64(p, int64(len(run)))
 			r1, r2 := windowRanks(rank, S, n, opts)
 			k1 = psort.RankElement(p, run, r1-1, opts.ElemBytes)
 			k2 = psort.RankElement(p, run, r2-1, opts.ElemBytes)
 		}
 
-		// Step 5: three-way partition against the window [k1, k2].
-		nLess, nMid, ops2 := seq.PartitionRange(local, k1, k2)
+		// Step 5: one fused scan tallies the window regions and
+		// speculatively materializes the in-window survivors out of
+		// place — window hits are the overwhelmingly common outcome by
+		// construction of the slack, and the originals stay intact in
+		// local for the rare miss. The scan charges exactly what the
+		// three-way partition pair would; survivors keep their stable
+		// input order rather than the partition's scramble, which makes
+		// the positional sampling of later iterations draw a different
+		// (equally deterministic) trajectory than the scrambling
+		// implementation did.
+		tgt := 0
+		if curWin == 0 {
+			tgt = 1
+		}
+		midBuf, nLess, nMid, ops2 := seq.FilterWindowCount(ar.win[tgt], local, k1, k2)
+		ar.win[tgt] = midBuf[:cap(midBuf)]
 		p.Charge(ops2)
 
 		// Steps 6–8: tallies and the discard decision (c.eq holds the
@@ -125,18 +146,24 @@ func selectFastRandomized[K cmp.Ordered](p *machine.Proc, local []K, rank, n int
 				st.PivotExit = true
 				return k1
 			}
-			local = local[nLess : nLess+nMid]
+			local = midBuf
+			curWin = tgt
 			rank -= c.less
 			newN = c.eq
 		case rank <= c.less:
-			// Both window keys rank above the target: keep the < side.
+			// Both window keys rank above the target: keep the < side
+			// (refiltered from the untouched input).
 			st.Unsuccessful++
-			local = local[:nLess]
+			local = seq.FilterLessInto(ar.win[tgt], local, k1)
+			ar.win[tgt] = local[:cap(local)]
+			curWin = tgt
 			newN = c.less
 		default:
 			// Both window keys rank below the target: keep the > side.
 			st.Unsuccessful++
-			local = local[nLess+nMid:]
+			local = seq.FilterGreaterInto(ar.win[tgt], local, k2)
+			ar.win[tgt] = local[:cap(local)]
+			curWin = tgt
 			rank -= c.less + c.eq
 			newN = n - c.less - c.eq
 		}
@@ -157,8 +184,14 @@ func selectFastRandomized[K cmp.Ordered](p *machine.Proc, local []K, rank, n int
 		n = newN
 
 		// Load balancing between iterations (the paper's best variant
-		// for sorted data uses modified OMLB here).
+		// for sorted data uses modified OMLB here). When the balancer
+		// hands back different storage, the window buffer it replaced
+		// becomes a free filter target again.
+		prev := local
 		local = runBalance(p, local, opts, st)
+		if len(local) == 0 || len(prev) == 0 || &local[0] != &prev[0] {
+			curWin = -1
+		}
 		st.record(p, opts, n, rank, len(local))
 	}
 	// Steps 9–10: gather the survivors and solve sequentially.

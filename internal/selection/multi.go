@@ -40,6 +40,9 @@ func SelectMany[K cmp.Ordered](p *machine.Proc, local []K, ranks []int64, opts O
 	if len(ranks) == 0 {
 		return results, *st
 	}
+	if opts.BorrowedInput {
+		local = arenaOf[K](p).copyIn(local)
+	}
 
 	// Sort the rank set once, remembering result positions.
 	order := make([]int, len(ranks))

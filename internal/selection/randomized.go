@@ -31,7 +31,11 @@ func randomizedStep[K cmp.Ordered](p *machine.Proc, local []K, rank, n int64, op
 	}
 	piv := combineOwned(p, mine, opts.ElemBytes)
 
-	// Step 4: partition.
+	// Step 4: partition. This stays a true three-way partition rather
+	// than the count-then-compact of the other algorithms: the next
+	// pivot is drawn by global *position*, so the survivors' order
+	// feeds back into the pivot sequence, and the partition's exact
+	// permutation is part of the reproducible trajectory.
 	lt, eq, ops := seq.Partition3(local, piv)
 	p.Charge(ops)
 

@@ -115,6 +115,11 @@ type Options struct {
 	RecordTrace bool
 	// ElemBytes is the wire size of one key. 0 means 8 (int64 keys).
 	ElemBytes int
+	// BorrowedInput marks local as caller-owned memory that must not be
+	// mutated: Select copies it into the processor's arena (host cost
+	// only — simulated metrics are unchanged) before partitioning.
+	// Callers that hand over ownership leave it false and save the copy.
+	BorrowedInput bool
 }
 
 // withDefaults fills in zero-valued tuning knobs.
@@ -209,6 +214,9 @@ func Select[K cmp.Ordered](p *machine.Proc, local []K, rank int64, opts Options)
 	if rank < 1 || rank > n {
 		panic(fmt.Sprintf("selection: rank %d out of range [1,%d]", rank, n))
 	}
+	if opts.BorrowedInput {
+		local = arenaOf[K](p).copyIn(local)
+	}
 
 	det := func(a []K, k int) (K, int64) { return seq.SelectBFPRT(a, k) }
 	rnd := func(a []K, k int) (K, int64) { return seq.Quickselect(a, k, p.Local) }
@@ -266,13 +274,16 @@ func threshold(p *machine.Proc) int64 {
 // finalSolve gathers the surviving elements on processor 0, selects the
 // rank-th smallest there, and broadcasts the answer.
 func finalSolve[K cmp.Ordered](p *machine.Proc, local []K, rank int64, opts Options, st *Stats, sel selector[K]) K {
-	all := comm.GatherFlat(p, 0, local, opts.ElemBytes)
+	ar := arenaOf[K](p)
+	all, gbuf := comm.GatherFlatInto(p, 0, local, opts.ElemBytes, ar.gather)
+	ar.gather = gbuf
 	var res []K
 	if p.ID() == 0 {
 		st.FinalGatherElems = int64(len(all))
 		v, ops := sel(all, int(rank-1))
 		p.Charge(ops)
-		res = []K{v}
+		res = append(ar.kbuf[:0], v)
+		ar.kbuf = res
 	}
 	return comm.BroadcastSlice(p, 0, res, opts.ElemBytes)[0]
 }
@@ -280,10 +291,12 @@ func finalSolve[K cmp.Ordered](p *machine.Proc, local []K, rank int64, opts Opti
 // counts carries the (less, equal) tallies through a Combine.
 type counts struct{ less, eq int64 }
 
-// combineCounts sums per-processor partition tallies across the machine.
+// combineCounts sums per-processor partition tallies across the machine
+// (an allocation-free all-reduce of the two tallies in one message per
+// tree edge, as the generic Combine of a counts struct was).
 func combineCounts(p *machine.Proc, less, eq int64) counts {
-	return comm.Combine(p, counts{less, eq}, 2*machine.WordBytes,
-		func(a, b counts) counts { return counts{a.less + b.less, a.eq + b.eq} })
+	l, e := comm.CombineSumInt64Pair(p, less, eq, 2*machine.WordBytes)
+	return counts{l, e}
 }
 
 // owned carries a possibly-present value through a Combine so that the
@@ -309,12 +322,12 @@ func combineOwned[K any](p *machine.Proc, mine owned[K], elemBytes int) K {
 
 // runBalance applies the configured balancer and accounts its simulated
 // time on this processor.
-func runBalance[K any](p *machine.Proc, local []K, opts Options, st *Stats) []K {
+func runBalance[K cmp.Ordered](p *machine.Proc, local []K, opts Options, st *Stats) []K {
 	if opts.Balancer == balance.None {
 		return local
 	}
 	t0 := p.Now()
-	local = balance.Run(p, local, opts.Balancer, opts.ElemBytes)
+	local = balance.RunScratch(p, local, opts.Balancer, opts.ElemBytes, &arenaOf[K](p).bal)
 	st.BalanceSeconds += p.Now() - t0
 	return local
 }

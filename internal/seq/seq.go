@@ -50,6 +50,10 @@ func IsSorted[K cmp.Ordered](a []K) bool {
 // Partition3 performs an in-place three-way (Dutch national flag)
 // partition of a around pivot. On return a[:lt] < pivot,
 // a[lt:lt+eq] == pivot, and a[lt+eq:] > pivot.
+//
+// The operation count is the model's established pricing — 2 per element
+// below or equal to the pivot, 3 per element above — computed from the
+// final region sizes so the hot scan carries no accounting arithmetic.
 func Partition3[K cmp.Ordered](a []K, pivot K) (lt, eq int, ops int64) {
 	lo, mid, hi := 0, 0, len(a)
 	for mid < hi {
@@ -58,16 +62,14 @@ func Partition3[K cmp.Ordered](a []K, pivot K) (lt, eq int, ops int64) {
 			a[lo], a[mid] = a[mid], a[lo]
 			lo++
 			mid++
-			ops += 2
 		case a[mid] > pivot:
 			hi--
 			a[mid], a[hi] = a[hi], a[mid]
-			ops += 3
 		default:
 			mid++
-			ops += 2
 		}
 	}
+	ops = int64(2*len(a) + (len(a) - mid))
 	return lo, mid - lo, ops
 }
 
@@ -86,15 +88,136 @@ func PartitionRange[K cmp.Ordered](a []K, lo, hi K) (nLess, nMid int, ops int64)
 	return lt, eq + lt2 + eq2, ops
 }
 
-// CountLE returns how many elements of a are <= x (no reordering).
+// CountLE returns how many elements of a are <= x (no reordering). The
+// comparison result feeds the counter arithmetically so the scan compiles
+// branch-free.
 func CountLE[K cmp.Ordered](a []K, x K) (int, int64) {
 	n := 0
 	for _, v := range a {
+		inc := 0
 		if v <= x {
-			n++
+			inc = 1
 		}
+		n += inc
 	}
 	return n, int64(len(a))
+}
+
+// grow returns dst resized to n elements, reallocating only when the
+// capacity is short (the out-of-place kernels overwrite every slot they
+// return, so no clearing is needed).
+func grow[K any](dst []K, n int) []K {
+	if cap(dst) < n {
+		return make([]K, n)
+	}
+	return dst[:n]
+}
+
+// FilterWindowCount scans a once: it tallies the three regions of the
+// closed window [lo, hi] and simultaneously writes the stable sequence of
+// in-window elements into dst (out of place; dst must not alias a, and is
+// grown as needed). It returns that sequence plus nLess (elements < lo)
+// and nMid (elements in the window). The single fused pass is the hot
+// loop of the fast randomized algorithm: the store is unconditional and
+// the cursor advance branch-free, so unpredictable keep patterns cost no
+// mispredictions, and the discard decision needs no second scan over
+// cold memory in the common (window hit) case.
+//
+// The reported operation count is exactly what the three-way partition
+// pair of PartitionRange charges for the same input (2n + g1 over all of
+// a, then 2*g1 + g2 over the g1 elements above lo, with g2 the elements
+// above hi) — the simulated cost model must not see the host-side
+// restructuring. Requires lo <= hi.
+func FilterWindowCount[K cmp.Ordered](dst, a []K, lo, hi K) (mid []K, nLess, nMid int, ops int64) {
+	dst = grow(dst, len(a))
+	c1, c2, c3, k := 0, 0, 0, 0
+	for _, v := range a {
+		i1, i2, i3 := 0, 0, 0
+		if v < lo {
+			i1 = 1
+		}
+		if v <= lo {
+			i2 = 1
+		}
+		if v <= hi {
+			i3 = 1
+		}
+		dst[k] = v
+		k += i3 - i1
+		c1 += i1
+		c2 += i2
+		c3 += i3
+	}
+	g1 := len(a) - c2
+	g2 := len(a) - c3
+	ops = int64(2*len(a)+g1) + int64(2*g1+g2)
+	return dst[:k], c1, c3 - c1, ops
+}
+
+// FilterLessInto writes the stable sequence of elements < x into dst
+// (out of place, grown as needed; must not alias a) and returns it. The
+// movement cost is already priced into the count that preceded it, so
+// filters charge nothing; see FilterWindowCount for the branch-free
+// store discipline.
+func FilterLessInto[K cmp.Ordered](dst, a []K, x K) []K {
+	dst = grow(dst, len(a))
+	k := 0
+	for _, v := range a {
+		inc := 0
+		if v < x {
+			inc = 1
+		}
+		dst[k] = v
+		k += inc
+	}
+	return dst[:k]
+}
+
+// FilterGreaterInto writes the stable sequence of elements > x into dst;
+// see FilterLessInto.
+func FilterGreaterInto[K cmp.Ordered](dst, a []K, x K) []K {
+	dst = grow(dst, len(a))
+	k := 0
+	for _, v := range a {
+		inc := 0
+		if v > x {
+			inc = 1
+		}
+		dst[k] = v
+		k += inc
+	}
+	return dst[:k]
+}
+
+// PartitionTwoInto scans a once and writes the stable sequences of
+// elements < pivot into less and > pivot into gt (both out of place,
+// grown as needed; neither may alias a), tallying lt and eq. Both streams
+// use the unconditional-store, branch-free-advance discipline of
+// FilterWindowCount, so one pass replaces the three-way partition the
+// deterministic algorithms would otherwise pay for, at the same charged
+// operation count (2 per element at or below the pivot, 3 per element
+// above, exactly Partition3's pricing).
+func PartitionTwoInto[K cmp.Ordered](less, gt, a []K, pivot K) (l, g []K, lt, eq int, ops int64) {
+	less = grow(less, len(a))
+	gt = grow(gt, len(a))
+	c1, c2, kl, kg := 0, 0, 0, 0
+	for _, v := range a {
+		i1, i2 := 0, 0
+		if v < pivot {
+			i1 = 1
+		}
+		if v <= pivot {
+			i2 = 1
+		}
+		less[kl] = v
+		kl += i1
+		gt[kg] = v
+		kg += 1 - i2
+		c1 += i1
+		c2 += i2
+	}
+	gtN := len(a) - c2
+	return less[:kl], gt[:kg], c1, c2 - c1, int64(2*len(a) + gtN)
 }
 
 // Quickselect returns the k-th smallest (0-based) element of a using the
@@ -110,7 +233,9 @@ func Quickselect[K cmp.Ordered](a []K, k int, rng *rand.Rand) (K, int64) {
 }
 
 // floydRivest is the classic SELECT of Floyd & Rivest (CACM 1975),
-// confining k into a small sampled window before partitioning.
+// confining k into a small sampled window before partitioning. Operation
+// counts accumulate in a register and flush to *ops once per partitioning
+// pass, keeping the scan loops free of memory traffic.
 func floydRivest[K cmp.Ordered](a []K, left, right, k int, rng *rand.Rand, ops *int64) {
 	for right > left {
 		if right-left > 600 {
@@ -126,26 +251,27 @@ func floydRivest[K cmp.Ordered](a []K, left, right, k int, rng *rand.Rand, ops *
 			newRight := min(right, int(float64(k)+(n-i)*s/n+sd))
 			floydRivest(a, newLeft, newRight, k, rng, ops)
 		}
+		var o int64
 		t := a[k]
 		i, j := left, right
 		a[left], a[k] = a[k], a[left]
-		*ops += 2
+		o += 2
 		if a[right] > t {
 			a[right], a[left] = a[left], a[right]
-			*ops++
+			o++
 		}
 		for i < j {
 			a[i], a[j] = a[j], a[i]
 			i++
 			j--
-			*ops++
+			o++
 			for a[i] < t {
 				i++
-				*ops++
+				o++
 			}
 			for a[j] > t {
 				j--
-				*ops++
+				o++
 			}
 		}
 		if a[left] == t {
@@ -154,7 +280,8 @@ func floydRivest[K cmp.Ordered](a []K, left, right, k int, rng *rand.Rand, ops *
 			j++
 			a[j], a[right] = a[right], a[j]
 		}
-		*ops += 2
+		o += 2
+		*ops += o
 		if j <= k {
 			left = j + 1
 		}
@@ -338,9 +465,19 @@ func SampleWithReplacement[K cmp.Ordered](a []K, m int, rng *rand.Rand) ([]K, in
 	if m < 0 {
 		panic("seq: negative sample size")
 	}
-	out := make([]K, m)
-	for i := range out {
-		out[i] = a[rng.IntN(len(a))]
+	return SampleAppend(make([]K, 0, m), a, m, rng)
+}
+
+// SampleAppend is SampleWithReplacement writing into dst (truncated, then
+// grown as needed), so steady-state callers sample without allocating.
+// The random draws are identical to SampleWithReplacement's.
+func SampleAppend[K cmp.Ordered](dst, a []K, m int, rng *rand.Rand) ([]K, int64) {
+	if m < 0 {
+		panic("seq: negative sample size")
 	}
-	return out, int64(m)
+	dst = dst[:0]
+	for i := 0; i < m; i++ {
+		dst = append(dst, a[rng.IntN(len(a))])
+	}
+	return dst, int64(m)
 }

@@ -165,6 +165,12 @@ func sortFuncRec[T any](a []T, less func(T, T) bool, ops *int64) {
 // heap of run heads; cost O(total log k). It is the final step of the
 // parallel sample sort.
 func MergeK[K cmp.Ordered](runs [][]K) ([]K, int64) {
+	return MergeKInto[K](nil, runs)
+}
+
+// MergeKInto is MergeK appending into dst (truncated first), so repeated
+// merges can reuse one buffer.
+func MergeKInto[K cmp.Ordered](dst []K, runs [][]K) ([]K, int64) {
 	var ops int64
 	total := 0
 	heads := make([]int, 0, len(runs)) // indices of non-empty runs
@@ -174,7 +180,10 @@ func MergeK[K cmp.Ordered](runs [][]K) ([]K, int64) {
 			heads = append(heads, i)
 		}
 	}
-	out := make([]K, 0, total)
+	out := dst[:0]
+	if cap(out) < total {
+		out = make([]K, 0, total)
+	}
 	if len(heads) == 0 {
 		return out, 0
 	}

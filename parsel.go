@@ -21,12 +21,35 @@
 // The Options zero value picks the paper's overall winner: fast
 // randomized selection with modified order-maintaining load balancing on
 // a CM-5-like machine.
+//
+// # Reusing a Selector
+//
+// Every package-level call builds the simulated machine — channel fabric,
+// goroutine pool, random streams, scratch arenas — and tears it down
+// again. Callers that issue many selections (a latency dashboard, a
+// quantile service) should construct a Selector once and reuse it: the
+// machine persists across calls, per-processor scratch memory is
+// recycled, and the hot path stays allocation-light. Results, including
+// the simulated metrics, are bit-identical to the one-shot functions.
+//
+//	sel, err := parsel.NewSelector[int64](parsel.Options{})
+//	defer sel.Close()
+//	for _, shards := range workload {
+//		res, err := sel.Select(shards, rank)   // no machine rebuild
+//		...
+//	}
+//
+// Selector.SelectInPlace additionally skips the defensive shard copy for
+// callers that hand over ownership of their shards — the zero-copy hot
+// path.
 package parsel
 
 import (
 	"cmp"
 	"errors"
 	"fmt"
+	"math"
+	"math/bits"
 	"time"
 
 	"parsel/internal/balance"
@@ -196,17 +219,155 @@ var (
 	ErrBadQuantile = errors.New("parsel: quantile must be in [0,1]")
 )
 
+// Selector is a reusable selection engine: the simulated machine —
+// channel fabric, parked goroutine pool, per-processor random streams and
+// scratch arenas — is constructed once and serves repeated Select,
+// Median, Quantile(s) and SelectRanks calls. For a fixed seed and inputs,
+// every simulated metric (SimSeconds, Iterations, Messages, Bytes) is
+// identical to the one-shot package functions; only host-side cost
+// differs. A Selector is not safe for concurrent use.
+type Selector[K cmp.Ordered] struct {
+	opts     Options
+	params   machine.Params
+	m        *machine.Machine
+	vals     []K
+	many     [][]K
+	stats    []selection.Stats
+	counters []machine.Counters
+}
+
+// agreementChecks enables the cross-processor result assertion: every
+// simulated processor of a collective run must report the same value(s).
+// It is switched on by tests (see export_test.go); the check is pure host
+// work and does not affect simulated metrics.
+var agreementChecks = false
+
+// disagreement returns the index of the first value differing from
+// vals[0], or ok=true when all processors agree.
+func disagreement[K cmp.Ordered](vals []K) (proc int, ok bool) {
+	for i := 1; i < len(vals); i++ {
+		if vals[i] != vals[0] {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// NewSelector builds a reusable engine for opts. The machine size is
+// Options.Machine.Procs (default 8); a call whose shard count differs
+// transparently rebuilds the machine for the new size, so the amortized
+// benefit accrues to runs of same-shaped calls. The machine itself is
+// constructed lazily on the first call, so an engine sized by its first
+// workload never builds a throwaway default-sized fabric.
+func NewSelector[K cmp.Ordered](opts Options) (*Selector[K], error) {
+	procs := opts.Machine.Procs
+	if procs == 0 {
+		procs = 8
+	}
+	params, err := opts.Machine.params(procs)
+	if err != nil {
+		return nil, err
+	}
+	return &Selector[K]{opts: opts, params: params}, nil
+}
+
+// rebuild constructs the machine and result arrays for p processors.
+func (s *Selector[K]) rebuild(p int) error {
+	params, err := s.opts.Machine.params(p)
+	if err != nil {
+		return err
+	}
+	m, err := machine.New(params)
+	if err != nil {
+		return err
+	}
+	if s.m != nil {
+		s.m.Close()
+	}
+	s.m, s.params = m, params
+	s.vals = make([]K, p)
+	s.many = make([][]K, p)
+	s.stats = make([]selection.Stats, p)
+	s.counters = make([]machine.Counters, p)
+	return nil
+}
+
+// ensure adapts the engine to a call with p shards, building the machine
+// on first use.
+func (s *Selector[K]) ensure(p int) error {
+	if s.m != nil && s.params.Procs == p {
+		return nil
+	}
+	return s.rebuild(p)
+}
+
+// Close releases the engine's goroutine pool. The Selector must not be
+// used afterwards. Closing is optional (dropped Selectors are cleaned up
+// by the runtime) but deterministic.
+func (s *Selector[K]) Close() {
+	if s.m != nil {
+		s.m.Close()
+	}
+}
+
+// Procs returns the current machine size.
+func (s *Selector[K]) Procs() int { return s.params.Procs }
+
 // Select returns the element of 1-based rank among all elements of
 // shards, running one simulated processor per shard. Shards may have any
-// (including zero) lengths; shard contents are not modified.
-func Select[K cmp.Ordered](shards [][]K, rank int64, opts Options) (Result[K], error) {
+// (including zero) lengths; shard contents are not modified (the engine
+// copies each shard into its resident per-processor arena).
+func (s *Selector[K]) Select(shards [][]K, rank int64) (Result[K], error) {
+	return s.selectRank(shards, rank, true)
+}
+
+// SelectInPlace is Select for callers that hand over ownership of their
+// shards: the engine partitions and migrates the caller's slices directly
+// instead of copying them — the zero-copy hot path. On return the shard
+// contents are unspecified (permuted, possibly redistributed); the
+// multiset of elements is preserved across the union of shards.
+func (s *Selector[K]) SelectInPlace(shards [][]K, rank int64) (Result[K], error) {
+	return s.selectRank(shards, rank, false)
+}
+
+// Median returns the element of rank ceil(n/2) (the paper's median).
+func (s *Selector[K]) Median(shards [][]K) (Result[K], error) {
+	var n int64
+	for _, sh := range shards {
+		n += int64(len(sh))
+	}
+	return s.Select(shards, (n+1)/2)
+}
+
+// Quantile returns the element of rank ceil(q*n) for q in (0,1], and the
+// minimum for q = 0.
+func (s *Selector[K]) Quantile(shards [][]K, q float64) (Result[K], error) {
+	var zero Result[K]
+	if q < 0 || q > 1 {
+		return zero, fmt.Errorf("%w: %g", ErrBadQuantile, q)
+	}
+	var n int64
+	for _, sh := range shards {
+		n += int64(len(sh))
+	}
+	if n == 0 {
+		if len(shards) == 0 {
+			return zero, ErrNoShards
+		}
+		return zero, ErrNoData
+	}
+	return s.Select(shards, quantileRank(n, q))
+}
+
+// selectRank validates and executes one collective selection.
+func (s *Selector[K]) selectRank(shards [][]K, rank int64, borrowed bool) (Result[K], error) {
 	var zero Result[K]
 	if len(shards) == 0 {
 		return zero, ErrNoShards
 	}
 	var n int64
-	for _, s := range shards {
-		n += int64(len(s))
+	for _, sh := range shards {
+		n += int64(len(sh))
 	}
 	if n == 0 {
 		return zero, ErrNoData
@@ -214,7 +375,195 @@ func Select[K cmp.Ordered](shards [][]K, rank int64, opts Options) (Result[K], e
 	if rank < 1 || rank > n {
 		return zero, fmt.Errorf("%w: rank %d, population %d", ErrRankRange, rank, n)
 	}
-	return run(shards, rank, opts)
+	if err := s.ensure(len(shards)); err != nil {
+		return zero, err
+	}
+	iopts := selection.Options{
+		Algorithm:      toInternalAlg(s.opts.Algorithm),
+		Balancer:       toInternalBal(s.opts.Balancer),
+		SampleExponent: s.opts.SampleExponent,
+		RankSlack:      s.opts.RankSlack,
+		MaxIterations:  s.opts.MaxIterations,
+		Faithful:       s.opts.Faithful,
+		BorrowedInput:  borrowed,
+	}
+	start := time.Now()
+	sim, err := s.m.Run(func(pr *machine.Proc) {
+		s.vals[pr.ID()], s.stats[pr.ID()] = selection.Select(pr, shards[pr.ID()], rank, iopts)
+		s.counters[pr.ID()] = pr.Counters
+	})
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return zero, err
+	}
+	if agreementChecks {
+		if proc, ok := disagreement(s.vals); !ok {
+			panic(fmt.Sprintf("parsel: processor %d selected %v, processor 0 selected %v",
+				proc, s.vals[proc], s.vals[0]))
+		}
+	}
+
+	rep := Report{SimSeconds: sim, WallSeconds: wall}
+	for i := range s.stats {
+		if s.stats[i].BalanceSeconds > rep.BalanceSeconds {
+			rep.BalanceSeconds = s.stats[i].BalanceSeconds
+		}
+		if s.stats[i].Iterations > rep.Iterations {
+			rep.Iterations = s.stats[i].Iterations
+		}
+		if s.stats[i].Unsuccessful > rep.Unsuccessful {
+			rep.Unsuccessful = s.stats[i].Unsuccessful
+		}
+		rep.Messages += s.counters[i].MsgsSent
+		rep.Bytes += s.counters[i].BytesSent
+	}
+	return Result[K]{Value: s.vals[0], Report: rep}, nil
+}
+
+// SelectRanks returns the elements at several 1-based ranks in one
+// collective run, sharing partitioning work across the ranks (roughly one
+// selection's cost for a handful of ranks). Ranks may repeat and appear
+// in any order; results align with the request. Options.Balancer is
+// ignored (multi-rank segments alias storage and cannot migrate).
+func (s *Selector[K]) SelectRanks(shards [][]K, ranks []int64) ([]K, Report, error) {
+	if len(shards) == 0 {
+		return nil, Report{}, ErrNoShards
+	}
+	var n int64
+	for _, sh := range shards {
+		n += int64(len(sh))
+	}
+	if n == 0 {
+		return nil, Report{}, ErrNoData
+	}
+	for _, r := range ranks {
+		if r < 1 || r > n {
+			return nil, Report{}, fmt.Errorf("%w: rank %d, population %d", ErrRankRange, r, n)
+		}
+	}
+	if err := s.ensure(len(shards)); err != nil {
+		return nil, Report{}, err
+	}
+	iopts := selection.Options{
+		MaxIterations: s.opts.MaxIterations,
+		BorrowedInput: true,
+	}
+	start := time.Now()
+	sim, err := s.m.Run(func(pr *machine.Proc) {
+		s.many[pr.ID()], s.stats[pr.ID()] = selection.SelectMany(pr, shards[pr.ID()], ranks, iopts)
+		s.counters[pr.ID()] = pr.Counters
+	})
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return nil, Report{}, err
+	}
+	// Every processor of the collective must agree on every rank's value:
+	// the engine returns processor 0's results, so a divergence would
+	// otherwise be silently discarded.
+	if agreementChecks {
+		for j := range s.many[0] {
+			col := make([]K, len(s.many))
+			for i := range s.many {
+				col[i] = s.many[i][j]
+			}
+			if proc, ok := disagreement(col); !ok {
+				panic(fmt.Sprintf("parsel: processor %d selected %v for rank %d, processor 0 selected %v",
+					proc, s.many[proc][j], ranks[j], s.many[0][j]))
+			}
+		}
+	}
+	rep := Report{SimSeconds: sim, WallSeconds: wall}
+	for i := range s.stats {
+		if s.stats[i].Iterations > rep.Iterations {
+			rep.Iterations = s.stats[i].Iterations
+		}
+		rep.Messages += s.counters[i].MsgsSent
+		rep.Bytes += s.counters[i].BytesSent
+	}
+	return s.many[0], rep, nil
+}
+
+// Quantiles returns the elements at several quantiles (each in [0,1]) in
+// one collective run; see SelectRanks.
+func (s *Selector[K]) Quantiles(shards [][]K, qs []float64) ([]K, Report, error) {
+	var n int64
+	for _, sh := range shards {
+		n += int64(len(sh))
+	}
+	if len(shards) == 0 {
+		return nil, Report{}, ErrNoShards
+	}
+	if n == 0 {
+		return nil, Report{}, ErrNoData
+	}
+	ranks := make([]int64, len(qs))
+	for i, q := range qs {
+		if q < 0 || q > 1 {
+			return nil, Report{}, fmt.Errorf("%w: %g", ErrBadQuantile, q)
+		}
+		ranks[i] = quantileRank(n, q)
+	}
+	return s.SelectRanks(shards, ranks)
+}
+
+// quantileRank converts a quantile to its 1-based rank ceil(q*n), clamped
+// to [1, n]. The ceiling is computed exactly: the significand of q and n
+// are multiplied in 128-bit integer arithmetic, so no population size
+// (including n near 2^53 and beyond) can round to a neighbouring rank the
+// way floating-point ceil(float64(n)*q) does.
+func quantileRank(n int64, q float64) int64 {
+	if q <= 0 || n <= 0 {
+		return min(int64(1), n)
+	}
+	if q >= 1 {
+		return n
+	}
+	// q = frac * 2^exp with frac in [0.5, 1); scale the 53-bit
+	// significand out: q = m / 2^s exactly, with s = 53-exp >= 53
+	// because exp <= 0 for q < 1.
+	frac, exp := math.Frexp(q)
+	m := uint64(frac * (1 << 53))
+	s := uint(53 - exp)
+	hi, lo := bits.Mul64(uint64(n), m)
+	if s >= 128 {
+		// n*q < 1 (subnormal q): the smallest positive rank.
+		return 1
+	}
+	// ceil(x / 2^s) = (x + 2^s - 1) >> s in 128 bits. The product is
+	// below 2^116 (63-bit n times 53-bit m), so the add cannot overflow.
+	var r uint64
+	if s >= 64 {
+		// 2^s - 1 splits into all-ones low and 2^(s-64)-1 high.
+		lo2, c := bits.Add64(lo, ^uint64(0), 0)
+		hi2, _ := bits.Add64(hi, uint64(1)<<(s-64)-1, c)
+		_, r = lo2, hi2>>(s-64)
+	} else {
+		lo2, c := bits.Add64(lo, uint64(1)<<s-1, 0)
+		hi2, _ := bits.Add64(hi, 0, c)
+		r = hi2<<(64-s) | lo2>>s
+	}
+	rank := int64(r)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return rank
+}
+
+// Select returns the element of 1-based rank among all elements of
+// shards, running one simulated processor per shard. Shards may have any
+// (including zero) lengths; shard contents are not modified. It is a
+// thin wrapper over a throwaway Selector; callers issuing repeated
+// selections should construct a Selector once instead.
+func Select[K cmp.Ordered](shards [][]K, rank int64, opts Options) (Result[K], error) {
+	s, err := oneShot[K](len(shards), opts)
+	if err != nil {
+		return Result[K]{}, err
+	}
+	defer s.Close()
+	return s.Select(shards, rank)
 }
 
 // Median returns the element of rank ceil(n/2) (the paper's median).
@@ -229,160 +578,48 @@ func Median[K cmp.Ordered](shards [][]K, opts Options) (Result[K], error) {
 // Quantile returns the element of rank ceil(q*n) for q in (0,1], and the
 // minimum for q = 0.
 func Quantile[K cmp.Ordered](shards [][]K, q float64, opts Options) (Result[K], error) {
-	var zero Result[K]
+	// Validate the quantile before anything else, so an out-of-range q
+	// is always reported as such even alongside other bad arguments.
 	if q < 0 || q > 1 {
-		return zero, fmt.Errorf("%w: %g", ErrBadQuantile, q)
+		return Result[K]{}, fmt.Errorf("%w: %g", ErrBadQuantile, q)
 	}
-	var n int64
-	for _, s := range shards {
-		n += int64(len(s))
+	s, err := oneShot[K](len(shards), opts)
+	if err != nil {
+		return Result[K]{}, err
 	}
-	if n == 0 {
-		if len(shards) == 0 {
-			return zero, ErrNoShards
-		}
-		return zero, ErrNoData
-	}
-	rank := int64(float64(n)*q + 0.9999999)
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > n {
-		rank = n
-	}
-	return Select(shards, rank, opts)
+	defer s.Close()
+	return s.Quantile(shards, q)
 }
 
 // SelectRanks returns the elements at several 1-based ranks in one
-// collective run, sharing partitioning work across the ranks (roughly one
-// selection's cost for a handful of ranks). Ranks may repeat and appear
-// in any order; results align with the request. Options.Balancer is
-// ignored (multi-rank segments alias storage and cannot migrate).
+// collective run; see Selector.SelectRanks.
 func SelectRanks[K cmp.Ordered](shards [][]K, ranks []int64, opts Options) ([]K, Report, error) {
-	if len(shards) == 0 {
-		return nil, Report{}, ErrNoShards
-	}
-	var n int64
-	for _, s := range shards {
-		n += int64(len(s))
-	}
-	if n == 0 {
-		return nil, Report{}, ErrNoData
-	}
-	for _, r := range ranks {
-		if r < 1 || r > n {
-			return nil, Report{}, fmt.Errorf("%w: rank %d, population %d", ErrRankRange, r, n)
-		}
-	}
-	p := len(shards)
-	params, err := opts.Machine.params(p)
+	s, err := oneShot[K](len(shards), opts)
 	if err != nil {
 		return nil, Report{}, err
 	}
-	iopts := selection.Options{
-		MaxIterations: opts.MaxIterations,
-	}
-	vals := make([][]K, p)
-	stats := make([]selection.Stats, p)
-	counters := make([]machine.Counters, p)
-	start := time.Now()
-	sim, err := machine.Run(params, func(pr *machine.Proc) {
-		local := make([]K, len(shards[pr.ID()]))
-		copy(local, shards[pr.ID()])
-		vals[pr.ID()], stats[pr.ID()] = selection.SelectMany(pr, local, ranks, iopts)
-		counters[pr.ID()] = pr.Counters
-	})
-	wall := time.Since(start).Seconds()
-	if err != nil {
-		return nil, Report{}, err
-	}
-	rep := Report{SimSeconds: sim, WallSeconds: wall}
-	for i := range stats {
-		if stats[i].Iterations > rep.Iterations {
-			rep.Iterations = stats[i].Iterations
-		}
-		rep.Messages += counters[i].MsgsSent
-		rep.Bytes += counters[i].BytesSent
-	}
-	return vals[0], rep, nil
+	defer s.Close()
+	return s.SelectRanks(shards, ranks)
 }
 
 // Quantiles returns the elements at several quantiles (each in [0,1]) in
 // one collective run; see SelectRanks.
 func Quantiles[K cmp.Ordered](shards [][]K, qs []float64, opts Options) ([]K, Report, error) {
-	var n int64
-	for _, s := range shards {
-		n += int64(len(s))
+	s, err := oneShot[K](len(shards), opts)
+	if err != nil {
+		return nil, Report{}, err
 	}
-	if len(shards) == 0 {
-		return nil, Report{}, ErrNoShards
-	}
-	if n == 0 {
-		return nil, Report{}, ErrNoData
-	}
-	ranks := make([]int64, len(qs))
-	for i, q := range qs {
-		if q < 0 || q > 1 {
-			return nil, Report{}, fmt.Errorf("%w: %g", ErrBadQuantile, q)
-		}
-		r := int64(float64(n)*q + 0.9999999)
-		if r < 1 {
-			r = 1
-		}
-		if r > n {
-			r = n
-		}
-		ranks[i] = r
-	}
-	return SelectRanks(shards, ranks, opts)
+	defer s.Close()
+	return s.Quantiles(shards, qs)
 }
 
-// run executes the collective selection.
-func run[K cmp.Ordered](shards [][]K, rank int64, opts Options) (Result[K], error) {
-	p := len(shards)
-	params, err := opts.Machine.params(p)
-	if err != nil {
-		return Result[K]{}, err
+// oneShot builds a throwaway Selector sized for the given shard count.
+func oneShot[K cmp.Ordered](shards int, opts Options) (*Selector[K], error) {
+	if shards == 0 {
+		return nil, ErrNoShards
 	}
-	iopts := selection.Options{
-		Algorithm:      toInternalAlg(opts.Algorithm),
-		Balancer:       toInternalBal(opts.Balancer),
-		SampleExponent: opts.SampleExponent,
-		RankSlack:      opts.RankSlack,
-		MaxIterations:  opts.MaxIterations,
-		Faithful:       opts.Faithful,
-	}
-
-	vals := make([]K, p)
-	stats := make([]selection.Stats, p)
-	counters := make([]machine.Counters, p)
-	start := time.Now()
-	sim, err := machine.Run(params, func(pr *machine.Proc) {
-		local := make([]K, len(shards[pr.ID()]))
-		copy(local, shards[pr.ID()])
-		vals[pr.ID()], stats[pr.ID()] = selection.Select(pr, local, rank, iopts)
-		counters[pr.ID()] = pr.Counters
-	})
-	wall := time.Since(start).Seconds()
-	if err != nil {
-		return Result[K]{}, err
-	}
-
-	rep := Report{SimSeconds: sim, WallSeconds: wall}
-	for i := range stats {
-		if stats[i].BalanceSeconds > rep.BalanceSeconds {
-			rep.BalanceSeconds = stats[i].BalanceSeconds
-		}
-		if stats[i].Iterations > rep.Iterations {
-			rep.Iterations = stats[i].Iterations
-		}
-		if stats[i].Unsuccessful > rep.Unsuccessful {
-			rep.Unsuccessful = stats[i].Unsuccessful
-		}
-		rep.Messages += counters[i].MsgsSent
-		rep.Bytes += counters[i].BytesSent
-	}
-	return Result[K]{Value: vals[0], Report: rep}, nil
+	opts.Machine.Procs = shards
+	return NewSelector[K](opts)
 }
 
 // Balance redistributes shards so that every shard ends with floor(n/p)
