@@ -1,0 +1,29 @@
+# CI entry points for the parsel repo (pure Go, no external deps).
+#
+#   make ci      - everything below, in order (what a PR must pass)
+#   make vet     - static checks
+#   make build   - compile all packages, commands and examples
+#   make test    - full test suite (includes the differential oracle suite)
+#   make race    - full suite under the race detector (pool/selector stress)
+#   make fuzz    - short fuzz smoke of the 128-bit quantile-rank arithmetic
+
+GO ?= go
+
+.PHONY: ci vet build test race fuzz
+
+ci: vet build test race fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzQuantileRank -fuzztime=5s .

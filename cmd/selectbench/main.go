@@ -9,6 +9,8 @@
 //	selectbench -exp all -quick      # everything, shrunk grid
 //	selectbench -exp fig2 -csv -seeds 3
 //	selectbench -perf BENCH_PR1.json # host-performance snapshot (JSON)
+//	selectbench -clients 32          # pooled concurrent throughput
+//	selectbench -clients 32 -perf BENCH_PR2.json  # ...appended to the snapshot
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -29,6 +33,12 @@ type perfResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	SimSeconds  float64 `json:"sim_seconds"`
+	// QPS is the aggregate query throughput of a concurrent (pooled)
+	// measurement; zero for single-client rows.
+	QPS float64 `json:"qps,omitempty"`
+	// Clients is the number of concurrent client goroutines of a pooled
+	// measurement; zero for single-client rows.
+	Clients int `json:"clients,omitempty"`
 }
 
 // perfSnapshot is the schema of the -perf JSON file. Future PRs track the
@@ -61,9 +71,86 @@ func perfShards() [][]int64 {
 	return shards
 }
 
+// runClients measures pooled concurrent throughput: clients goroutines
+// issue median selections against one Pool over the standard workload,
+// modelling a resident quantile service under concurrent load.
+func runClients(clients int) (perfResult, error) {
+	shards := perfShards()
+	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
+	machines := clients
+	if machines > 8 {
+		machines = 8
+	}
+	pool, err := parsel.NewPool[int64](opts, parsel.PoolOptions{MaxMachines: machines})
+	if err != nil {
+		return perfResult{}, err
+	}
+	defer pool.Close()
+
+	// Grow the pool to capacity and build every machine before timing
+	// (on a single-core host, concurrent queries alone may never
+	// overlap enough to grow it), then run one untimed batch so each
+	// machine's arenas are warm too.
+	if err := pool.Warm(len(shards), machines); err != nil {
+		return perfResult{}, err
+	}
+	var n int64
+	for _, s := range shards {
+		n += int64(len(s))
+	}
+	warm := make([]parsel.Query[int64], machines)
+	for i := range warm {
+		warm[i] = parsel.Query[int64]{Shards: shards, Rank: (n + 1) / 2}
+	}
+	for _, r := range pool.SelectMany(warm) {
+		if r.Err != nil {
+			return perfResult{}, r.Err
+		}
+	}
+
+	queries := clients * 8
+	if queries < 64 {
+		queries = 64
+	}
+	var next, failed atomic.Int64
+	var sim atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if next.Add(1) > int64(queries) {
+					return
+				}
+				res, err := pool.Median(shards)
+				if err != nil {
+					failed.Add(1)
+					return
+				}
+				sim.Store(res.SimSeconds)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := failed.Load(); n > 0 {
+		return perfResult{}, fmt.Errorf("%d pooled queries failed", n)
+	}
+	simSec, _ := sim.Load().(float64)
+	return perfResult{
+		NsPerOp:    elapsed.Nanoseconds() / int64(queries),
+		SimSeconds: simSec,
+		QPS:        float64(queries) / elapsed.Seconds(),
+		Clients:    clients,
+	}, nil
+}
+
 // runPerf measures the one-shot and amortized selection paths on the
-// standard workload and writes the JSON snapshot to path.
-func runPerf(path string) error {
+// standard workload — plus, when clients > 0, the pooled concurrent
+// serving path — and writes the JSON snapshot to path.
+func runPerf(path string, clients int) error {
 	shards := perfShards()
 	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
 	var n int64
@@ -117,6 +204,14 @@ func runPerf(path string) error {
 	r.SimSeconds = sim
 	results["selector_reuse"] = r
 
+	if clients > 0 {
+		pr, err := runClients(clients)
+		if err != nil {
+			return err
+		}
+		results[fmt.Sprintf("pool_%dclients", clients)] = pr
+	}
+
 	snap := perfSnapshot{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Workload: map[string]any{
@@ -141,21 +236,33 @@ func runPerf(path string) error {
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (see -list) or \"all\"")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		quick = flag.Bool("quick", false, "shrink problem sizes for a fast smoke run")
-		seeds = flag.Int("seeds", 5, "trials averaged per random data point")
-		csv   = flag.Bool("csv", false, "emit comma-separated rows instead of aligned text")
-		perf  = flag.String("perf", "", "write a host-performance JSON snapshot to this path and exit")
+		exp     = flag.String("exp", "", "experiment id (see -list) or \"all\"")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quick   = flag.Bool("quick", false, "shrink problem sizes for a fast smoke run")
+		seeds   = flag.Int("seeds", 5, "trials averaged per random data point")
+		csv     = flag.Bool("csv", false, "emit comma-separated rows instead of aligned text")
+		perf    = flag.String("perf", "", "write a host-performance JSON snapshot to this path and exit")
+		clients = flag.Int("clients", 0, "measure pooled concurrent throughput with this many client goroutines (alone: print; with -perf: append to the snapshot)")
 	)
 	flag.Parse()
 
 	if *perf != "" {
-		if err := runPerf(*perf); err != nil {
+		if err := runPerf(*perf, *clients); err != nil {
 			fmt.Fprintf(os.Stderr, "selectbench: perf: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *perf)
+		return
+	}
+
+	if *clients > 0 {
+		pr, err := runClients(*clients)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "selectbench: clients: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pooled throughput, %d clients: %.1f queries/s (%.3f ms/query, sim %.4f s)\n",
+			*clients, pr.QPS, float64(pr.NsPerOp)/1e6, pr.SimSeconds)
 		return
 	}
 

@@ -1,0 +1,224 @@
+package parsel_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"parsel"
+	"parsel/internal/workload"
+)
+
+// diffShape is one workload of the differential suite.
+type diffShape struct {
+	name   string
+	shards [][]int64
+}
+
+// diffShapes builds the randomized workload catalogue: generator-drawn
+// shapes across every distribution (random, sorted, reverse-sorted,
+// gaussian, few-distinct, zipf) with randomized sizes and processor
+// counts, plus hand-built adversarial shapes (empty shards, n < p,
+// all-equal keys, extreme size skew, single processor). Deterministic
+// for reproducibility, randomized in structure.
+func diffShapes() []diffShape {
+	rng := rand.New(rand.NewPCG(2026, 729))
+	var shapes []diffShape
+
+	// Three randomized draws per distribution: n in [50, 2500], p in
+	// [2, 12], fresh generator seed each.
+	for _, kind := range workload.Kinds {
+		for draw := 0; draw < 3; draw++ {
+			n := 50 + rng.Int64N(2450)
+			p := 2 + rng.IntN(11)
+			seed := rng.Uint64()
+			shapes = append(shapes, diffShape{
+				name:   fmt.Sprintf("%s/n%d/p%d", kind, n, p),
+				shards: workload.Generate(kind, n, p, seed),
+			})
+		}
+	}
+
+	// Adversarial size skew: quadratically unbalanced shards.
+	shapes = append(shapes, diffShape{
+		name:   "unbalanced/n2000/p8",
+		shards: workload.Unbalanced(2000, 8, rng.Uint64()),
+	})
+
+	// Empty shards interleaved with loaded ones.
+	empties := make([][]int64, 7)
+	for i := range empties {
+		if i%2 == 1 {
+			empties[i] = []int64{}
+			continue
+		}
+		empties[i] = make([]int64, 200+rng.IntN(200))
+		for j := range empties[i] {
+			empties[i][j] = rng.Int64N(1 << 20)
+		}
+	}
+	shapes = append(shapes, diffShape{name: "emptyshards/p7", shards: empties})
+
+	// Everything on one processor, the rest empty.
+	lone := make([]int64, 900)
+	for i := range lone {
+		lone[i] = rng.Int64N(50) // duplicate-heavy too
+	}
+	shapes = append(shapes,
+		diffShape{name: "oneloaded/p5", shards: [][]int64{nil, {}, lone, {}, nil}},
+		diffShape{name: "allequal/p6", shards: [][]int64{
+			{7, 7, 7}, {7, 7}, {7, 7, 7, 7}, {}, {7}, {7, 7}}},
+		diffShape{name: "fewerkeysthanprocs/p6", shards: [][]int64{{42}, {}, {-3}, {}, {99}, {}}},
+		diffShape{name: "singleton/p4", shards: [][]int64{{}, {}, {11}, {}}},
+		diffShape{name: "singleproc/p1", shards: [][]int64{{5, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}}},
+	)
+	return shapes
+}
+
+// diffTopologies are the interconnects the suite sweeps: the paper's
+// crossbar model plus a per-hop-priced mesh, which exercises the
+// distance-dependent pricing path without changing any result.
+var diffTopologies = []parsel.Topology{parsel.TopologyCrossbar, parsel.TopologyMesh2D}
+
+// TestDifferentialAgainstSortOracle is the randomized differential
+// suite: every primary algorithm × every balancer × both topologies,
+// over every workload shape, checked rank-for-rank against a sequential
+// sort of the flattened population. Values must match the oracle
+// exactly; the simulated report must be internally sane.
+func TestDifferentialAgainstSortOracle(t *testing.T) {
+	shapes := diffShapes()
+	if testing.Short() {
+		shapes = shapes[:8]
+	}
+	algs := []parsel.Algorithm{
+		parsel.FastRandomized, parsel.Randomized,
+		parsel.MedianOfMedians, parsel.BucketBased,
+	}
+	bals := []parsel.Balancer{
+		parsel.ModifiedOMLB, parsel.NoBalance, parsel.OMLB,
+		parsel.DimensionExchange, parsel.GlobalExchange,
+	}
+	rng := rand.New(rand.NewPCG(99, 1))
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			oracle := workload.Flatten(shape.shards)
+			slices.Sort(oracle)
+			n := int64(len(oracle))
+			ranks := []int64{1, n, (n + 1) / 2, 1 + rng.Int64N(n)}
+			for _, topo := range diffTopologies {
+				for _, alg := range algs {
+					for _, bal := range bals {
+						opts := parsel.Options{
+							Algorithm: alg,
+							Balancer:  bal,
+							Machine:   parsel.Machine{Procs: len(shape.shards), Topology: topo},
+						}
+						sel, err := parsel.NewSelector[int64](opts)
+						if err != nil {
+							t.Fatalf("%v/%v/%v: %v", alg, bal, topo, err)
+						}
+						for _, rank := range ranks {
+							res, err := sel.Select(shape.shards, rank)
+							if err != nil {
+								t.Fatalf("%v/%v/%v rank %d: %v", alg, bal, topo, rank, err)
+							}
+							if res.Value != oracle[rank-1] {
+								t.Errorf("%v/%v/%v rank %d = %d, oracle says %d",
+									alg, bal, topo, rank, res.Value, oracle[rank-1])
+							}
+							if res.SimSeconds <= 0 {
+								t.Errorf("%v/%v/%v rank %d: no simulated time", alg, bal, topo, rank)
+							}
+						}
+						sel.Close()
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialMultiRank runs the multi-rank and top-k entry points
+// against the sort oracle on every shape (default options; these paths
+// ignore the balancer by design).
+func TestDifferentialMultiRank(t *testing.T) {
+	shapes := diffShapes()
+	if testing.Short() {
+		shapes = shapes[:8]
+	}
+	rng := rand.New(rand.NewPCG(77, 2))
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			oracle := workload.Flatten(shape.shards)
+			slices.Sort(oracle)
+			n := int64(len(oracle))
+
+			// A shuffled, duplicate-carrying rank vector.
+			ranks := []int64{1, n, (n + 1) / 2, 1 + rng.Int64N(n), 1, (n + 3) / 4}
+			vals, _, err := parsel.SelectRanks(shape.shards, ranks, parsel.Options{})
+			if err != nil {
+				t.Fatalf("SelectRanks: %v", err)
+			}
+			for i, r := range ranks {
+				if vals[i] != oracle[r-1] {
+					t.Errorf("SelectRanks rank %d = %d, oracle says %d", r, vals[i], oracle[r-1])
+				}
+			}
+
+			k := int(min(7, n))
+			top, _, err := parsel.TopK(shape.shards, k, parsel.Options{})
+			if err != nil {
+				t.Fatalf("TopK: %v", err)
+			}
+			wantTop := make([]int64, 0, k)
+			for i := 0; i < k; i++ {
+				wantTop = append(wantTop, oracle[len(oracle)-1-i])
+			}
+			if !slices.Equal(top, wantTop) {
+				t.Errorf("TopK(%d) = %v, oracle says %v", k, top, wantTop)
+			}
+
+			bot, _, err := parsel.BottomK(shape.shards, k, parsel.Options{})
+			if err != nil {
+				t.Fatalf("BottomK: %v", err)
+			}
+			if !slices.Equal(bot, oracle[:k]) {
+				t.Errorf("BottomK(%d) = %v, oracle says %v", k, bot, oracle[:k])
+			}
+		})
+	}
+}
+
+// TestDifferentialShardsPreserved spot-checks that the borrowing entry
+// points leave caller shards untouched on adversarial shapes (the
+// balancers migrate data internally, which must never leak out).
+func TestDifferentialShardsPreserved(t *testing.T) {
+	for _, shape := range diffShapes()[:6] {
+		before := make([][]int64, len(shape.shards))
+		for i, s := range shape.shards {
+			before[i] = slices.Clone(s)
+		}
+		if _, err := parsel.Median(shape.shards, parsel.Options{Balancer: parsel.GlobalExchange}); err != nil {
+			t.Fatalf("%s: %v", shape.name, err)
+		}
+		for i := range shape.shards {
+			if !slices.Equal(shape.shards[i], before[i]) {
+				t.Errorf("%s: shard %d modified", shape.name, i)
+			}
+		}
+	}
+}
+
+// TestDifferentialEmptyPopulation pins the error contract on degenerate
+// shapes the generator cannot produce.
+func TestDifferentialEmptyPopulation(t *testing.T) {
+	allEmpty := [][]int64{{}, nil, {}}
+	if _, err := parsel.Select(allEmpty, 1, parsel.Options{}); !errors.Is(err, parsel.ErrNoData) {
+		t.Errorf("all-empty shards: %v", err)
+	}
+	if _, _, err := parsel.SelectRanks(allEmpty, []int64{1}, parsel.Options{}); !errors.Is(err, parsel.ErrNoData) {
+		t.Errorf("all-empty SelectRanks: %v", err)
+	}
+}

@@ -113,6 +113,51 @@ func TestSelectorSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestSelectRanksSteadyStateAllocs pins the multi-rank arena reuse: once
+// warm, SelectRanks and Quantiles must run far below their pre-arena
+// footprint (~1650 and ~1990 objects per call on this workload shape —
+// the result, order, segment and gather buffers were rebuilt every
+// call). The remaining allocations are the boxed payloads of the
+// generic collectives.
+func TestSelectRanksSteadyStateAllocs(t *testing.T) {
+	shards := engineShards(64<<10, 8)
+	opts := parsel.Options{}
+	opts.Machine.Procs = len(shards)
+	sel, err := parsel.NewSelector[int64](opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sel.Close()
+	ranks := []int64{1, 100, 30000, 64000, 65536, 30000}
+	qs := []float64{0.01, 0.25, 0.5, 0.75, 0.99}
+	// Warm the arenas.
+	for i := 0; i < 3; i++ {
+		if _, _, err := sel.SelectRanks(shards, ranks); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := sel.Quantiles(shards, qs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const budget = 1000
+	avg := testing.AllocsPerRun(10, func() {
+		if _, _, err := sel.SelectRanks(shards, ranks); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > budget {
+		t.Errorf("steady-state SelectRanks allocates %.0f objects per call, budget %d", avg, budget)
+	}
+	avg = testing.AllocsPerRun(10, func() {
+		if _, _, err := sel.Quantiles(shards, qs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > budget {
+		t.Errorf("steady-state Quantiles allocates %.0f objects per call, budget %d", avg, budget)
+	}
+}
+
 // TestSelectorAdaptsShardCount verifies the engine transparently rebuilds
 // for a different shard count and keeps answering correctly.
 func TestSelectorAdaptsShardCount(t *testing.T) {

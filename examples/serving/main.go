@@ -1,0 +1,111 @@
+// Serving: a resident selection service under concurrent load. A fleet
+// of dashboard clients — each wanting exact latency quantiles, top-k
+// outliers, or medians over freshly sharded data — hammers one
+// parsel.Pool from separate goroutines. The pool keeps a bounded set of
+// simulated machines resident, checks one out per query, and reuses
+// them across clients, so no query ever pays machine construction and
+// no two queries ever race on one machine. This is the serving posture
+// a coarse-grained selection service runs in: the machine is long-lived,
+// the queries stream past it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"sync"
+
+	"parsel"
+)
+
+// nodeLatencies builds one node's heavy-tailed latency shard (in
+// microseconds).
+func nodeLatencies(node int, rng *rand.Rand) []int64 {
+	out := make([]int64, 8000+1000*node)
+	for i := range out {
+		v := int64(150 + rng.ExpFloat64()*400)
+		if rng.IntN(100) == 0 {
+			v *= 20 // tail
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func main() {
+	// One fleet snapshot, sharded across 16 nodes.
+	const nodes = 16
+	shards := make([][]int64, nodes)
+	for i := range shards {
+		shards[i] = nodeLatencies(i, rand.New(rand.NewPCG(11, uint64(i))))
+	}
+
+	pool, err := parsel.NewPool[int64](parsel.Options{}, parsel.PoolOptions{MaxMachines: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Twelve concurrent clients issue mixed queries against the pool.
+	type answer struct {
+		client int
+		text   string
+	}
+	answers := make([]answer, 0, 12)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < 12; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var text string
+			switch c % 3 {
+			case 0:
+				vals, _, err := pool.Quantiles(shards, []float64{0.5, 0.95, 0.99})
+				if err != nil {
+					log.Fatal(err)
+				}
+				text = fmt.Sprintf("p50/p95/p99 = %d/%d/%d us", vals[0], vals[1], vals[2])
+			case 1:
+				top, _, err := pool.TopK(shards, 3)
+				if err != nil {
+					log.Fatal(err)
+				}
+				text = fmt.Sprintf("3 slowest requests: %v us", top)
+			case 2:
+				res, err := pool.Median(shards)
+				if err != nil {
+					log.Fatal(err)
+				}
+				text = fmt.Sprintf("median = %d us (sim %.4f s, %d msgs)",
+					res.Value, res.SimSeconds, res.Messages)
+			}
+			mu.Lock()
+			answers = append(answers, answer{c, text})
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+
+	for _, a := range answers {
+		fmt.Printf("client %2d: %s\n", a.client, a.text)
+	}
+
+	// A batched sweep: one rank query per node count, fanned across the
+	// pool's machines in one call.
+	queries := make([]parsel.Query[int64], 5)
+	for i := range queries {
+		queries[i] = parsel.Query[int64]{Shards: shards[:4+3*i], Rank: 1000}
+	}
+	fmt.Println("\nbatched SelectMany over growing fleets:")
+	for i, r := range pool.SelectMany(queries) {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		fmt.Printf("  %2d nodes: rank-1000 latency = %d us\n", len(queries[i].Shards), r.Value)
+	}
+
+	st := pool.Stats()
+	fmt.Printf("\npool: %d machines built, %d warm reuses, %d reshapes, %d waits\n",
+		st.Creates, st.Hits, st.Reshapes, st.Waits)
+}

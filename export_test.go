@@ -10,3 +10,11 @@ var (
 	QuantileRankForTest = quantileRank
 	DisagreementForTest = disagreement[int64]
 )
+
+// AcquireForTest marks the Selector as serving a call, exactly as a
+// public method would, so tests can deterministically provoke
+// ErrSelectorBusy.
+func (s *Selector[K]) AcquireForTest() error { return s.acquire() }
+
+// ReleaseForTest undoes AcquireForTest.
+func (s *Selector[K]) ReleaseForTest() { s.release() }

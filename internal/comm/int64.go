@@ -146,7 +146,7 @@ func globalConcatInt64Flat(p *machine.Proc, val int64, vals []int64, L int, buf 
 	buf = buf[:need]
 	// have holds contributions in rank-rotated order: the block of
 	// processor (me+i)%size occupies have[i*L:(i+1)*L].
-	have := buf[:L:size*L]
+	have := buf[: L : size*L]
 	if vals == nil {
 		have[0] = val
 	} else {

@@ -25,6 +25,7 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // WordBytes is the size of one data element (int64 keys) on the wire.
@@ -189,6 +190,10 @@ type Machine struct {
 	// be parked in the links; the next run drains them first.
 	dirty  bool
 	closed bool
+	// running asserts single-flight ownership: a machine serves one Run
+	// at a time, and a second concurrent Run is reported as an error
+	// instead of corrupting the fabric.
+	running atomic.Bool
 }
 
 // New allocates the channel fabric for a machine with the given parameters
@@ -268,6 +273,10 @@ func Run(params Params, body func(*Proc)) (simSeconds float64, err error) {
 // simulated state: clocks at zero, counters cleared, and random streams
 // re-seeded, so repeated runs are bit-identical to one-shot runs.
 func (m *Machine) Run(body func(*Proc)) (simSeconds float64, err error) {
+	if !m.running.CompareAndSwap(false, true) {
+		return 0, fmt.Errorf("machine: concurrent Run on one machine")
+	}
+	defer m.running.Store(false)
 	if m.closed {
 		return 0, fmt.Errorf("machine: Run on closed machine")
 	}
@@ -291,6 +300,13 @@ func (m *Machine) Run(body func(*Proc)) (simSeconds float64, err error) {
 			return 0, fmt.Errorf("machine: processor %d panicked: %v", proc.id, proc.panicVal)
 		}
 	}
+	// Cheap reset audit: a clean SPMD run matches every send with a
+	// receive, so residual messages in the fabric mean a protocol bug
+	// (mismatched tags or counts) that would corrupt the next run.
+	if left := m.residualMessages(); left > 0 {
+		m.dirty = true
+		return 0, fmt.Errorf("machine: %d residual message(s) left in the fabric after a run", left)
+	}
 	var max float64
 	for _, proc := range m.procs {
 		if proc.now > max {
@@ -298,6 +314,15 @@ func (m *Machine) Run(body func(*Proc)) (simSeconds float64, err error) {
 		}
 	}
 	return max, nil
+}
+
+// residualMessages counts messages still parked in the links.
+func (m *Machine) residualMessages() int {
+	left := 0
+	for _, link := range m.links {
+		left += len(link)
+	}
+	return left
 }
 
 // drainLinks discards messages left in the fabric by a failed run.

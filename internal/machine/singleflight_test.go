@@ -1,0 +1,78 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSingleFlight pins the single-flight ownership assertion: a
+// second Run entered while one is in flight errors out instead of
+// corrupting the fabric, and the machine keeps working afterwards.
+func TestRunSingleFlight(t *testing.T) {
+	m, err := New(DefaultParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Run(func(p *Proc) {
+			started <- struct{}{}
+			<-release
+		})
+		done <- err
+	}()
+	<-started // a processor is inside the body, so the run is in flight
+
+	if _, err := m.Run(func(p *Proc) {}); err == nil ||
+		!strings.Contains(err.Error(), "concurrent Run") {
+		t.Errorf("concurrent Run: %v, want single-flight error", err)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if _, err := m.Run(func(p *Proc) {}); err != nil {
+		t.Fatalf("run after single-flight violation: %v", err)
+	}
+}
+
+// TestResidualMessageAudit pins the cheap reset audit: a run that leaves
+// an unmatched message in the fabric is reported as an error, and the
+// next run starts from a drained fabric.
+func TestResidualMessageAudit(t *testing.T) {
+	m, err := New(DefaultParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	_, err = m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 42, nil, 8) // never received
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "residual message") {
+		t.Fatalf("leaky run: %v, want residual-message error", err)
+	}
+
+	// The audit marked the machine dirty; the next run must drain the
+	// leftover message and complete cleanly.
+	sim, err := m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 7, nil, 8)
+		} else {
+			p.Recv(0, 7)
+		}
+	})
+	if err != nil {
+		t.Fatalf("run after audit failure: %v", err)
+	}
+	if sim <= 0 {
+		t.Error("no simulated time after recovery")
+	}
+}

@@ -29,6 +29,47 @@ type Arena[K cmp.Ordered] struct {
 	wgather []int64
 	bal     balance.Scratch[K]
 	sort    psort.Scratch[K]
+
+	// Multi-rank (SelectMany) scratch: the result values, the root's
+	// per-segment answer staging, the segment work list, and bump slabs
+	// carving the per-segment rank/position lists.
+	many   []K
+	mvals  []K
+	msegs  []multiSeg[K]
+	mranks slab[int64]
+	mouts  slab[int]
+}
+
+// slab is a bump allocator over one growable backing array. Chunks are
+// carved with full capacity bounds, so appends within a chunk can never
+// bleed into a neighbour; when the backing array is exhausted a fresh
+// one is allocated (previously carved chunks keep the old array alive
+// until the run ends). reset recycles the high-water backing, making
+// steady-state carving allocation-free.
+type slab[T any] struct {
+	buf []T
+	off int
+}
+
+// reset recycles the backing array for a new run.
+func (s *slab[T]) reset() { s.off = 0 }
+
+// take carves a zero-length chunk with capacity n.
+func (s *slab[T]) take(n int) []T {
+	if s.off+n > len(s.buf) {
+		grown := 2 * len(s.buf)
+		if grown < n {
+			grown = n
+		}
+		if grown < 64 {
+			grown = 64
+		}
+		s.buf = make([]T, grown)
+		s.off = 0
+	}
+	chunk := s.buf[s.off : s.off : s.off+n]
+	s.off += n
+	return chunk
 }
 
 // arenaOf returns the processor's arena, creating and parking it in

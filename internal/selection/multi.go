@@ -10,6 +10,18 @@ import (
 	"parsel/internal/seq"
 )
 
+// multiSeg is one disjoint population segment of a SelectMany run: this
+// processor's share of the segment's data, the segment's global
+// population, and the target ranks (with their result positions) that
+// fall inside it. The ranks and out slices are carved from the arena's
+// bump slabs.
+type multiSeg[K cmp.Ordered] struct {
+	data  []K     // this processor's share of the segment
+	n     int64   // global population of the segment
+	ranks []int64 // target ranks within the segment, ascending
+	out   []int   // result positions, aligned with ranks
+}
+
 // SelectMany returns the elements at the given 1-based ranks (in the
 // order requested; duplicate ranks are allowed), sharing partitioning
 // work across the ranks instead of running one selection per rank. It is
@@ -24,6 +36,9 @@ import (
 // or below the p^2 threshold are gathered on processor 0 and solved
 // together. Load balancing is not applied (segments alias one another's
 // storage), so Options.Balancer is ignored.
+//
+// The returned slice is backed by the processor's arena and is valid
+// until the next selection on the same machine.
 func SelectMany[K cmp.Ordered](p *machine.Proc, local []K, ranks []int64, opts Options) ([]K, Stats) {
 	opts = opts.withDefaults()
 	st := &Stats{}
@@ -36,32 +51,33 @@ func SelectMany[K cmp.Ordered](p *machine.Proc, local []K, ranks []int64, opts O
 			panic(fmt.Sprintf("selection: rank %d out of range [1,%d]", r, n))
 		}
 	}
-	results := make([]K, len(ranks))
+	ar := arenaOf[K](p)
+	ar.mranks.reset()
+	ar.mouts.reset()
+	if cap(ar.many) < len(ranks) {
+		ar.many = make([]K, len(ranks))
+	}
+	results := ar.many[:len(ranks)]
 	if len(ranks) == 0 {
 		return results, *st
 	}
 	if opts.BorrowedInput {
-		local = arenaOf[K](p).copyIn(local)
+		local = ar.copyIn(local)
 	}
 
 	// Sort the rank set once, remembering result positions.
-	order := make([]int, len(ranks))
-	for i := range order {
-		order[i] = i
+	order := ar.mouts.take(len(ranks))
+	for i := 0; i < len(ranks); i++ {
+		order = append(order, i)
 	}
 	slices.SortFunc(order, func(a, b int) int { return cmp.Compare(ranks[a], ranks[b]) })
 
-	type segTask struct {
-		data  []K     // this processor's share of the segment
-		n     int64   // global population of the segment
-		ranks []int64 // target ranks within the segment, ascending
-		out   []int   // result positions, aligned with ranks
+	first := multiSeg[K]{data: local, n: n, ranks: ar.mranks.take(len(order)), out: order}
+	for _, idx := range order {
+		first.ranks = append(first.ranks, ranks[idx])
 	}
-	first := segTask{data: local, n: n, ranks: make([]int64, len(order)), out: order}
-	for i, idx := range order {
-		first.ranks[i] = ranks[idx]
-	}
-	queue := []segTask{first}
+	queue := append(ar.msegs[:0], first)
+	defer func() { ar.msegs = queue[:0] }()
 	thr := threshold(p)
 
 	for len(queue) > 0 {
@@ -73,12 +89,21 @@ func SelectMany[K cmp.Ordered](p *machine.Proc, local []K, ranks []int64, opts O
 				st.CapHit = true
 			}
 			// Gather the whole segment once and answer all its ranks.
-			all := comm.GatherFlat(p, 0, seg.data, opts.ElemBytes)
+			// Arena reuse across segments is safe: before either buffer
+			// is refilled, the root has received from every processor
+			// (gather tree) and every processor has received from the
+			// root (broadcast), so all cross-processor aliases of the
+			// previous segment's buffers are drained.
+			all, gbuf := comm.GatherFlatInto(p, 0, seg.data, opts.ElemBytes, ar.gather)
+			ar.gather = gbuf
 			var vals []K
 			if p.ID() == 0 {
 				st.FinalGatherElems += int64(len(all))
 				p.Charge(seq.Sort(all))
-				vals = make([]K, len(seg.ranks))
+				if cap(ar.mvals) < len(seg.ranks) {
+					ar.mvals = make([]K, len(seg.ranks))
+				}
+				vals = ar.mvals[:len(seg.ranks)]
 				for i, r := range seg.ranks {
 					vals[i] = all[r-1]
 				}
@@ -104,10 +129,22 @@ func SelectMany[K cmp.Ordered](p *machine.Proc, local []K, ranks []int64, opts O
 		p.Charge(ops)
 		c := combineCounts(p, int64(lt), int64(eq))
 
-		// Distribute the segment's ranks across the three regions.
-		var lo, hi segTask
-		lo = segTask{data: seg.data[:lt], n: c.less}
-		hi = segTask{data: seg.data[lt+eq:], n: seg.n - c.less - c.eq}
+		// Distribute the segment's ranks across the three regions. The
+		// split sizes are counted first so each side gets an exactly
+		// sized slab chunk.
+		nLo, nHi := 0, 0
+		for _, r := range seg.ranks {
+			switch {
+			case r <= c.less:
+				nLo++
+			case r > c.less+c.eq:
+				nHi++
+			}
+		}
+		lo := multiSeg[K]{data: seg.data[:lt], n: c.less,
+			ranks: ar.mranks.take(nLo), out: ar.mouts.take(nLo)}
+		hi := multiSeg[K]{data: seg.data[lt+eq:], n: seg.n - c.less - c.eq,
+			ranks: ar.mranks.take(nHi), out: ar.mouts.take(nHi)}
 		for i, r := range seg.ranks {
 			switch {
 			case r <= c.less:

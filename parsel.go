@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 	"time"
 
 	"parsel/internal/balance"
@@ -219,13 +220,33 @@ var (
 	ErrBadQuantile = errors.New("parsel: quantile must be in [0,1]")
 )
 
+// errors returned by lifecycle misuse of a Selector or Pool. Both are
+// detected and reported rather than corrupting engine state.
+var (
+	// ErrSelectorClosed is returned by every Selector method called
+	// after Close.
+	ErrSelectorClosed = errors.New("parsel: Selector used after Close")
+	// ErrSelectorBusy is returned when two goroutines call into one
+	// Selector at the same time; a Selector serves one call at a time
+	// (use a Pool for concurrent serving).
+	ErrSelectorBusy = errors.New("parsel: concurrent call on a Selector (use a Pool to serve multiple goroutines)")
+	// ErrPoolClosed is returned by every Pool method called after Close.
+	ErrPoolClosed = errors.New("parsel: Pool used after Close")
+)
+
 // Selector is a reusable selection engine: the simulated machine —
 // channel fabric, parked goroutine pool, per-processor random streams and
 // scratch arenas — is constructed once and serves repeated Select,
 // Median, Quantile(s) and SelectRanks calls. For a fixed seed and inputs,
 // every simulated metric (SimSeconds, Iterations, Messages, Bytes) is
 // identical to the one-shot package functions; only host-side cost
-// differs. A Selector is not safe for concurrent use.
+// differs.
+//
+// A Selector is not safe for concurrent use, but misuse is detected
+// rather than corrupting state: a method entered while another call is
+// in flight returns ErrSelectorBusy, and any method called after Close
+// returns ErrSelectorClosed. Callers that need to serve many goroutines
+// should use a Pool, which checks Selectors in and out safely.
 type Selector[K cmp.Ordered] struct {
 	opts     Options
 	params   machine.Params
@@ -234,6 +255,56 @@ type Selector[K cmp.Ordered] struct {
 	many     [][]K
 	stats    []selection.Stats
 	counters []machine.Counters
+	rankBuf  []int64 // reusable rank staging for Quantiles
+
+	// mu guards the lifecycle state so concurrent misuse is reported
+	// (ErrSelectorBusy / ErrSelectorClosed) instead of racing, and so a
+	// Close racing an in-flight call defers the machine teardown until
+	// the call returns. The lock is held only for the state transition,
+	// never across a selection.
+	mu           sync.Mutex
+	state        int8 // idle / busy / closed
+	closePending bool // Close arrived mid-call; release finishes it
+}
+
+// Selector lifecycle states.
+const (
+	selectorIdle int8 = iota
+	selectorBusy
+	selectorClosed
+)
+
+// acquire marks the Selector as serving one call, or reports why it
+// cannot.
+func (s *Selector[K]) acquire() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case selectorBusy:
+		return ErrSelectorBusy
+	case selectorClosed:
+		return ErrSelectorClosed
+	}
+	s.state = selectorBusy
+	return nil
+}
+
+// release returns the Selector to idle after a call, or completes a
+// Close that arrived while the call was in flight.
+func (s *Selector[K]) release() {
+	s.mu.Lock()
+	if s.closePending {
+		s.closePending = false
+		s.state = selectorClosed
+		m := s.m
+		s.mu.Unlock()
+		if m != nil {
+			m.Close()
+		}
+		return
+	}
+	s.state = selectorIdle
+	s.mu.Unlock()
 }
 
 // agreementChecks enables the cross-processor result assertion: every
@@ -301,12 +372,27 @@ func (s *Selector[K]) ensure(p int) error {
 	return s.rebuild(p)
 }
 
-// Close releases the engine's goroutine pool. The Selector must not be
-// used afterwards. Closing is optional (dropped Selectors are cleaned up
-// by the runtime) but deterministic.
+// Close releases the engine's goroutine pool. Every later method call
+// returns ErrSelectorClosed. Closing is optional (dropped Selectors are
+// cleaned up by the runtime) but deterministic, and Close is idempotent.
+// A Close that races an in-flight call is safe: the call completes
+// normally and the engine is torn down as it returns.
 func (s *Selector[K]) Close() {
-	if s.m != nil {
-		s.m.Close()
+	s.mu.Lock()
+	switch s.state {
+	case selectorClosed:
+		s.mu.Unlock()
+		return
+	case selectorBusy:
+		s.closePending = true
+		s.mu.Unlock()
+		return
+	}
+	s.state = selectorClosed
+	m := s.m
+	s.mu.Unlock()
+	if m != nil {
+		m.Close()
 	}
 }
 
@@ -318,6 +404,10 @@ func (s *Selector[K]) Procs() int { return s.params.Procs }
 // (including zero) lengths; shard contents are not modified (the engine
 // copies each shard into its resident per-processor arena).
 func (s *Selector[K]) Select(shards [][]K, rank int64) (Result[K], error) {
+	if err := s.acquire(); err != nil {
+		return Result[K]{}, err
+	}
+	defer s.release()
 	return s.selectRank(shards, rank, true)
 }
 
@@ -327,25 +417,37 @@ func (s *Selector[K]) Select(shards [][]K, rank int64) (Result[K], error) {
 // contents are unspecified (permuted, possibly redistributed); the
 // multiset of elements is preserved across the union of shards.
 func (s *Selector[K]) SelectInPlace(shards [][]K, rank int64) (Result[K], error) {
+	if err := s.acquire(); err != nil {
+		return Result[K]{}, err
+	}
+	defer s.release()
 	return s.selectRank(shards, rank, false)
 }
 
 // Median returns the element of rank ceil(n/2) (the paper's median).
 func (s *Selector[K]) Median(shards [][]K) (Result[K], error) {
+	if err := s.acquire(); err != nil {
+		return Result[K]{}, err
+	}
+	defer s.release()
 	var n int64
 	for _, sh := range shards {
 		n += int64(len(sh))
 	}
-	return s.Select(shards, (n+1)/2)
+	return s.selectRank(shards, (n+1)/2, true)
 }
 
 // Quantile returns the element of rank ceil(q*n) for q in (0,1], and the
 // minimum for q = 0.
 func (s *Selector[K]) Quantile(shards [][]K, q float64) (Result[K], error) {
 	var zero Result[K]
-	if q < 0 || q > 1 {
+	if !(q >= 0 && q <= 1) { // also rejects NaN
 		return zero, fmt.Errorf("%w: %g", ErrBadQuantile, q)
 	}
+	if err := s.acquire(); err != nil {
+		return zero, err
+	}
+	defer s.release()
 	var n int64
 	for _, sh := range shards {
 		n += int64(len(sh))
@@ -356,7 +458,7 @@ func (s *Selector[K]) Quantile(shards [][]K, q float64) (Result[K], error) {
 		}
 		return zero, ErrNoData
 	}
-	return s.Select(shards, quantileRank(n, q))
+	return s.selectRank(shards, quantileRank(n, q), true)
 }
 
 // selectRank validates and executes one collective selection.
@@ -425,7 +527,22 @@ func (s *Selector[K]) selectRank(shards [][]K, rank int64, borrowed bool) (Resul
 // selection's cost for a handful of ranks). Ranks may repeat and appear
 // in any order; results align with the request. Options.Balancer is
 // ignored (multi-rank segments alias storage and cannot migrate).
+//
+// The returned slice is backed by the Selector's reusable arena: it is
+// valid until the next call on this Selector, so callers that retain it
+// across calls must copy it first. (Results from the package-level
+// SelectRanks and from Pool.SelectRanks are caller-owned.)
 func (s *Selector[K]) SelectRanks(shards [][]K, ranks []int64) ([]K, Report, error) {
+	if err := s.acquire(); err != nil {
+		return nil, Report{}, err
+	}
+	defer s.release()
+	return s.selectRanks(shards, ranks)
+}
+
+// selectRanks is the unguarded SelectRanks core, for composition by the
+// guarded public methods.
+func (s *Selector[K]) selectRanks(shards [][]K, ranks []int64) ([]K, Report, error) {
 	if len(shards) == 0 {
 		return nil, Report{}, ErrNoShards
 	}
@@ -484,8 +601,13 @@ func (s *Selector[K]) SelectRanks(shards [][]K, ranks []int64) ([]K, Report, err
 }
 
 // Quantiles returns the elements at several quantiles (each in [0,1]) in
-// one collective run; see SelectRanks.
+// one collective run; see SelectRanks (including the arena-backed
+// lifetime of the returned slice).
 func (s *Selector[K]) Quantiles(shards [][]K, qs []float64) ([]K, Report, error) {
+	if err := s.acquire(); err != nil {
+		return nil, Report{}, err
+	}
+	defer s.release()
 	var n int64
 	for _, sh := range shards {
 		n += int64(len(sh))
@@ -496,14 +618,15 @@ func (s *Selector[K]) Quantiles(shards [][]K, qs []float64) ([]K, Report, error)
 	if n == 0 {
 		return nil, Report{}, ErrNoData
 	}
-	ranks := make([]int64, len(qs))
-	for i, q := range qs {
-		if q < 0 || q > 1 {
+	ranks := s.rankBuf[:0]
+	for _, q := range qs {
+		if !(q >= 0 && q <= 1) { // also rejects NaN
 			return nil, Report{}, fmt.Errorf("%w: %g", ErrBadQuantile, q)
 		}
-		ranks[i] = quantileRank(n, q)
+		ranks = append(ranks, quantileRank(n, q))
 	}
-	return s.SelectRanks(shards, ranks)
+	s.rankBuf = ranks
+	return s.selectRanks(shards, ranks)
 }
 
 // quantileRank converts a quantile to its 1-based rank ceil(q*n), clamped
@@ -580,7 +703,7 @@ func Median[K cmp.Ordered](shards [][]K, opts Options) (Result[K], error) {
 func Quantile[K cmp.Ordered](shards [][]K, q float64, opts Options) (Result[K], error) {
 	// Validate the quantile before anything else, so an out-of-range q
 	// is always reported as such even alongside other bad arguments.
-	if q < 0 || q > 1 {
+	if !(q >= 0 && q <= 1) { // also rejects NaN
 		return Result[K]{}, fmt.Errorf("%w: %g", ErrBadQuantile, q)
 	}
 	s, err := oneShot[K](len(shards), opts)

@@ -1,0 +1,404 @@
+package parsel
+
+import (
+	"cmp"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// PoolOptions configures a Pool.
+type PoolOptions struct {
+	// MaxMachines bounds the number of resident Selectors (simulated
+	// machines) the pool will hold at once. Calls beyond this many
+	// concurrent queries block until a machine frees up. 0 means 4.
+	MaxMachines int
+}
+
+// withDefaults fills in the zero-valued knobs.
+func (po PoolOptions) withDefaults() PoolOptions {
+	if po.MaxMachines == 0 {
+		po.MaxMachines = 4
+	}
+	return po
+}
+
+// PoolStats counts what the pool did, for observability and tests.
+type PoolStats struct {
+	// Creates is the number of Selectors built.
+	Creates int64
+	// Hits is the number of checkouts served by an idle Selector that
+	// already had the right machine shape.
+	Hits int64
+	// Reshapes is the number of checkouts that repurposed an idle
+	// Selector of a different shape (paying one machine rebuild).
+	Reshapes int64
+	// Waits is the number of checkouts that blocked for a free slot.
+	Waits int64
+}
+
+// Pool is a goroutine-safe serving layer over a bounded set of resident
+// Selectors sharing one Options configuration. It is the concurrency
+// story for a long-lived selection/quantile service: many goroutines
+// issue queries against one pool, each query checks a Selector out for
+// its duration, and results — including every simulated metric — are
+// bit-identical to running the same query on a one-shot Selector.
+//
+// # Concurrency contract
+//
+//   - Every method is safe to call from any number of goroutines.
+//   - Each query runs on exactly one resident Selector, checked out for
+//     the duration of the call; a Selector never serves two queries at
+//     once (the machine layer additionally asserts single-flight
+//     ownership).
+//   - Selectors are pooled per machine shape (processor count = shard
+//     count of the call). A query whose shape has an idle Selector
+//     reuses it at full amortized speed; a new shape grows the pool if
+//     it is below MaxMachines, and otherwise repurposes an idle
+//     Selector, paying one machine rebuild.
+//   - At most MaxMachines queries execute concurrently; beyond that,
+//     calls block (FIFO-ish, via an internal semaphore) until a machine
+//     frees up. Blocking calls hold no locks, so progress is always
+//     possible.
+//   - Shard slices passed to a query are read but never modified; the
+//     caller keeps ownership. Result slices (SelectRanks, Quantiles,
+//     TopK, BottomK) are caller-owned copies, safe to retain.
+//   - After Close, every method returns ErrPoolClosed. Queries already
+//     in flight complete normally.
+type Pool[K cmp.Ordered] struct {
+	opts Options
+	max  int
+	sem  chan struct{} // counting semaphore: one token per in-flight query
+
+	mu     sync.Mutex
+	idle   map[int][]*Selector[K] // idle Selectors keyed by machine shape
+	total  int                    // resident Selectors (idle + checked out)
+	closed bool
+	stats  PoolStats
+
+	// warmMu serializes Warm calls. Warm holds several semaphore tokens
+	// at once; two concurrent Warms could otherwise each grab part of
+	// the capacity and deadlock waiting for the rest (queries never
+	// hold-and-wait, so they need no such serialization).
+	warmMu sync.Mutex
+}
+
+// NewPool builds a serving pool for opts. Options.Machine.Procs is
+// ignored (each query's shard count picks its machine shape); the
+// remaining options apply to every resident Selector. No machine is
+// built until the first query.
+func NewPool[K cmp.Ordered](opts Options, po PoolOptions) (*Pool[K], error) {
+	po = po.withDefaults()
+	// Validate the machine description once, eagerly, with a throwaway
+	// one-processor parameter set, so a misconfigured pool fails at
+	// construction rather than on first use.
+	if _, err := opts.Machine.params(1); err != nil {
+		return nil, err
+	}
+	return &Pool[K]{
+		opts: opts,
+		max:  po.MaxMachines,
+		sem:  make(chan struct{}, po.MaxMachines),
+		idle: make(map[int][]*Selector[K]),
+	}, nil
+}
+
+// checkout blocks for a slot and returns a Selector for a procs-shaped
+// query. The caller must hand it back with checkin.
+func (pl *Pool[K]) checkout(procs int) (*Selector[K], error) {
+	if procs == 0 {
+		return nil, ErrNoShards
+	}
+	select {
+	case pl.sem <- struct{}{}:
+	default:
+		pl.mu.Lock()
+		pl.stats.Waits++
+		pl.mu.Unlock()
+		pl.sem <- struct{}{}
+	}
+	pl.mu.Lock()
+	if pl.closed {
+		pl.mu.Unlock()
+		<-pl.sem
+		return nil, ErrPoolClosed
+	}
+	if list := pl.idle[procs]; len(list) > 0 {
+		sel := list[len(list)-1]
+		pl.idle[procs] = list[:len(list)-1]
+		pl.stats.Hits++
+		pl.mu.Unlock()
+		return sel, nil
+	}
+	if pl.total < pl.max {
+		pl.total++
+		pl.stats.Creates++
+		pl.mu.Unlock()
+		o := pl.opts
+		o.Machine.Procs = procs
+		sel, err := NewSelector[K](o)
+		if err != nil {
+			pl.mu.Lock()
+			pl.total--
+			pl.mu.Unlock()
+			<-pl.sem
+			return nil, err
+		}
+		return sel, nil
+	}
+	// The pool is full and no idle Selector has this shape: repurpose
+	// one from another shape (Selector.ensure rebuilds transparently on
+	// the next call). One must exist: the semaphore admits at most max
+	// concurrent holders, so total == max implies at least one resident
+	// Selector is idle.
+	for shape, list := range pl.idle {
+		if len(list) > 0 {
+			sel := list[len(list)-1]
+			pl.idle[shape] = list[:len(list)-1]
+			pl.stats.Reshapes++
+			pl.mu.Unlock()
+			return sel, nil
+		}
+	}
+	pl.mu.Unlock()
+	panic("parsel: pool invariant violated: full pool with no idle Selector")
+}
+
+// checkin returns a Selector to the idle set (or closes it if the pool
+// was closed meanwhile) and frees the slot.
+func (pl *Pool[K]) checkin(sel *Selector[K]) {
+	pl.mu.Lock()
+	if pl.closed {
+		pl.total--
+		pl.mu.Unlock()
+		sel.Close()
+		<-pl.sem
+		return
+	}
+	shape := sel.Procs()
+	pl.idle[shape] = append(pl.idle[shape], sel)
+	pl.mu.Unlock()
+	<-pl.sem
+}
+
+// Close shuts the pool down: idle Selectors are closed immediately,
+// checked-out ones as their queries complete, and every later method
+// call returns ErrPoolClosed. Close is idempotent.
+func (pl *Pool[K]) Close() {
+	pl.mu.Lock()
+	if pl.closed {
+		pl.mu.Unlock()
+		return
+	}
+	pl.closed = true
+	var all []*Selector[K]
+	for shape, list := range pl.idle {
+		all = append(all, list...)
+		delete(pl.idle, shape)
+	}
+	pl.total -= len(all)
+	pl.mu.Unlock()
+	for _, sel := range all {
+		sel.Close()
+	}
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (pl *Pool[K]) Stats() PoolStats {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.stats
+}
+
+// Warm pre-provisions count resident Selectors — machine fabric
+// included — for procs-shaped queries (count is capped at MaxMachines),
+// so a later burst of concurrent traffic pays no machine construction.
+// It holds all count Selectors checked out at once, guaranteeing the
+// pool really grows to that size, then returns them idle. Warm blocks
+// while count machines are busy with queries; concurrent Warm calls are
+// serialized against each other.
+func (pl *Pool[K]) Warm(procs, count int) error {
+	if procs < 1 {
+		return ErrNoShards
+	}
+	if count > pl.max {
+		count = pl.max
+	}
+	pl.warmMu.Lock()
+	defer pl.warmMu.Unlock()
+	sels := make([]*Selector[K], 0, count)
+	defer func() {
+		for _, sel := range sels {
+			pl.checkin(sel)
+		}
+	}()
+	for i := 0; i < count; i++ {
+		sel, err := pl.checkout(procs)
+		if err != nil {
+			return err
+		}
+		sels = append(sels, sel)
+		// Force the lazy machine build now; a plain checkout only
+		// allocates the Selector shell.
+		if err := sel.ensure(procs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Select returns the element of 1-based rank among all elements of
+// shards; see Selector.Select. Safe for concurrent use.
+func (pl *Pool[K]) Select(shards [][]K, rank int64) (Result[K], error) {
+	sel, err := pl.checkout(len(shards))
+	if err != nil {
+		return Result[K]{}, err
+	}
+	defer pl.checkin(sel)
+	return sel.Select(shards, rank)
+}
+
+// SelectInPlace is Select for callers that hand over ownership of their
+// shards; see Selector.SelectInPlace. The caller must not touch the
+// shards until the call returns. Safe for concurrent use (with distinct
+// shards per call).
+func (pl *Pool[K]) SelectInPlace(shards [][]K, rank int64) (Result[K], error) {
+	sel, err := pl.checkout(len(shards))
+	if err != nil {
+		return Result[K]{}, err
+	}
+	defer pl.checkin(sel)
+	return sel.SelectInPlace(shards, rank)
+}
+
+// Median returns the element of rank ceil(n/2); see Selector.Median.
+func (pl *Pool[K]) Median(shards [][]K) (Result[K], error) {
+	sel, err := pl.checkout(len(shards))
+	if err != nil {
+		return Result[K]{}, err
+	}
+	defer pl.checkin(sel)
+	return sel.Median(shards)
+}
+
+// Quantile returns the element of rank ceil(q*n); see Selector.Quantile.
+func (pl *Pool[K]) Quantile(shards [][]K, q float64) (Result[K], error) {
+	sel, err := pl.checkout(len(shards))
+	if err != nil {
+		return Result[K]{}, err
+	}
+	defer pl.checkin(sel)
+	return sel.Quantile(shards, q)
+}
+
+// SelectRanks returns the elements at several 1-based ranks in one
+// collective run; see Selector.SelectRanks. The returned slice is a
+// caller-owned copy.
+func (pl *Pool[K]) SelectRanks(shards [][]K, ranks []int64) ([]K, Report, error) {
+	sel, err := pl.checkout(len(shards))
+	if err != nil {
+		return nil, Report{}, err
+	}
+	defer pl.checkin(sel)
+	vals, rep, err := sel.SelectRanks(shards, ranks)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return slices.Clone(vals), rep, nil
+}
+
+// Quantiles returns the elements at several quantiles in one collective
+// run; see Selector.Quantiles. The returned slice is a caller-owned
+// copy.
+func (pl *Pool[K]) Quantiles(shards [][]K, qs []float64) ([]K, Report, error) {
+	sel, err := pl.checkout(len(shards))
+	if err != nil {
+		return nil, Report{}, err
+	}
+	defer pl.checkin(sel)
+	vals, rep, err := sel.Quantiles(shards, qs)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return slices.Clone(vals), rep, nil
+}
+
+// TopK returns the k largest elements in descending order; see
+// Selector.TopK.
+func (pl *Pool[K]) TopK(shards [][]K, k int) ([]K, Report, error) {
+	sel, err := pl.checkout(len(shards))
+	if err != nil {
+		return nil, Report{}, err
+	}
+	defer pl.checkin(sel)
+	return sel.TopK(shards, k)
+}
+
+// BottomK returns the k smallest elements in ascending order; see
+// Selector.BottomK.
+func (pl *Pool[K]) BottomK(shards [][]K, k int) ([]K, Report, error) {
+	sel, err := pl.checkout(len(shards))
+	if err != nil {
+		return nil, Report{}, err
+	}
+	defer pl.checkin(sel)
+	return sel.BottomK(shards, k)
+}
+
+// Summary computes the five-number summary in a single multi-rank run;
+// see Selector.Summary.
+func (pl *Pool[K]) Summary(shards [][]K) (FiveNumber[K], Report, error) {
+	sel, err := pl.checkout(len(shards))
+	if err != nil {
+		return FiveNumber[K]{}, Report{}, err
+	}
+	defer pl.checkin(sel)
+	return sel.Summary(shards)
+}
+
+// Query is one independent selection request of a SelectMany batch.
+type Query[K cmp.Ordered] struct {
+	// Shards is the sharded population (one simulated processor per
+	// shard, as in Select).
+	Shards [][]K
+	// Rank is the 1-based target rank.
+	Rank int64
+}
+
+// BatchResult is one query's outcome in a SelectMany batch.
+type BatchResult[K cmp.Ordered] struct {
+	Result[K]
+	// Err is the query's own error (other queries proceed regardless).
+	Err error
+}
+
+// SelectMany fans a batch of independent queries across the pool's
+// machines, running up to MaxMachines of them concurrently. Results
+// align with the request; each query carries its own error, so one
+// invalid query does not fail the batch. Every result is bit-identical
+// to running that query alone.
+func (pl *Pool[K]) SelectMany(queries []Query[K]) []BatchResult[K] {
+	out := make([]BatchResult[K], len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	workers := min(pl.max, len(queries))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				res, err := pl.Select(queries[i].Shards, queries[i].Rank)
+				out[i] = BatchResult[K]{Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

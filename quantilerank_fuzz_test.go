@@ -1,0 +1,59 @@
+package parsel
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// bigRatRank is the reference implementation of quantileRank: the exact
+// ceiling of n*q computed over arbitrary-precision rationals, with q
+// taken at its exact binary value (what the 128-bit integer arithmetic
+// in quantileRank claims to compute), clamped to [1, n].
+func bigRatRank(n int64, q float64) int64 {
+	if q <= 0 {
+		return 1
+	}
+	if q >= 1 {
+		return n
+	}
+	r := new(big.Rat).SetFloat64(q)
+	r.Mul(r, new(big.Rat).SetInt64(n))
+	ceil := new(big.Int).Div(r.Num(), r.Denom())
+	if new(big.Int).Mod(r.Num(), r.Denom()).Sign() != 0 {
+		ceil.Add(ceil, big.NewInt(1))
+	}
+	rank := ceil.Int64()
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return rank
+}
+
+// FuzzQuantileRank cross-checks the 128-bit ceiling arithmetic of
+// quantileRank against math/big rationals over the full (n, q) domain,
+// including subnormal q, q one ulp either side of rational boundaries,
+// and populations beyond 2^53 where float64 products round to
+// neighbouring integers.
+func FuzzQuantileRank(f *testing.F) {
+	f.Add(int64(1), 0.5)
+	f.Add(int64(101), 1.0/101)
+	f.Add(int64(1<<53), math.Nextafter(0.1, 0))
+	f.Add(int64(1)<<62, 0.9999999999999999)
+	f.Add(int64(3), 5e-324) // smallest subnormal
+	f.Add(int64(7), 1.0/3)
+	f.Add(int64(1<<53)+1, 0.5)
+	f.Fuzz(func(t *testing.T, n int64, q float64) {
+		if n < 1 || math.IsNaN(q) || q < 0 || q > 1 {
+			return // outside the validated domain of quantileRank
+		}
+		got := quantileRank(n, q)
+		want := bigRatRank(n, q)
+		if got != want {
+			t.Errorf("quantileRank(%d, %b) = %d, math/big says %d", n, q, got, want)
+		}
+	})
+}

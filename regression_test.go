@@ -40,5 +40,27 @@ func TestSimulatedTimeRegressionBands(t *testing.T) {
 			t.Errorf("%s: simulated %g s outside regression band [%g, %g]",
 				tc.name, res.SimSeconds, tc.lo, tc.hi)
 		}
+		// The pooled serving path must stay inside the same band — and,
+		// stronger, reproduce the one-shot simulated time bit-for-bit,
+		// on a cold machine and on a warm reused one.
+		pool, err := NewPool[int64](tc.opts, PoolOptions{MaxMachines: 2})
+		if err != nil {
+			t.Fatalf("%s: pool: %v", tc.name, err)
+		}
+		for _, pass := range []string{"cold", "warm"} {
+			pres, err := pool.Median(shards)
+			if err != nil {
+				t.Fatalf("%s: pooled median (%s): %v", tc.name, pass, err)
+			}
+			if pres.SimSeconds < tc.lo || pres.SimSeconds > tc.hi {
+				t.Errorf("%s: pooled (%s) simulated %g s outside regression band [%g, %g]",
+					tc.name, pass, pres.SimSeconds, tc.lo, tc.hi)
+			}
+			if pres.SimSeconds != res.SimSeconds {
+				t.Errorf("%s: pooled (%s) simulated %g s != one-shot %g s",
+					tc.name, pass, pres.SimSeconds, res.SimSeconds)
+			}
+		}
+		pool.Close()
 	}
 }

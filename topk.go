@@ -6,35 +6,26 @@ import (
 	"slices"
 )
 
-// TopK returns the k largest elements across all shards in descending
-// order, computed with one selection (the threshold element of rank
-// n-k+1) plus one filtering pass — never a full sort. Duplicates of the
-// threshold value are included only as many times as needed to return
-// exactly k elements.
-func TopK[K cmp.Ordered](shards [][]K, k int, opts Options) ([]K, Report, error) {
+// validateK checks a top/bottom-k request against the population.
+func validateK[K cmp.Ordered](shards [][]K, k int) (n int64, err error) {
 	if len(shards) == 0 {
-		return nil, Report{}, ErrNoShards
+		return 0, ErrNoShards
 	}
-	var n int64
 	for _, s := range shards {
 		n += int64(len(s))
 	}
 	if n == 0 {
-		return nil, Report{}, ErrNoData
+		return 0, ErrNoData
 	}
 	if k < 0 || int64(k) > n {
-		return nil, Report{}, fmt.Errorf("%w: k=%d, population %d", ErrRankRange, k, n)
+		return 0, fmt.Errorf("%w: k=%d, population %d", ErrRankRange, k, n)
 	}
-	if k == 0 {
-		return []K{}, Report{}, nil
-	}
-	res, err := Select(shards, n-int64(k)+1, opts)
-	if err != nil {
-		return nil, Report{}, err
-	}
-	threshold := res.Value
-	// Collect everything strictly above the threshold plus enough
-	// threshold copies to reach exactly k.
+	return n, nil
+}
+
+// collectAbove gathers everything strictly above the threshold plus
+// enough threshold copies to reach exactly k, sorted descending.
+func collectAbove[K cmp.Ordered](shards [][]K, k int, threshold K) []K {
 	out := make([]K, 0, k)
 	need := k
 	for _, s := range shards {
@@ -54,32 +45,12 @@ func TopK[K cmp.Ordered](shards [][]K, k int, opts Options) ([]K, Report, error)
 		}
 	}
 	slices.SortFunc(out, func(a, b K) int { return cmp.Compare(b, a) })
-	return out, res.Report, nil
+	return out
 }
 
-// BottomK returns the k smallest elements in ascending order; see TopK.
-func BottomK[K cmp.Ordered](shards [][]K, k int, opts Options) ([]K, Report, error) {
-	if len(shards) == 0 {
-		return nil, Report{}, ErrNoShards
-	}
-	var n int64
-	for _, s := range shards {
-		n += int64(len(s))
-	}
-	if n == 0 {
-		return nil, Report{}, ErrNoData
-	}
-	if k < 0 || int64(k) > n {
-		return nil, Report{}, fmt.Errorf("%w: k=%d, population %d", ErrRankRange, k, n)
-	}
-	if k == 0 {
-		return []K{}, Report{}, nil
-	}
-	res, err := Select(shards, int64(k), opts)
-	if err != nil {
-		return nil, Report{}, err
-	}
-	threshold := res.Value
+// collectBelow is collectAbove mirrored: everything strictly below the
+// threshold plus enough threshold copies, sorted ascending.
+func collectBelow[K cmp.Ordered](shards [][]K, k int, threshold K) []K {
 	out := make([]K, 0, k)
 	need := k
 	for _, s := range shards {
@@ -99,7 +70,72 @@ func BottomK[K cmp.Ordered](shards [][]K, k int, opts Options) ([]K, Report, err
 		}
 	}
 	slices.Sort(out)
-	return out, res.Report, nil
+	return out
+}
+
+// TopK returns the k largest elements across all shards in descending
+// order, computed with one selection (the threshold element of rank
+// n-k+1) plus one filtering pass — never a full sort. Duplicates of the
+// threshold value are included only as many times as needed to return
+// exactly k elements. The returned slice is caller-owned.
+func (s *Selector[K]) TopK(shards [][]K, k int) ([]K, Report, error) {
+	if err := s.acquire(); err != nil {
+		return nil, Report{}, err
+	}
+	defer s.release()
+	n, err := validateK(shards, k)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	if k == 0 {
+		return []K{}, Report{}, nil
+	}
+	res, err := s.selectRank(shards, n-int64(k)+1, true)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return collectAbove(shards, k, res.Value), res.Report, nil
+}
+
+// BottomK returns the k smallest elements in ascending order; see TopK.
+func (s *Selector[K]) BottomK(shards [][]K, k int) ([]K, Report, error) {
+	if err := s.acquire(); err != nil {
+		return nil, Report{}, err
+	}
+	defer s.release()
+	if _, err := validateK(shards, k); err != nil {
+		return nil, Report{}, err
+	}
+	if k == 0 {
+		return []K{}, Report{}, nil
+	}
+	res, err := s.selectRank(shards, int64(k), true)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return collectBelow(shards, k, res.Value), res.Report, nil
+}
+
+// TopK returns the k largest elements across all shards in descending
+// order; see Selector.TopK. It is a thin wrapper over a throwaway
+// Selector.
+func TopK[K cmp.Ordered](shards [][]K, k int, opts Options) ([]K, Report, error) {
+	s, err := oneShot[K](len(shards), opts)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	defer s.Close()
+	return s.TopK(shards, k)
+}
+
+// BottomK returns the k smallest elements in ascending order; see TopK.
+func BottomK[K cmp.Ordered](shards [][]K, k int, opts Options) ([]K, Report, error) {
+	s, err := oneShot[K](len(shards), opts)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	defer s.Close()
+	return s.BottomK(shards, k)
 }
 
 // FiveNumber is Tukey's five-number summary of a distributed dataset.
@@ -109,11 +145,15 @@ type FiveNumber[K cmp.Ordered] struct {
 
 // Summary computes the five-number summary in a single multi-rank
 // selection run (roughly one selection's cost for all five statistics).
-func Summary[K cmp.Ordered](shards [][]K, opts Options) (FiveNumber[K], Report, error) {
+func (s *Selector[K]) Summary(shards [][]K) (FiveNumber[K], Report, error) {
 	var zero FiveNumber[K]
+	if err := s.acquire(); err != nil {
+		return zero, Report{}, err
+	}
+	defer s.release()
 	var n int64
-	for _, s := range shards {
-		n += int64(len(s))
+	for _, sh := range shards {
+		n += int64(len(sh))
 	}
 	if len(shards) == 0 {
 		return zero, Report{}, ErrNoShards
@@ -128,7 +168,7 @@ func Summary[K cmp.Ordered](shards [][]K, opts Options) (FiveNumber[K], Report, 
 		max64(1, (3*n+3)/4),
 		n,
 	}
-	vals, rep, err := SelectRanks(shards, ranks, opts)
+	vals, rep, err := s.selectRanks(shards, ranks)
 	if err != nil {
 		return zero, Report{}, err
 	}
@@ -139,6 +179,17 @@ func Summary[K cmp.Ordered](shards [][]K, opts Options) (FiveNumber[K], Report, 
 		Q3:     vals[3],
 		Max:    vals[4],
 	}, rep, nil
+}
+
+// Summary computes the five-number summary with a throwaway Selector;
+// see Selector.Summary.
+func Summary[K cmp.Ordered](shards [][]K, opts Options) (FiveNumber[K], Report, error) {
+	s, err := oneShot[K](len(shards), opts)
+	if err != nil {
+		return FiveNumber[K]{}, Report{}, err
+	}
+	defer s.Close()
+	return s.Summary(shards)
 }
 
 func max64(a, b int64) int64 {
