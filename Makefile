@@ -4,14 +4,17 @@
 #   make vet     - static checks
 #   make build   - compile all packages, commands and examples
 #   make test    - full test suite (includes the differential oracle suite)
-#   make race    - full suite under the race detector (pool/selector stress)
-#   make fuzz    - short fuzz smoke of the 128-bit quantile-rank arithmetic
+#   make race    - full suite under the race detector (pool/selector/daemon stress)
+#   make e2e     - the daemon end-to-end suite alone (httptest + parselclient),
+#                  uncached, for quick iteration on the serving layer
+#   make fuzz    - short fuzz smoke: the 128-bit quantile-rank arithmetic and
+#                  the daemon's HTTP request decoder
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz
+.PHONY: ci vet build test race e2e fuzz
 
-ci: vet build test race fuzz
+ci: vet build test race e2e fuzz
 
 vet:
 	$(GO) vet ./...
@@ -25,5 +28,9 @@ test:
 race:
 	$(GO) test -race ./...
 
+e2e:
+	$(GO) test -count=1 -run 'TestDaemon' ./internal/serve .
+
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzQuantileRank -fuzztime=5s .
+	$(GO) test -run='^$$' -fuzz=FuzzParseRequest -fuzztime=5s ./internal/serve

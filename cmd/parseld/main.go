@@ -1,0 +1,187 @@
+// Command parseld is the selection daemon: an HTTP/JSON front-end over
+// a shared pool of resident simulated machines, serving the library's
+// full query surface (select, median, quantile(s), ranks, top/bottom-k,
+// summary) with per-request admission deadlines, a bounded admission
+// queue, and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	parseld -addr :7075 -machines 4 -queue 64
+//	parseld -alg rand -bal none -seed 7 -timeout 2s
+//
+// Probe it:
+//
+//	curl -s localhost:7075/healthz
+//	curl -s localhost:7075/v1/median -d '{"shards": [[9,1,5],[3,7,2]]}'
+//	curl -s localhost:7075/v1/quantiles \
+//	     -d '{"shards": [[9,1,5],[3,7,2]], "qs": [0.25,0.5,0.99], "timeout_ms": 250}'
+//	curl -s localhost:7075/v1/stats
+//
+// The wire format is documented in the parselclient package, which is
+// also the Go client for this daemon.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"parsel"
+	"parsel/internal/serve"
+)
+
+var algNames = map[string]parsel.Algorithm{
+	"fastrand":      parsel.FastRandomized,
+	"rand":          parsel.Randomized,
+	"mom":           parsel.MedianOfMedians,
+	"bucket":        parsel.BucketBased,
+	"mom-hybrid":    parsel.MedianOfMediansHybrid,
+	"bucket-hybrid": parsel.BucketBasedHybrid,
+}
+
+var balNames = map[string]parsel.Balancer{
+	"modomlb":  parsel.ModifiedOMLB,
+	"none":     parsel.NoBalance,
+	"omlb":     parsel.OMLB,
+	"dimexch":  parsel.DimensionExchange,
+	"globexch": parsel.GlobalExchange,
+}
+
+var topoNames = map[string]parsel.Topology{
+	"crossbar":  parsel.TopologyCrossbar,
+	"hypercube": parsel.TopologyHypercube,
+	"mesh":      parsel.TopologyMesh2D,
+	"ring":      parsel.TopologyRing,
+}
+
+func keys[V any](m map[string]V) string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return strings.Join(out, ", ")
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7075", "listen address")
+		machines = flag.Int("machines", 4, "resident simulated machines (max concurrent queries)")
+		queue    = flag.Int("queue", 64, "admission queue depth beyond -machines (excess is rejected with 429; 0 means the default)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "default admission deadline when a request has no timeout_ms")
+		maxTO    = flag.Duration("max-timeout", 60*time.Second, "cap on any requested timeout_ms")
+		maxBody  = flag.Int64("max-body", 64<<20, "request body byte limit")
+		maxProcs = flag.Int("max-procs", 256, "shard (simulated processor) count limit per request")
+		maxRanks = flag.Int("max-ranks", 4096, "rank/quantile count limit per request")
+		alg      = flag.String("alg", "fastrand", "algorithm: "+keys(algNames))
+		bal      = flag.String("bal", "modomlb", "load balancer: "+keys(balNames))
+		topo     = flag.String("topo", "crossbar", "interconnect topology: "+keys(topoNames))
+		seed     = flag.Uint64("seed", 0, "machine seed (0 = library default)")
+		warm     = flag.Int("warm", 0, "pre-build this many machines for -warm-procs shards before listening")
+		warmP    = flag.Int("warm-procs", 8, "machine shape (shard count) -warm builds for")
+		drainTO  = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight queries")
+		readTO   = flag.Duration("read-timeout", 60*time.Second, "connection read deadline: a request's headers+body must arrive within this (bounds how long a stalled upload can hold an admission slot)")
+	)
+	flag.Parse()
+
+	a, ok := algNames[*alg]
+	if !ok {
+		fail("unknown -alg %q (want %s)", *alg, keys(algNames))
+	}
+	b, ok := balNames[*bal]
+	if !ok {
+		fail("unknown -bal %q (want %s)", *bal, keys(balNames))
+	}
+	tp, ok := topoNames[*topo]
+	if !ok {
+		fail("unknown -topo %q (want %s)", *topo, keys(topoNames))
+	}
+	if *machines < 1 {
+		fail("need -machines >= 1")
+	}
+	if *queue < 0 {
+		fail("need -queue >= 0")
+	}
+
+	opts := parsel.Options{
+		Algorithm: a,
+		Balancer:  b,
+		Machine:   parsel.Machine{Topology: tp, Seed: *seed},
+	}
+	pool, err := parsel.NewPool[int64](opts, parsel.PoolOptions{MaxMachines: *machines})
+	if err != nil {
+		fail("pool: %v", err)
+	}
+	defer pool.Close()
+	if *warm > 0 {
+		if err := pool.Warm(*warmP, *warm); err != nil {
+			fail("warm: %v", err)
+		}
+		log.Printf("warmed %d machines for %d-shard queries", min(*warm, *machines), *warmP)
+	}
+
+	srv, err := serve.New(serve.Options{
+		Pool:           pool,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTO,
+		QueueDepth:     *queue,
+		Limits: serve.Limits{
+			MaxBodyBytes: *maxBody,
+			MaxProcs:     *maxProcs,
+			MaxRanks:     *maxRanks,
+		},
+	})
+	if err != nil {
+		fail("serve: %v", err)
+	}
+
+	// Read deadlines keep stalled uploads from camping on admission
+	// slots (the slot is taken before the body is read). No
+	// WriteTimeout: a legitimate query may wait its full admission
+	// deadline before producing a response.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTO,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("parseld listening on %s (alg=%s bal=%s topo=%s machines=%d queue=%d)",
+		*addr, *alg, *bal, *topo, *machines, *queue)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fail("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: refuse new queries, let in-flight ones finish,
+	// then tear the machines down.
+	log.Printf("draining (up to %v for in-flight queries)...", *drainTO)
+	srv.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+	pool.Close()
+	st := srv.Stats()
+	log.Printf("served %d queries (%d ok, %d timeouts, %d rejected); pool built %d machines",
+		st.Server.Requests, st.Server.OK, st.Server.Timeouts, st.Server.Rejected, st.Pool.Creates)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "parseld: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -11,12 +11,17 @@
 //	selectbench -perf BENCH_PR1.json # host-performance snapshot (JSON)
 //	selectbench -clients 32          # pooled concurrent throughput
 //	selectbench -clients 32 -perf BENCH_PR2.json  # ...appended to the snapshot
+//	selectbench -http -clients 32    # daemon round-trip throughput (loopback HTTP)
+//	selectbench -http -clients 32 -perf BENCH_PR3.json  # ...both rows in the snapshot
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -25,6 +30,8 @@ import (
 
 	"parsel"
 	"parsel/internal/harness"
+	"parsel/internal/serve"
+	"parsel/parselclient"
 )
 
 // perfResult is one benchmark row of the -perf snapshot.
@@ -147,10 +154,90 @@ func runClients(clients int) (perfResult, error) {
 	}, nil
 }
 
+// runHTTPClients measures daemon round-trip throughput: an in-process
+// parseld (serve handler on a loopback listener) serves the standard
+// workload to clients concurrent goroutines going through the HTTP
+// client — the full serialize/decode/admit/select/respond path.
+func runHTTPClients(clients int) (perfResult, error) {
+	shards := perfShards()
+	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
+	machines := clients
+	if machines > 8 {
+		machines = 8
+	}
+	pool, err := parsel.NewPool[int64](opts, parsel.PoolOptions{MaxMachines: machines})
+	if err != nil {
+		return perfResult{}, err
+	}
+	defer pool.Close()
+	srv, err := serve.New(serve.Options{Pool: pool, QueueDepth: 4 * clients})
+	if err != nil {
+		return perfResult{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return perfResult{}, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	client := parselclient.New("http://"+ln.Addr().String(), nil)
+	ctx := context.Background()
+
+	// Warm the pool and each client's connection path before timing.
+	if err := pool.Warm(len(shards), machines); err != nil {
+		return perfResult{}, err
+	}
+	for i := 0; i < machines; i++ {
+		if _, err := client.Median(ctx, shards); err != nil {
+			return perfResult{}, err
+		}
+	}
+
+	queries := clients * 8
+	if queries < 64 {
+		queries = 64
+	}
+	var next, failed atomic.Int64
+	var sim atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if next.Add(1) > int64(queries) {
+					return
+				}
+				res, err := client.Median(ctx, shards)
+				if err != nil {
+					failed.Add(1)
+					return
+				}
+				sim.Store(res.SimSeconds)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := failed.Load(); n > 0 {
+		return perfResult{}, fmt.Errorf("%d daemon queries failed", n)
+	}
+	simSec, _ := sim.Load().(float64)
+	return perfResult{
+		NsPerOp:    elapsed.Nanoseconds() / int64(queries),
+		SimSeconds: simSec,
+		QPS:        float64(queries) / elapsed.Seconds(),
+		Clients:    clients,
+	}, nil
+}
+
 // runPerf measures the one-shot and amortized selection paths on the
 // standard workload — plus, when clients > 0, the pooled concurrent
-// serving path — and writes the JSON snapshot to path.
-func runPerf(path string, clients int) error {
+// serving path (and with httpMode, the daemon round-trip path) — and
+// writes the JSON snapshot to path.
+func runPerf(path string, clients int, httpMode bool) error {
 	shards := perfShards()
 	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
 	var n int64
@@ -210,6 +297,13 @@ func runPerf(path string, clients int) error {
 			return err
 		}
 		results[fmt.Sprintf("pool_%dclients", clients)] = pr
+		if httpMode {
+			hr, err := runHTTPClients(clients)
+			if err != nil {
+				return err
+			}
+			results[fmt.Sprintf("http_%dclients", clients)] = hr
+		}
 	}
 
 	snap := perfSnapshot{
@@ -243,11 +337,12 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit comma-separated rows instead of aligned text")
 		perf    = flag.String("perf", "", "write a host-performance JSON snapshot to this path and exit")
 		clients = flag.Int("clients", 0, "measure pooled concurrent throughput with this many client goroutines (alone: print; with -perf: append to the snapshot)")
+		httpB   = flag.Bool("http", false, "with -clients: also measure daemon (HTTP) round-trip throughput through an in-process parseld on loopback")
 	)
 	flag.Parse()
 
 	if *perf != "" {
-		if err := runPerf(*perf, *clients); err != nil {
+		if err := runPerf(*perf, *clients, *httpB); err != nil {
 			fmt.Fprintf(os.Stderr, "selectbench: perf: %v\n", err)
 			os.Exit(1)
 		}
@@ -263,6 +358,15 @@ func main() {
 		}
 		fmt.Printf("pooled throughput, %d clients: %.1f queries/s (%.3f ms/query, sim %.4f s)\n",
 			*clients, pr.QPS, float64(pr.NsPerOp)/1e6, pr.SimSeconds)
+		if *httpB {
+			hr, err := runHTTPClients(*clients)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "selectbench: http: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("daemon round-trip, %d clients: %.1f queries/s (%.3f ms/query, sim %.4f s)\n",
+				*clients, hr.QPS, float64(hr.NsPerOp)/1e6, hr.SimSeconds)
+		}
 		return
 	}
 

@@ -7,15 +7,27 @@
 // no two queries ever race on one machine. This is the serving posture
 // a coarse-grained selection service runs in: the machine is long-lived,
 // the queries stream past it.
+//
+// The second half runs the same workload over the network: the pool is
+// wrapped in the parseld HTTP handler on a loopback listener and the
+// queries go through parselclient — same results, same simulated
+// metrics, plus deadlines and admission control in front.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"net"
+	"net/http"
 	"sync"
+	"time"
 
 	"parsel"
+	"parsel/internal/serve"
+	"parsel/parselclient"
 )
 
 // nodeLatencies builds one node's heavy-tailed latency shard (in
@@ -108,4 +120,64 @@ func main() {
 	st := pool.Stats()
 	fmt.Printf("\npool: %d machines built, %d warm reuses, %d reshapes, %d waits\n",
 		st.Creates, st.Hits, st.Reshapes, st.Waits)
+
+	// Now as a network service: the same pool behind the parseld HTTP
+	// handler, queried through the Go client. (In production you'd run
+	// cmd/parseld; the handler is embeddable for exactly this kind of
+	// in-process composition.)
+	srv, err := serve.New(serve.Options{Pool: pool, DefaultTimeout: 2 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	client := parselclient.New("http://"+ln.Addr().String(), nil)
+	ctx := context.Background()
+	vals, rep, err := client.Quantiles(ctx, shards, []float64{0.5, 0.95, 0.99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nover HTTP: p50/p95/p99 = %d/%d/%d us (sim %.4f s, %d msgs — identical to in-process)\n",
+		vals[0], vals[1], vals[2], rep.SimSeconds, rep.Messages)
+	sum, _, err := client.Summary(ctx, shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("over HTTP: five-number summary = %+v\n", sum)
+
+	// Deadlines are first-class on the wire: a query that cannot get a
+	// machine in time comes back as the library's typed ErrPoolTimeout.
+	hurried := parselclient.New("http://"+ln.Addr().String(), nil)
+	hurried.QueryTimeout = time.Nanosecond // absurd on purpose; rounds up to 1ms
+	busy := make(chan struct{})
+	go func() { // occupy all machines briefly
+		defer close(busy)
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); _, _ = pool.Median(shards) }()
+		}
+		wg.Wait()
+	}()
+	if _, err := hurried.Median(ctx, shards); errors.Is(err, parsel.ErrPoolTimeout) {
+		fmt.Println("over HTTP: hurried query got the typed pool-timeout, as designed")
+	} else if err != nil {
+		fmt.Printf("over HTTP: hurried query: %v\n", err)
+	} else {
+		fmt.Println("over HTTP: hurried query squeezed in before the machines got busy")
+	}
+	<-busy
+
+	wire, err := client.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("daemon: %d requests, %d ok, %d timeouts; latency observations: %d\n",
+		wire.Server.Requests, wire.Server.OK, wire.Server.Timeouts, wire.Latency.Count)
 }

@@ -1,0 +1,117 @@
+package serve_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"parsel/internal/serve"
+	"parsel/parselclient"
+)
+
+// knownCodes is the closed set of wire codes ParseRequest may emit.
+var knownCodes = map[string]bool{
+	parselclient.CodeBadJSON:       true,
+	parselclient.CodeMissingField:  true,
+	parselclient.CodeLimitExceeded: true,
+	parselclient.CodeTooLarge:      true,
+	parselclient.CodeBadQuantile:   true,
+	parselclient.CodeNotFound:      true,
+}
+
+// fuzzLimits are deliberately tight so the fuzzer reaches every limit
+// branch with small inputs.
+var fuzzLimits = serve.Limits{MaxBodyBytes: 1 << 16, MaxProcs: 16, MaxRanks: 32}
+
+// FuzzParseRequest throws adversarial bytes at the daemon's request
+// decoder across every endpoint: it must never panic, every rejection
+// must be a *ParseError carrying a known wire code, and every accepted
+// request must satisfy the invariants the handlers rely on (required
+// fields present, quantiles finite and in range, limits respected).
+func FuzzParseRequest(f *testing.F) {
+	seeds := []string{
+		`{"shards": [[1,2],[3]], "rank": 2}`,
+		`{"shards": [[1,2],[3]], "rank": -5}`,
+		`{"shards": [], "ranks": [0, -1, 99999999999]}`,
+		`{"shards": [[1]], "q": 0.5}`,
+		`{"shards": [[1]], "q": NaN}`,
+		`{"shards": [[1]], "q": 1e999}`,
+		`{"shards": [[1]], "qs": [0.5, -0.1, 2.5]}`,
+		`{"shards": [[9007199254740993, -42]], "qs": []}`,
+		`{"shards": [[1]], "k": -3}`,
+		`{"shards": [[1]], "k": 3, "timeout_ms": -100}`,
+		`{"shards": [[1]], "k": 3, "timeout_ms": 9300000000000}`,
+		`{"shards": [[1]], "k": 3, "timeout_ms": 18446744073710}`,
+		`{"shards": null, "rank": 1}`,
+		`{"shards": [[1]], "rank": 1, "unknown_field": {"a": [1,2]}}`,
+		`{"shards": [[1.5]], "rank": 1}`,
+		`{`,
+		`[]`,
+		`"shards"`,
+		``,
+		strings.Repeat(`[`, 2000),
+		`{"shards": [` + strings.Repeat(`[1],`, 40) + `[1]], "rank": 1}`,
+	}
+	for ep := 0; ep < 8; ep++ {
+		for _, s := range seeds {
+			f.Add(uint8(ep), []byte(s))
+		}
+	}
+	f.Fuzz(func(t *testing.T, epRaw uint8, body []byte) {
+		ep := serve.Endpoint(int(epRaw) % 8)
+		req, err := serve.ParseRequest(ep, body, fuzzLimits)
+		if err != nil {
+			var pe *serve.ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("ep %v: non-structured decode error %T: %v", ep, err, err)
+			}
+			if !knownCodes[pe.Code] {
+				t.Fatalf("ep %v: unknown wire code %q", ep, pe.Code)
+			}
+			if pe.Msg == "" {
+				t.Fatalf("ep %v: empty error message for code %s", ep, pe.Code)
+			}
+			return
+		}
+		// Accepted: the invariants the handlers dereference without
+		// checking.
+		if req.Shards == nil {
+			t.Fatalf("ep %v: accepted request without shards", ep)
+		}
+		if len(req.Shards) > fuzzLimits.MaxProcs {
+			t.Fatalf("ep %v: accepted %d shards over limit", ep, len(req.Shards))
+		}
+		if req.TimeoutMS < 0 || req.TimeoutMS > 24*60*60*1000 {
+			t.Fatalf("ep %v: accepted out-of-bounds timeout_ms %d (duration conversion could overflow)",
+				ep, req.TimeoutMS)
+		}
+		switch ep {
+		case serve.EpSelect:
+			if req.Rank == nil {
+				t.Fatal("select accepted without rank")
+			}
+		case serve.EpQuantile:
+			if req.Q == nil || math.IsNaN(*req.Q) || *req.Q < 0 || *req.Q > 1 {
+				t.Fatalf("quantile accepted with q=%v", req.Q)
+			}
+		case serve.EpQuantiles:
+			if len(req.Qs) == 0 || len(req.Qs) > fuzzLimits.MaxRanks {
+				t.Fatalf("quantiles accepted with %d qs", len(req.Qs))
+			}
+			for _, q := range req.Qs {
+				if math.IsNaN(q) || math.IsInf(q, 0) || q < 0 || q > 1 {
+					t.Fatalf("quantiles accepted q=%v", q)
+				}
+			}
+		case serve.EpRanks:
+			if len(req.Ranks) == 0 || len(req.Ranks) > fuzzLimits.MaxRanks {
+				t.Fatalf("ranks accepted with %d ranks", len(req.Ranks))
+			}
+		case serve.EpTopK, serve.EpBottomK:
+			if req.K == nil {
+				t.Fatal("topk/bottomk accepted without k")
+			}
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package serve
+
+import "parsel/parselclient"
+
+// latencyBounds are the histogram bucket upper bounds in seconds,
+// roughly log-spaced from 100us to 10s — the range a selection query
+// can plausibly take on a loaded host. Observations above the last
+// bound land only in the implicit +Inf bucket (the total count).
+var latencyBounds = [...]float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// histogram accumulates host latencies. It is not self-synchronized;
+// the Server updates it under its stats mutex (queries are
+// millisecond-scale, so a mutex per observation is noise).
+type histogram struct {
+	counts [len(latencyBounds)]int64 // non-cumulative per-bucket counts
+	over   int64                     // observations above the last bound
+	sum    float64
+}
+
+// observe records one latency in seconds.
+func (h *histogram) observe(sec float64) {
+	h.sum += sec
+	for i, le := range latencyBounds {
+		if sec <= le {
+			h.counts[i]++
+			return
+		}
+	}
+	h.over++
+}
+
+// snapshot renders the cumulative wire form.
+func (h *histogram) snapshot() parselclient.Histogram {
+	out := parselclient.Histogram{
+		SumSeconds: h.sum,
+		Buckets:    make([]parselclient.Bucket, len(latencyBounds)),
+	}
+	var cum int64
+	for i, le := range latencyBounds {
+		cum += h.counts[i]
+		out.Buckets[i] = parselclient.Bucket{LE: le, Count: cum}
+	}
+	out.Count = cum + h.over
+	return out
+}

@@ -1,0 +1,448 @@
+// Package serve is the HTTP front-end of the selection service: a
+// handler that exposes a parsel.Pool's full query surface
+// (select/median/quantile/quantiles/ranks/topk/bottomk/summary) as
+// JSON-over-HTTP with per-request admission deadlines, a bounded
+// admission queue, graceful drain, and a stats endpoint aggregating
+// simulated-machine metrics and host latency histograms.
+//
+// The wire format is defined (and documented) in parsel/parselclient,
+// which this package shares types with; cmd/parseld wraps this handler
+// in a daemon process.
+//
+// # Overload behavior
+//
+// Three lines of defense keep the daemon responsive under load:
+//
+//  1. Admission queue: at most MaxMachines + QueueDepth requests are
+//     admitted at once; the rest are rejected immediately with 429
+//     "queue_full" (no queueing, constant-time rejection).
+//  2. Admission deadline: an admitted request waits for a free
+//     simulated machine at most its timeout_ms (capped by MaxTimeout,
+//     defaulted by DefaultTimeout). Expiry returns 429 "pool_timeout" —
+//     the pool's typed ErrPoolTimeout on the wire. A query that starts
+//     always runs to completion, so no partial work is ever returned.
+//  3. Drain: once draining, every new query gets 503 "shutting_down"
+//     while in-flight queries finish normally.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"parsel"
+	"parsel/parselclient"
+)
+
+// Options configures a Server. Zero-valued knobs take defaults.
+type Options struct {
+	// Pool is the resident machine pool every query runs on. Required.
+	Pool *parsel.Pool[int64]
+	// DefaultTimeout is the admission deadline for requests that do not
+	// carry timeout_ms (default 5s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested timeout_ms (default 60s).
+	MaxTimeout time.Duration
+	// QueueDepth is how many requests beyond the pool's MaxMachines may
+	// wait for a machine before new ones are rejected outright with
+	// queue_full (default 64).
+	QueueDepth int
+	// Limits bounds individual requests; see Limits.
+	Limits Limits
+}
+
+// withDefaults fills the zero-valued knobs.
+func (o Options) withDefaults() Options {
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 5 * time.Second
+	}
+	if o.MaxTimeout == 0 {
+		o.MaxTimeout = 60 * time.Second
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	o.Limits = o.Limits.withDefaults()
+	return o
+}
+
+// Server is the HTTP handler of the selection daemon. Construct with
+// New; it is safe for concurrent use.
+type Server struct {
+	opts  Options
+	pool  *parsel.Pool[int64]
+	mux   *http.ServeMux
+	admit chan struct{} // admission tokens: MaxMachines + QueueDepth
+
+	mu       sync.Mutex
+	draining bool
+	srv      parselclient.ServerStats
+	sim      parselclient.SimStats
+	lat      histogram
+}
+
+// New builds the daemon handler over a pool. The pool stays owned by
+// the caller (Drain does not close it), so one pool can outlive or be
+// shared across servers.
+func New(opts Options) (*Server, error) {
+	if opts.Pool == nil {
+		return nil, errors.New("serve: Options.Pool is required")
+	}
+	if opts.QueueDepth < 0 {
+		return nil, fmt.Errorf("serve: QueueDepth %d is negative", opts.QueueDepth)
+	}
+	if opts.DefaultTimeout < 0 || opts.MaxTimeout < 0 {
+		return nil, fmt.Errorf("serve: negative timeout (default %v, max %v)",
+			opts.DefaultTimeout, opts.MaxTimeout)
+	}
+	if opts.Limits.MaxBodyBytes < 0 || opts.Limits.MaxProcs < 0 || opts.Limits.MaxRanks < 0 {
+		return nil, fmt.Errorf("serve: negative limit: %+v", opts.Limits)
+	}
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		pool:  opts.Pool,
+		admit: make(chan struct{}, opts.Pool.MaxMachines()+opts.QueueDepth),
+	}
+	s.mux = http.NewServeMux()
+	for path, ep := range endpoints {
+		s.mux.HandleFunc(path, s.queryHandler(ep))
+	}
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if _, ok := endpoints[r.URL.Path]; !ok &&
+		r.URL.Path != "/v1/stats" && r.URL.Path != "/healthz" {
+		writeError(w, http.StatusNotFound, parselclient.CodeNotFound,
+			fmt.Sprintf("no endpoint %q", r.URL.Path))
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain begins graceful shutdown: every subsequent query is answered
+// 503 shutting_down, while queries already admitted run to completion.
+// Pair it with http.Server.Shutdown (which waits for in-flight
+// requests) and close the pool last.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Stats snapshots the daemon's counters: pool, server, aggregate
+// simulated metrics, and the host latency histogram.
+func (s *Server) Stats() parselclient.Stats {
+	pst := s.pool.Stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	srv := s.srv
+	srv.Inflight = int64(len(s.admit))
+	srv.Draining = s.draining
+	return parselclient.Stats{
+		Pool: parselclient.PoolStats{
+			Creates:     pst.Creates,
+			Hits:        pst.Hits,
+			Reshapes:    pst.Reshapes,
+			Waits:       pst.Waits,
+			Timeouts:    pst.Timeouts,
+			Resident:    pst.Resident,
+			Idle:        pst.Idle,
+			MaxMachines: s.pool.MaxMachines(),
+		},
+		Server:  srv,
+		Sim:     s.sim,
+		Latency: s.lat.snapshot(),
+	}
+}
+
+// queryHandler builds the handler for one query endpoint.
+func (s *Server) queryHandler(ep Endpoint) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, parselclient.CodeMethodNotAllowed,
+				"queries are POST requests")
+			return
+		}
+		s.mu.Lock()
+		s.srv.Requests++
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			s.countError(http.StatusServiceUnavailable, parselclient.CodeShuttingDown)
+			writeError(w, http.StatusServiceUnavailable, parselclient.CodeShuttingDown,
+				"daemon is draining")
+			return
+		}
+
+		// Admission: bounded queue, constant-time rejection beyond it.
+		select {
+		case s.admit <- struct{}{}:
+			defer func() { <-s.admit }()
+		default:
+			s.countError(http.StatusTooManyRequests, parselclient.CodeQueueFull)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, parselclient.CodeQueueFull,
+				fmt.Sprintf("admission capacity exhausted (%d requests in flight, capacity %d)",
+					len(s.admit), cap(s.admit)))
+			return
+		}
+
+		body, err := readBody(w, r, s.opts.Limits.MaxBodyBytes)
+		if err != nil {
+			s.writeRequestError(w, err)
+			return
+		}
+		req, err := ParseRequest(ep, body, s.opts.Limits)
+		if err != nil {
+			s.writeRequestError(w, err)
+			return
+		}
+
+		ctx, cancel := s.admissionContext(r.Context(), req.TimeoutMS)
+		defer cancel()
+		resp, err := s.execute(ctx, ep, req)
+		if err != nil {
+			s.writeQueryError(w, err)
+			return
+		}
+
+		s.observe(time.Since(start), resp.Report)
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// readBody drains the request body under the byte limit, mapping an
+// overrun to the structured too_large error.
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, parseErrf(parselclient.CodeTooLarge,
+				"body exceeds %d bytes", mbe.Limit)
+		}
+		return nil, parseErrf(parselclient.CodeBadJSON, "read body: %v", err)
+	}
+	return body, nil
+}
+
+// admissionContext derives the admission deadline: the request's
+// timeout_ms if given, else the server default — capped by MaxTimeout,
+// and composed with the connection's own context so a vanished client
+// stops waiting for a machine.
+func (s *Server) admissionContext(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.opts.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// execute dispatches one validated request to the pool and shapes the
+// response.
+func (s *Server) execute(ctx context.Context, ep Endpoint, req *parselclient.Request) (*parselclient.Response, error) {
+	switch ep {
+	case EpSelect:
+		res, err := s.pool.SelectContext(ctx, req.Shards, *req.Rank)
+		if err != nil {
+			return nil, err
+		}
+		return scalarResponse(res), nil
+	case EpMedian:
+		res, err := s.pool.MedianContext(ctx, req.Shards)
+		if err != nil {
+			return nil, err
+		}
+		return scalarResponse(res), nil
+	case EpQuantile:
+		res, err := s.pool.QuantileContext(ctx, req.Shards, *req.Q)
+		if err != nil {
+			return nil, err
+		}
+		return scalarResponse(res), nil
+	case EpQuantiles:
+		vals, rep, err := s.pool.QuantilesContext(ctx, req.Shards, req.Qs)
+		if err != nil {
+			return nil, err
+		}
+		return multiResponse(vals, rep), nil
+	case EpRanks:
+		vals, rep, err := s.pool.SelectRanksContext(ctx, req.Shards, req.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		return multiResponse(vals, rep), nil
+	case EpTopK:
+		vals, rep, err := s.pool.TopKContext(ctx, req.Shards, *req.K)
+		if err != nil {
+			return nil, err
+		}
+		return multiResponse(vals, rep), nil
+	case EpBottomK:
+		vals, rep, err := s.pool.BottomKContext(ctx, req.Shards, *req.K)
+		if err != nil {
+			return nil, err
+		}
+		return multiResponse(vals, rep), nil
+	case EpSummary:
+		fn, rep, err := s.pool.SummaryContext(ctx, req.Shards)
+		if err != nil {
+			return nil, err
+		}
+		return &parselclient.Response{
+			Summary: &parselclient.Summary{
+				Min: fn.Min, Q1: fn.Q1, Median: fn.Median, Q3: fn.Q3, Max: fn.Max,
+			},
+			Report: parselclient.WireReport(rep),
+		}, nil
+	}
+	return nil, fmt.Errorf("serve: unknown endpoint %d", int(ep))
+}
+
+// scalarResponse shapes a single-value result.
+func scalarResponse(res parsel.Result[int64]) *parselclient.Response {
+	v := res.Value
+	return &parselclient.Response{Value: &v, Report: parselclient.WireReport(res.Report)}
+}
+
+// multiResponse shapes a multi-value result; the empty (k=0) result
+// stays a JSON [] rather than null.
+func multiResponse(vals []int64, rep parsel.Report) *parselclient.Response {
+	if vals == nil {
+		vals = []int64{}
+	}
+	return &parselclient.Response{Values: vals, Report: parselclient.WireReport(rep)}
+}
+
+// errorStatus maps engine/pool errors onto HTTP status + wire code. The
+// daemon's contract: a typed library error crosses the wire with a
+// stable code the client maps back to the same typed error.
+func errorStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, parsel.ErrPoolTimeout):
+		return http.StatusTooManyRequests, parselclient.CodePoolTimeout
+	case errors.Is(err, parsel.ErrPoolClosed):
+		return http.StatusServiceUnavailable, parselclient.CodeShuttingDown
+	case errors.Is(err, parsel.ErrRankRange):
+		return http.StatusBadRequest, parselclient.CodeRankRange
+	case errors.Is(err, parsel.ErrBadQuantile):
+		return http.StatusBadRequest, parselclient.CodeBadQuantile
+	case errors.Is(err, parsel.ErrNoData):
+		return http.StatusBadRequest, parselclient.CodeNoData
+	case errors.Is(err, parsel.ErrNoShards):
+		return http.StatusBadRequest, parselclient.CodeNoShards
+	default:
+		return http.StatusInternalServerError, parselclient.CodeInternal
+	}
+}
+
+// writeQueryError reports a pool/engine failure.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	status, code := errorStatus(err)
+	s.countError(status, code)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, status, code, err.Error())
+}
+
+// writeRequestError reports a decode/validation failure.
+func (s *Server) writeRequestError(w http.ResponseWriter, err error) {
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		pe = &ParseError{Code: parselclient.CodeInternal, Msg: err.Error()}
+	}
+	status := http.StatusBadRequest
+	if pe.Code == parselclient.CodeTooLarge {
+		status = http.StatusRequestEntityTooLarge
+	}
+	s.countError(status, pe.Code)
+	writeError(w, status, pe.Code, pe.Msg)
+}
+
+// countError attributes a failure to the stats counters.
+func (s *Server) countError(status int, code string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case code == parselclient.CodePoolTimeout:
+		s.srv.Timeouts++
+	case code == parselclient.CodeQueueFull:
+		s.srv.Rejected++
+	case status >= 500:
+		s.srv.ServerErrors++
+	default:
+		s.srv.ClientErrors++
+	}
+}
+
+// observe records a served query in the stats.
+func (s *Server) observe(hostLatency time.Duration, rep parselclient.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.srv.OK++
+	s.sim.Queries++
+	s.sim.SimSeconds += rep.SimSeconds
+	s.sim.Messages += rep.Messages
+	s.sim.Bytes += rep.Bytes
+	s.lat.observe(hostLatency.Seconds())
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, parselclient.CodeMethodNotAllowed,
+			"stats is a GET request")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleHealth serves GET /healthz: 200 while serving, 503 once
+// draining (so load balancers stop routing new traffic here first).
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, parselclient.CodeShuttingDown,
+			"daemon is draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError writes the structured error body.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, parselclient.ErrorBody{
+		Error: parselclient.ErrorDetail{Code: code, Message: msg},
+	})
+}

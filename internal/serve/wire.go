@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"parsel/parselclient"
+)
+
+// Endpoint identifies one query endpoint of the daemon.
+type Endpoint int
+
+const (
+	EpSelect Endpoint = iota
+	EpMedian
+	EpQuantile
+	EpQuantiles
+	EpRanks
+	EpTopK
+	EpBottomK
+	EpSummary
+)
+
+// endpoints maps URL paths to endpoints (the daemon's query surface).
+var endpoints = map[string]Endpoint{
+	"/v1/select":    EpSelect,
+	"/v1/median":    EpMedian,
+	"/v1/quantile":  EpQuantile,
+	"/v1/quantiles": EpQuantiles,
+	"/v1/ranks":     EpRanks,
+	"/v1/topk":      EpTopK,
+	"/v1/bottomk":   EpBottomK,
+	"/v1/summary":   EpSummary,
+}
+
+// String names the endpoint by its path suffix.
+func (e Endpoint) String() string {
+	for path, ep := range endpoints {
+		if ep == e {
+			return path
+		}
+	}
+	return fmt.Sprintf("Endpoint(%d)", int(e))
+}
+
+// Limits bounds what a single request may ask of the daemon. Zero
+// fields take defaults.
+type Limits struct {
+	// MaxBodyBytes caps the request body (default 64 MiB). Enforced
+	// with http.MaxBytesReader at the handler and re-checked by
+	// ParseRequest.
+	MaxBodyBytes int64
+	// MaxProcs caps the shard count — each shard is one simulated
+	// processor, i.e. goroutines and channel fabric (default 256).
+	MaxProcs int
+	// MaxRanks caps the rank/quantile count of a multi-rank request
+	// (default 4096).
+	MaxRanks int
+}
+
+// withDefaults fills the zero-valued limits.
+func (l Limits) withDefaults() Limits {
+	if l.MaxBodyBytes == 0 {
+		l.MaxBodyBytes = 64 << 20
+	}
+	if l.MaxProcs == 0 {
+		l.MaxProcs = 256
+	}
+	if l.MaxRanks == 0 {
+		l.MaxRanks = 4096
+	}
+	return l
+}
+
+// maxTimeoutMS bounds timeout_ms on the wire: 24 hours, in
+// milliseconds.
+const maxTimeoutMS = 24 * 60 * 60 * 1000
+
+// ParseError is a structured request-decoding failure; it maps onto the
+// wire error body verbatim.
+type ParseError struct {
+	// Code is the stable wire code (parselclient.Code*).
+	Code string
+	// Msg is the human-readable detail.
+	Msg string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Msg) }
+
+// parseErrf builds a ParseError.
+func parseErrf(code, format string, args ...any) *ParseError {
+	return &ParseError{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseRequest decodes and validates one query body for an endpoint. It
+// never panics on any input; every failure is a *ParseError carrying a
+// stable wire code. Validation here is structural (required fields,
+// configured limits, non-finite numbers); population-dependent checks
+// (rank within [1, n]) stay in the engine, whose typed errors the
+// handler maps to wire codes the same way.
+func ParseRequest(ep Endpoint, body []byte, lim Limits) (*parselclient.Request, error) {
+	lim = lim.withDefaults()
+	if int64(len(body)) > lim.MaxBodyBytes {
+		return nil, parseErrf(parselclient.CodeTooLarge,
+			"body is %d bytes, limit %d", len(body), lim.MaxBodyBytes)
+	}
+	var req parselclient.Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, parseErrf(parselclient.CodeBadJSON, "decode request: %v", err)
+	}
+	if req.Shards == nil {
+		return nil, parseErrf(parselclient.CodeMissingField, `"shards" is required`)
+	}
+	if len(req.Shards) > lim.MaxProcs {
+		return nil, parseErrf(parselclient.CodeLimitExceeded,
+			"%d shards, limit %d simulated processors", len(req.Shards), lim.MaxProcs)
+	}
+	if req.TimeoutMS < 0 {
+		return nil, parseErrf(parselclient.CodeLimitExceeded,
+			"timeout_ms %d is negative", req.TimeoutMS)
+	}
+	if req.TimeoutMS > maxTimeoutMS {
+		// Bounded here so the millisecond->Duration conversion can never
+		// overflow int64 nanoseconds (which would wrap the admission
+		// deadline negative or tiny, bypassing the server's MaxTimeout
+		// cap). Any server-side cap is far below this anyway.
+		return nil, parseErrf(parselclient.CodeLimitExceeded,
+			"timeout_ms %d exceeds the maximum %d (24h)", req.TimeoutMS, int64(maxTimeoutMS))
+	}
+
+	switch ep {
+	case EpSelect:
+		if req.Rank == nil {
+			return nil, parseErrf(parselclient.CodeMissingField, `"rank" is required for select`)
+		}
+	case EpQuantile:
+		if req.Q == nil {
+			return nil, parseErrf(parselclient.CodeMissingField, `"q" is required for quantile`)
+		}
+		if err := checkQuantile(*req.Q); err != nil {
+			return nil, err
+		}
+	case EpQuantiles:
+		if len(req.Qs) == 0 {
+			return nil, parseErrf(parselclient.CodeMissingField, `"qs" must be a non-empty array`)
+		}
+		if len(req.Qs) > lim.MaxRanks {
+			return nil, parseErrf(parselclient.CodeLimitExceeded,
+				"%d quantiles, limit %d", len(req.Qs), lim.MaxRanks)
+		}
+		for _, q := range req.Qs {
+			if err := checkQuantile(q); err != nil {
+				return nil, err
+			}
+		}
+	case EpRanks:
+		if len(req.Ranks) == 0 {
+			return nil, parseErrf(parselclient.CodeMissingField, `"ranks" must be a non-empty array`)
+		}
+		if len(req.Ranks) > lim.MaxRanks {
+			return nil, parseErrf(parselclient.CodeLimitExceeded,
+				"%d ranks, limit %d", len(req.Ranks), lim.MaxRanks)
+		}
+	case EpTopK, EpBottomK:
+		if req.K == nil {
+			return nil, parseErrf(parselclient.CodeMissingField, `"k" is required`)
+		}
+	case EpMedian, EpSummary:
+		// Shards only.
+	default:
+		return nil, parseErrf(parselclient.CodeNotFound, "unknown endpoint %d", int(ep))
+	}
+	return &req, nil
+}
+
+// checkQuantile rejects quantiles the engine would also reject, plus
+// non-finite values that cannot even arrive through valid JSON (the
+// decoder is also exercised on adversarial bytes directly).
+func checkQuantile(q float64) error {
+	if math.IsNaN(q) || math.IsInf(q, 0) || q < 0 || q > 1 {
+		return parseErrf(parselclient.CodeBadQuantile, "quantile %v outside [0,1]", q)
+	}
+	return nil
+}

@@ -232,6 +232,12 @@ var (
 	ErrSelectorBusy = errors.New("parsel: concurrent call on a Selector (use a Pool to serve multiple goroutines)")
 	// ErrPoolClosed is returned by every Pool method called after Close.
 	ErrPoolClosed = errors.New("parsel: Pool used after Close")
+	// ErrPoolTimeout is returned by the context-taking Pool methods when
+	// every machine stays busy until the context expires: the query was
+	// never admitted (no partial work happened). The returned error also
+	// matches the context's own verdict (context.DeadlineExceeded or
+	// context.Canceled) under errors.Is.
+	ErrPoolTimeout = errors.New("parsel: pool admission timed out waiting for a free machine")
 )
 
 // Selector is a reusable selection engine: the simulated machine —
@@ -677,25 +683,32 @@ func quantileRank(n int64, q float64) int64 {
 
 // Select returns the element of 1-based rank among all elements of
 // shards, running one simulated processor per shard. Shards may have any
-// (including zero) lengths; shard contents are not modified. It is a
-// thin wrapper over a throwaway Selector; callers issuing repeated
-// selections should construct a Selector once instead.
+// (including zero) lengths; shard contents are not modified. It routes
+// through a shared default Pool for its (Options, K) pair, so repeated
+// and concurrent package-level calls reuse resident machines; results —
+// including every simulated metric — are bit-identical to a dedicated
+// Selector's. The shared pool holds max(4, GOMAXPROCS) machines: that
+// many package-level calls run concurrently, and further ones wait
+// (without deadline) for a machine. Callers that want lifecycle
+// control, admission deadlines, or more capacity should construct a
+// Selector or Pool themselves.
 func Select[K cmp.Ordered](shards [][]K, rank int64, opts Options) (Result[K], error) {
-	s, err := oneShot[K](len(shards), opts)
+	pl, done, err := defaultPool[K](opts)
 	if err != nil {
 		return Result[K]{}, err
 	}
-	defer s.Close()
-	return s.Select(shards, rank)
+	defer done()
+	return pl.Select(shards, rank)
 }
 
 // Median returns the element of rank ceil(n/2) (the paper's median).
 func Median[K cmp.Ordered](shards [][]K, opts Options) (Result[K], error) {
-	var n int64
-	for _, s := range shards {
-		n += int64(len(s))
+	pl, done, err := defaultPool[K](opts)
+	if err != nil {
+		return Result[K]{}, err
 	}
-	return Select(shards, (n+1)/2, opts)
+	defer done()
+	return pl.Median(shards)
 }
 
 // Quantile returns the element of rank ceil(q*n) for q in (0,1], and the
@@ -706,43 +719,36 @@ func Quantile[K cmp.Ordered](shards [][]K, q float64, opts Options) (Result[K], 
 	if !(q >= 0 && q <= 1) { // also rejects NaN
 		return Result[K]{}, fmt.Errorf("%w: %g", ErrBadQuantile, q)
 	}
-	s, err := oneShot[K](len(shards), opts)
+	pl, done, err := defaultPool[K](opts)
 	if err != nil {
 		return Result[K]{}, err
 	}
-	defer s.Close()
-	return s.Quantile(shards, q)
+	defer done()
+	return pl.Quantile(shards, q)
 }
 
 // SelectRanks returns the elements at several 1-based ranks in one
-// collective run; see Selector.SelectRanks.
+// collective run; see Selector.SelectRanks. The returned slice is a
+// caller-owned copy.
 func SelectRanks[K cmp.Ordered](shards [][]K, ranks []int64, opts Options) ([]K, Report, error) {
-	s, err := oneShot[K](len(shards), opts)
+	pl, done, err := defaultPool[K](opts)
 	if err != nil {
 		return nil, Report{}, err
 	}
-	defer s.Close()
-	return s.SelectRanks(shards, ranks)
+	defer done()
+	return pl.SelectRanks(shards, ranks)
 }
 
 // Quantiles returns the elements at several quantiles (each in [0,1]) in
-// one collective run; see SelectRanks.
+// one collective run; see SelectRanks. The returned slice is a
+// caller-owned copy.
 func Quantiles[K cmp.Ordered](shards [][]K, qs []float64, opts Options) ([]K, Report, error) {
-	s, err := oneShot[K](len(shards), opts)
+	pl, done, err := defaultPool[K](opts)
 	if err != nil {
 		return nil, Report{}, err
 	}
-	defer s.Close()
-	return s.Quantiles(shards, qs)
-}
-
-// oneShot builds a throwaway Selector sized for the given shard count.
-func oneShot[K cmp.Ordered](shards int, opts Options) (*Selector[K], error) {
-	if shards == 0 {
-		return nil, ErrNoShards
-	}
-	opts.Machine.Procs = shards
-	return NewSelector[K](opts)
+	defer done()
+	return pl.Quantiles(shards, qs)
 }
 
 // Balance redistributes shards so that every shard ends with floor(n/p)

@@ -1,0 +1,278 @@
+package parselclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"parsel"
+)
+
+// Client talks to a parseld daemon. The zero value is not usable;
+// construct with New. Methods are safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	// QueryTimeout, when positive, is sent as timeout_ms on every query:
+	// the server-side bound on waiting for a free simulated machine.
+	// Independent of it, a context deadline also propagates as
+	// timeout_ms (whichever is tighter), so a client deadline is honored
+	// on the server rather than discovered by a dropped connection.
+	QueryTimeout time.Duration
+}
+
+// New builds a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:7075"). The optional http.Client configures
+// transport details; nil means http.DefaultClient.
+func New(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// APIError is a structured error response from the daemon.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the stable wire code (see the Code constants).
+	Code string
+	// Message is the human-readable detail.
+	Message string
+}
+
+// Error formats the error for humans.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("parseld: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+// ErrQueueFull reports that the daemon's admission queue was full; the
+// request was rejected before queueing (HTTP 429, code "queue_full").
+var ErrQueueFull = errors.New("parselclient: server admission queue full")
+
+// Is maps wire codes back onto the library's typed errors, so callers
+// can handle daemon responses exactly like in-process Pool errors:
+// errors.Is(err, parsel.ErrPoolTimeout) is true for a 429 pool_timeout,
+// and so on for ErrPoolClosed (shutting_down), ErrRankRange,
+// ErrBadQuantile, ErrNoData and ErrNoShards — plus ErrQueueFull for
+// admission rejections.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case parsel.ErrPoolTimeout:
+		return e.Code == CodePoolTimeout
+	case parsel.ErrPoolClosed:
+		return e.Code == CodeShuttingDown
+	case parsel.ErrRankRange:
+		return e.Code == CodeRankRange
+	case parsel.ErrBadQuantile:
+		return e.Code == CodeBadQuantile
+	case parsel.ErrNoData:
+		return e.Code == CodeNoData
+	case parsel.ErrNoShards:
+		return e.Code == CodeNoShards
+	case ErrQueueFull:
+		return e.Code == CodeQueueFull
+	}
+	return false
+}
+
+// timeoutMS computes the timeout_ms to send: the tighter of
+// QueryTimeout and the context's remaining budget, in milliseconds
+// (rounded up so a 300us deadline does not become "no timeout").
+func (c *Client) timeoutMS(ctx context.Context) int64 {
+	eff := c.QueryTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); eff <= 0 || rem < eff {
+			eff = rem
+		}
+	}
+	if eff <= 0 {
+		return 0
+	}
+	ms := int64((eff + time.Millisecond - 1) / time.Millisecond)
+	// The wire bounds timeout_ms at 24h; clamp rather than let the
+	// server reject an over-generous client budget.
+	const maxTimeoutMS = 24 * 60 * 60 * 1000
+	return min(ms, maxTimeoutMS)
+}
+
+// post sends one query and decodes the response or the structured
+// error. A nil context means no deadline, mirroring the Pool methods.
+func (c *Client) post(ctx context.Context, path string, req Request) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.TimeoutMS == 0 {
+		req.TimeoutMS = c.timeoutMS(ctx)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("parselclient: encode: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hres.Body.Close()
+	data, err := io.ReadAll(hres.Body)
+	if err != nil {
+		return nil, fmt.Errorf("parselclient: read response: %w", err)
+	}
+	if hres.StatusCode != http.StatusOK {
+		return nil, decodeError(hres.StatusCode, data)
+	}
+	var resp Response
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("parselclient: decode response: %w", err)
+	}
+	return &resp, nil
+}
+
+// decodeError turns a non-200 body into an *APIError, tolerating
+// non-JSON bodies (proxies, panics) by quoting them raw.
+func decodeError(status int, data []byte) error {
+	var eb ErrorBody
+	if err := json.Unmarshal(data, &eb); err == nil && eb.Error.Code != "" {
+		return &APIError{Status: status, Code: eb.Error.Code, Message: eb.Error.Message}
+	}
+	msg := strings.TrimSpace(string(data))
+	if len(msg) > 200 {
+		msg = msg[:200] + "..."
+	}
+	return &APIError{Status: status, Code: CodeInternal, Message: msg}
+}
+
+// scalar runs a single-value query.
+func (c *Client) scalar(ctx context.Context, path string, req Request) (parsel.Result[int64], error) {
+	resp, err := c.post(ctx, path, req)
+	if err != nil {
+		return parsel.Result[int64]{}, err
+	}
+	if resp.Value == nil {
+		return parsel.Result[int64]{}, fmt.Errorf("parselclient: %s: response carries no value", path)
+	}
+	return parsel.Result[int64]{Value: *resp.Value, Report: resp.Report.Report()}, nil
+}
+
+// multi runs a multi-value query.
+func (c *Client) multi(ctx context.Context, path string, req Request) ([]int64, parsel.Report, error) {
+	resp, err := c.post(ctx, path, req)
+	if err != nil {
+		return nil, parsel.Report{}, err
+	}
+	return resp.Values, resp.Report.Report(), nil
+}
+
+// Select returns the element of 1-based rank among all elements of
+// shards, like parsel.Pool.Select but over the wire.
+func (c *Client) Select(ctx context.Context, shards [][]int64, rank int64) (parsel.Result[int64], error) {
+	return c.scalar(ctx, "/v1/select", Request{Shards: shards, Rank: &rank})
+}
+
+// Median returns the element of rank ceil(n/2).
+func (c *Client) Median(ctx context.Context, shards [][]int64) (parsel.Result[int64], error) {
+	return c.scalar(ctx, "/v1/median", Request{Shards: shards})
+}
+
+// Quantile returns the element of rank ceil(q*n) for q in (0,1], and
+// the minimum for q = 0.
+func (c *Client) Quantile(ctx context.Context, shards [][]int64, q float64) (parsel.Result[int64], error) {
+	return c.scalar(ctx, "/v1/quantile", Request{Shards: shards, Q: &q})
+}
+
+// Quantiles returns the elements at several quantiles in one collective
+// run; results align with qs.
+func (c *Client) Quantiles(ctx context.Context, shards [][]int64, qs []float64) ([]int64, parsel.Report, error) {
+	return c.multi(ctx, "/v1/quantiles", Request{Shards: shards, Qs: qs})
+}
+
+// SelectRanks returns the elements at several 1-based ranks in one
+// collective run; results align with ranks.
+func (c *Client) SelectRanks(ctx context.Context, shards [][]int64, ranks []int64) ([]int64, parsel.Report, error) {
+	return c.multi(ctx, "/v1/ranks", Request{Shards: shards, Ranks: ranks})
+}
+
+// TopK returns the k largest elements in descending order.
+func (c *Client) TopK(ctx context.Context, shards [][]int64, k int) ([]int64, parsel.Report, error) {
+	return c.multi(ctx, "/v1/topk", Request{Shards: shards, K: &k})
+}
+
+// BottomK returns the k smallest elements in ascending order.
+func (c *Client) BottomK(ctx context.Context, shards [][]int64, k int) ([]int64, parsel.Report, error) {
+	return c.multi(ctx, "/v1/bottomk", Request{Shards: shards, K: &k})
+}
+
+// Summary computes the five-number summary in one multi-rank run.
+func (c *Client) Summary(ctx context.Context, shards [][]int64) (parsel.FiveNumber[int64], parsel.Report, error) {
+	resp, err := c.post(ctx, "/v1/summary", Request{Shards: shards})
+	if err != nil {
+		return parsel.FiveNumber[int64]{}, parsel.Report{}, err
+	}
+	if resp.Summary == nil {
+		return parsel.FiveNumber[int64]{}, parsel.Report{}, errors.New("parselclient: summary response carries no summary")
+	}
+	s := *resp.Summary
+	return parsel.FiveNumber[int64]{Min: s.Min, Q1: s.Q1, Median: s.Median, Q3: s.Q3, Max: s.Max},
+		resp.Report.Report(), nil
+}
+
+// Stats fetches the daemon's observability snapshot.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	hres, err := c.hc.Do(hreq)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer hres.Body.Close()
+	data, err := io.ReadAll(hres.Body)
+	if err != nil {
+		return Stats{}, err
+	}
+	if hres.StatusCode != http.StatusOK {
+		return Stats{}, decodeError(hres.StatusCode, data)
+	}
+	var st Stats
+	if err := json.Unmarshal(data, &st); err != nil {
+		return Stats{}, fmt.Errorf("parselclient: decode stats: %w", err)
+	}
+	return st, nil
+}
+
+// Health probes /healthz; nil means the daemon is accepting queries.
+func (c *Client) Health(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	hres, err := c.hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hres.Body.Close()
+	data, _ := io.ReadAll(hres.Body)
+	if hres.StatusCode != http.StatusOK {
+		return decodeError(hres.StatusCode, data)
+	}
+	return nil
+}

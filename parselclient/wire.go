@@ -1,0 +1,238 @@
+// Package parselclient is the Go client for parseld, the selection
+// daemon, and the canonical definition of its JSON wire format: the
+// daemon's handlers (parsel/internal/serve) marshal and unmarshal these
+// same types, so client and server cannot drift.
+//
+// # Wire format
+//
+// Every query is an HTTP POST of a JSON Request to one of the
+// endpoints:
+//
+//	/v1/select     {"shards": [[...]], "rank": R}
+//	/v1/median     {"shards": [[...]]}
+//	/v1/quantile   {"shards": [[...]], "q": Q}
+//	/v1/quantiles  {"shards": [[...]], "qs": [Q...]}
+//	/v1/ranks      {"shards": [[...]], "ranks": [R...]}
+//	/v1/topk       {"shards": [[...]], "k": K}
+//	/v1/bottomk    {"shards": [[...]], "k": K}
+//	/v1/summary    {"shards": [[...]]}
+//
+// "shards" is the sharded population: one array of int64 keys per
+// simulated processor, exactly as the library's [][]K entry points take
+// it. Any request may carry "timeout_ms", a deadline on pool admission:
+// if every simulated machine is still busy after that long, the daemon
+// answers 429 with code "pool_timeout" instead of queueing forever. A
+// query that has started always runs to completion.
+//
+// Successful queries return 200 with a Response: the scalar endpoints
+// fill "value", the multi-value endpoints "values" (aligned with the
+// request), summary fills "summary", and every response carries
+// "report" — the full simulated-machine report (simulated seconds,
+// iterations, message and byte totals), bit-identical to what the
+// in-process library returns for the same query.
+//
+// Failures return a JSON ErrorBody with a stable machine-readable code
+// (see the Code constants) and an HTTP status: 400 for invalid
+// requests, 404/405 for routing mistakes, 413 for oversized bodies,
+// 429 for admission failures (queue full or pool timeout), 503 while
+// draining, 500 for internal faults.
+package parselclient
+
+import "parsel"
+
+// Request is the JSON body of every query endpoint. Pointer fields
+// distinguish "absent" from a meaningful zero (rank 0 is invalid, but
+// q=0 and k=0 are not).
+type Request struct {
+	// Shards is the sharded population, one slice of keys per simulated
+	// processor.
+	Shards [][]int64 `json:"shards"`
+	// Rank is the 1-based target rank (select).
+	Rank *int64 `json:"rank,omitempty"`
+	// Ranks are the 1-based target ranks (ranks).
+	Ranks []int64 `json:"ranks,omitempty"`
+	// Q is the quantile in [0,1] (quantile).
+	Q *float64 `json:"q,omitempty"`
+	// Qs are the quantiles in [0,1] (quantiles).
+	Qs []float64 `json:"qs,omitempty"`
+	// K is the element count (topk, bottomk).
+	K *int `json:"k,omitempty"`
+	// TimeoutMS bounds the wait for a free simulated machine, in
+	// milliseconds. 0 means the server's default admission timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Report mirrors parsel.Report on the wire.
+type Report struct {
+	SimSeconds     float64 `json:"sim_seconds"`
+	BalanceSeconds float64 `json:"balance_seconds"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Iterations     int     `json:"iterations"`
+	Unsuccessful   int     `json:"unsuccessful"`
+	Messages       int64   `json:"messages"`
+	Bytes          int64   `json:"bytes"`
+}
+
+// WireReport converts a library report to its wire form.
+func WireReport(r parsel.Report) Report {
+	return Report{
+		SimSeconds:     r.SimSeconds,
+		BalanceSeconds: r.BalanceSeconds,
+		WallSeconds:    r.WallSeconds,
+		Iterations:     r.Iterations,
+		Unsuccessful:   r.Unsuccessful,
+		Messages:       r.Messages,
+		Bytes:          r.Bytes,
+	}
+}
+
+// Report converts the wire form back to the library report. JSON
+// round-trips float64 exactly (Go emits the shortest representation
+// that parses back bit-identically), so simulated metrics survive the
+// wire unchanged.
+func (r Report) Report() parsel.Report {
+	return parsel.Report{
+		SimSeconds:     r.SimSeconds,
+		BalanceSeconds: r.BalanceSeconds,
+		WallSeconds:    r.WallSeconds,
+		Iterations:     r.Iterations,
+		Unsuccessful:   r.Unsuccessful,
+		Messages:       r.Messages,
+		Bytes:          r.Bytes,
+	}
+}
+
+// Summary is the five-number summary on the wire.
+type Summary struct {
+	Min    int64 `json:"min"`
+	Q1     int64 `json:"q1"`
+	Median int64 `json:"median"`
+	Q3     int64 `json:"q3"`
+	Max    int64 `json:"max"`
+}
+
+// Response is the 200 body of every query endpoint.
+type Response struct {
+	// Value is the selected element (select, median, quantile).
+	Value *int64 `json:"value,omitempty"`
+	// Values are the selected elements aligned with the request
+	// (quantiles, ranks) or ordered by rank (topk, bottomk). A k=0
+	// result is an empty array, not null (omitzero keeps it on the
+	// wire).
+	Values []int64 `json:"values,omitzero"`
+	// Summary is the five-number summary (summary).
+	Summary *Summary `json:"summary,omitempty"`
+	// Report is the simulated-machine report of the run.
+	Report Report `json:"report"`
+}
+
+// ErrorDetail is the machine-readable error payload.
+type ErrorDetail struct {
+	// Code is one of the Code constants — stable across releases.
+	Code string `json:"code"`
+	// Message is human-readable detail.
+	Message string `json:"message"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// Stable wire error codes.
+const (
+	// CodeBadJSON: the body is not valid JSON for the endpoint.
+	CodeBadJSON = "bad_json"
+	// CodeMissingField: a field the endpoint requires is absent.
+	CodeMissingField = "missing_field"
+	// CodeLimitExceeded: the request exceeds a configured server limit
+	// (shard count, rank count, timeout).
+	CodeLimitExceeded = "limit_exceeded"
+	// CodeTooLarge: the body exceeds the server's byte limit (HTTP 413).
+	CodeTooLarge = "too_large"
+	// CodeQueueFull: the admission queue is full; retry later (429).
+	CodeQueueFull = "queue_full"
+	// CodePoolTimeout: every machine stayed busy past the deadline (429).
+	CodePoolTimeout = "pool_timeout"
+	// CodeShuttingDown: the daemon is draining (503).
+	CodeShuttingDown = "shutting_down"
+	// CodeRankRange: a rank or k is outside [1, n] (400).
+	CodeRankRange = "rank_range"
+	// CodeBadQuantile: a quantile is outside [0,1] or not a number (400).
+	CodeBadQuantile = "bad_quantile"
+	// CodeNoData: the shards hold zero elements (400).
+	CodeNoData = "no_data"
+	// CodeNoShards: the request carries no shards (400).
+	CodeNoShards = "no_shards"
+	// CodeMethodNotAllowed: wrong HTTP method (405).
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeNotFound: unknown endpoint (404).
+	CodeNotFound = "not_found"
+	// CodeInternal: an unexpected server fault (500).
+	CodeInternal = "internal"
+)
+
+// PoolStats mirrors parsel.PoolStats plus the pool's capacity.
+type PoolStats struct {
+	Creates     int64 `json:"creates"`
+	Hits        int64 `json:"hits"`
+	Reshapes    int64 `json:"reshapes"`
+	Waits       int64 `json:"waits"`
+	Timeouts    int64 `json:"timeouts"`
+	Resident    int64 `json:"resident"`
+	Idle        int64 `json:"idle"`
+	MaxMachines int   `json:"max_machines"`
+}
+
+// ServerStats counts what the HTTP front-end did.
+type ServerStats struct {
+	// Requests counts every query request received (excluding /v1/stats
+	// and /healthz).
+	Requests int64 `json:"requests"`
+	// OK counts 200 responses.
+	OK int64 `json:"ok"`
+	// ClientErrors counts 4xx responses other than admission failures.
+	ClientErrors int64 `json:"client_errors"`
+	// ServerErrors counts 5xx responses.
+	ServerErrors int64 `json:"server_errors"`
+	// Timeouts counts 429 pool_timeout responses.
+	Timeouts int64 `json:"timeouts"`
+	// Rejected counts 429 queue_full responses.
+	Rejected int64 `json:"rejected"`
+	// Inflight is the number of requests currently admitted (a gauge).
+	Inflight int64 `json:"inflight"`
+	// Draining reports whether the daemon has begun graceful shutdown.
+	Draining bool `json:"draining"`
+}
+
+// SimStats aggregates the simulated-machine metrics over served
+// queries.
+type SimStats struct {
+	Queries    int64   `json:"queries"`
+	SimSeconds float64 `json:"sim_seconds_total"`
+	Messages   int64   `json:"messages_total"`
+	Bytes      int64   `json:"bytes_total"`
+}
+
+// Bucket is one cumulative histogram bucket: Count observations were
+// <= LE seconds.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Histogram is a host-latency histogram (seconds), cumulative like a
+// Prometheus histogram; the implicit last bucket is +Inf = Count.
+type Histogram struct {
+	Count      int64    `json:"count"`
+	SumSeconds float64  `json:"sum_seconds"`
+	Buckets    []Bucket `json:"buckets"`
+}
+
+// Stats is the body of GET /v1/stats.
+type Stats struct {
+	Pool    PoolStats   `json:"pool"`
+	Server  ServerStats `json:"server"`
+	Sim     SimStats    `json:"sim"`
+	Latency Histogram   `json:"latency"`
+}

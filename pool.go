@@ -2,6 +2,8 @@ package parsel
 
 import (
 	"cmp"
+	"context"
+	"fmt"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -35,6 +37,15 @@ type PoolStats struct {
 	Reshapes int64
 	// Waits is the number of checkouts that blocked for a free slot.
 	Waits int64
+	// Timeouts is the number of checkouts abandoned because the caller's
+	// context expired while waiting for a free slot (ErrPoolTimeout).
+	Timeouts int64
+	// Resident is the current number of Selectors owned by the pool,
+	// idle or checked out (a gauge, sampled by Stats).
+	Resident int64
+	// Idle is the current number of idle Selectors (a gauge, sampled by
+	// Stats). Resident - Idle is the number of queries in flight.
+	Idle int64
 }
 
 // Pool is a goroutine-safe serving layer over a bounded set of resident
@@ -104,10 +115,21 @@ func NewPool[K cmp.Ordered](opts Options, po PoolOptions) (*Pool[K], error) {
 }
 
 // checkout blocks for a slot and returns a Selector for a procs-shaped
-// query. The caller must hand it back with checkin.
-func (pl *Pool[K]) checkout(procs int) (*Selector[K], error) {
+// query. The caller must hand it back with checkin. The context bounds
+// only the wait for a slot: once a Selector is checked out, the query
+// runs to completion (a collective simulation has no safe preemption
+// point). A nil context means wait forever, as the plain methods do.
+func (pl *Pool[K]) checkout(ctx context.Context, procs int) (*Selector[K], error) {
 	if procs == 0 {
 		return nil, ErrNoShards
+	}
+	done := ctxDone(ctx)
+	if done != nil {
+		select {
+		case <-done:
+			return nil, poolTimeout(ctx)
+		default:
+		}
 	}
 	select {
 	case pl.sem <- struct{}{}:
@@ -115,7 +137,18 @@ func (pl *Pool[K]) checkout(procs int) (*Selector[K], error) {
 		pl.mu.Lock()
 		pl.stats.Waits++
 		pl.mu.Unlock()
-		pl.sem <- struct{}{}
+		if done == nil {
+			pl.sem <- struct{}{}
+		} else {
+			select {
+			case pl.sem <- struct{}{}:
+			case <-done:
+				pl.mu.Lock()
+				pl.stats.Timeouts++
+				pl.mu.Unlock()
+				return nil, poolTimeout(ctx)
+			}
+		}
 	}
 	pl.mu.Lock()
 	if pl.closed {
@@ -164,6 +197,22 @@ func (pl *Pool[K]) checkout(procs int) (*Selector[K], error) {
 	panic("parsel: pool invariant violated: full pool with no idle Selector")
 }
 
+// ctxDone returns the context's done channel, or nil for a nil or
+// never-cancelled context (the fast path never touches it then).
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// poolTimeout wraps the context's cause so callers can match both the
+// pool-level condition (errors.Is(err, ErrPoolTimeout)) and the precise
+// context verdict (context.DeadlineExceeded vs context.Canceled).
+func poolTimeout(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrPoolTimeout, context.Cause(ctx))
+}
+
 // checkin returns a Selector to the idle set (or closes it if the pool
 // was closed meanwhile) and frees the slot.
 func (pl *Pool[K]) checkin(sel *Selector[K]) {
@@ -203,12 +252,22 @@ func (pl *Pool[K]) Close() {
 	}
 }
 
-// Stats returns a snapshot of the pool's counters.
+// Stats returns a snapshot of the pool's counters, with the Resident
+// and Idle gauges sampled at the call.
 func (pl *Pool[K]) Stats() PoolStats {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
-	return pl.stats
+	st := pl.stats
+	st.Resident = int64(pl.total)
+	for _, list := range pl.idle {
+		st.Idle += int64(len(list))
+	}
+	return st
 }
+
+// MaxMachines returns the pool's capacity: the maximum number of
+// resident Selectors, and so of concurrently executing queries.
+func (pl *Pool[K]) MaxMachines() int { return pl.max }
 
 // Warm pre-provisions count resident Selectors — machine fabric
 // included — for procs-shaped queries (count is capped at MaxMachines),
@@ -233,7 +292,7 @@ func (pl *Pool[K]) Warm(procs, count int) error {
 		}
 	}()
 	for i := 0; i < count; i++ {
-		sel, err := pl.checkout(procs)
+		sel, err := pl.checkout(nil, procs)
 		if err != nil {
 			return err
 		}
@@ -250,7 +309,17 @@ func (pl *Pool[K]) Warm(procs, count int) error {
 // Select returns the element of 1-based rank among all elements of
 // shards; see Selector.Select. Safe for concurrent use.
 func (pl *Pool[K]) Select(shards [][]K, rank int64) (Result[K], error) {
-	sel, err := pl.checkout(len(shards))
+	return pl.SelectContext(nil, shards, rank)
+}
+
+// SelectContext is Select with a deadline on pool admission: if every
+// machine is busy and the context expires before one frees up, the call
+// returns an error matching both ErrPoolTimeout and the context's own
+// verdict (errors.Is either way). The deadline bounds only the wait for
+// a machine — a query that has started always runs to completion, so a
+// served result is never partial. A nil context waits forever.
+func (pl *Pool[K]) SelectContext(ctx context.Context, shards [][]K, rank int64) (Result[K], error) {
+	sel, err := pl.checkout(ctx, len(shards))
 	if err != nil {
 		return Result[K]{}, err
 	}
@@ -263,7 +332,14 @@ func (pl *Pool[K]) Select(shards [][]K, rank int64) (Result[K], error) {
 // shards until the call returns. Safe for concurrent use (with distinct
 // shards per call).
 func (pl *Pool[K]) SelectInPlace(shards [][]K, rank int64) (Result[K], error) {
-	sel, err := pl.checkout(len(shards))
+	return pl.SelectInPlaceContext(nil, shards, rank)
+}
+
+// SelectInPlaceContext is SelectInPlace with a deadline on pool
+// admission; see SelectContext. A timed-out call has not touched the
+// caller's shards.
+func (pl *Pool[K]) SelectInPlaceContext(ctx context.Context, shards [][]K, rank int64) (Result[K], error) {
+	sel, err := pl.checkout(ctx, len(shards))
 	if err != nil {
 		return Result[K]{}, err
 	}
@@ -273,7 +349,13 @@ func (pl *Pool[K]) SelectInPlace(shards [][]K, rank int64) (Result[K], error) {
 
 // Median returns the element of rank ceil(n/2); see Selector.Median.
 func (pl *Pool[K]) Median(shards [][]K) (Result[K], error) {
-	sel, err := pl.checkout(len(shards))
+	return pl.MedianContext(nil, shards)
+}
+
+// MedianContext is Median with a deadline on pool admission; see
+// SelectContext.
+func (pl *Pool[K]) MedianContext(ctx context.Context, shards [][]K) (Result[K], error) {
+	sel, err := pl.checkout(ctx, len(shards))
 	if err != nil {
 		return Result[K]{}, err
 	}
@@ -283,7 +365,13 @@ func (pl *Pool[K]) Median(shards [][]K) (Result[K], error) {
 
 // Quantile returns the element of rank ceil(q*n); see Selector.Quantile.
 func (pl *Pool[K]) Quantile(shards [][]K, q float64) (Result[K], error) {
-	sel, err := pl.checkout(len(shards))
+	return pl.QuantileContext(nil, shards, q)
+}
+
+// QuantileContext is Quantile with a deadline on pool admission; see
+// SelectContext.
+func (pl *Pool[K]) QuantileContext(ctx context.Context, shards [][]K, q float64) (Result[K], error) {
+	sel, err := pl.checkout(ctx, len(shards))
 	if err != nil {
 		return Result[K]{}, err
 	}
@@ -295,7 +383,13 @@ func (pl *Pool[K]) Quantile(shards [][]K, q float64) (Result[K], error) {
 // collective run; see Selector.SelectRanks. The returned slice is a
 // caller-owned copy.
 func (pl *Pool[K]) SelectRanks(shards [][]K, ranks []int64) ([]K, Report, error) {
-	sel, err := pl.checkout(len(shards))
+	return pl.SelectRanksContext(nil, shards, ranks)
+}
+
+// SelectRanksContext is SelectRanks with a deadline on pool admission;
+// see SelectContext.
+func (pl *Pool[K]) SelectRanksContext(ctx context.Context, shards [][]K, ranks []int64) ([]K, Report, error) {
+	sel, err := pl.checkout(ctx, len(shards))
 	if err != nil {
 		return nil, Report{}, err
 	}
@@ -311,7 +405,13 @@ func (pl *Pool[K]) SelectRanks(shards [][]K, ranks []int64) ([]K, Report, error)
 // run; see Selector.Quantiles. The returned slice is a caller-owned
 // copy.
 func (pl *Pool[K]) Quantiles(shards [][]K, qs []float64) ([]K, Report, error) {
-	sel, err := pl.checkout(len(shards))
+	return pl.QuantilesContext(nil, shards, qs)
+}
+
+// QuantilesContext is Quantiles with a deadline on pool admission; see
+// SelectContext.
+func (pl *Pool[K]) QuantilesContext(ctx context.Context, shards [][]K, qs []float64) ([]K, Report, error) {
+	sel, err := pl.checkout(ctx, len(shards))
 	if err != nil {
 		return nil, Report{}, err
 	}
@@ -326,7 +426,13 @@ func (pl *Pool[K]) Quantiles(shards [][]K, qs []float64) ([]K, Report, error) {
 // TopK returns the k largest elements in descending order; see
 // Selector.TopK.
 func (pl *Pool[K]) TopK(shards [][]K, k int) ([]K, Report, error) {
-	sel, err := pl.checkout(len(shards))
+	return pl.TopKContext(nil, shards, k)
+}
+
+// TopKContext is TopK with a deadline on pool admission; see
+// SelectContext.
+func (pl *Pool[K]) TopKContext(ctx context.Context, shards [][]K, k int) ([]K, Report, error) {
+	sel, err := pl.checkout(ctx, len(shards))
 	if err != nil {
 		return nil, Report{}, err
 	}
@@ -337,7 +443,13 @@ func (pl *Pool[K]) TopK(shards [][]K, k int) ([]K, Report, error) {
 // BottomK returns the k smallest elements in ascending order; see
 // Selector.BottomK.
 func (pl *Pool[K]) BottomK(shards [][]K, k int) ([]K, Report, error) {
-	sel, err := pl.checkout(len(shards))
+	return pl.BottomKContext(nil, shards, k)
+}
+
+// BottomKContext is BottomK with a deadline on pool admission; see
+// SelectContext.
+func (pl *Pool[K]) BottomKContext(ctx context.Context, shards [][]K, k int) ([]K, Report, error) {
+	sel, err := pl.checkout(ctx, len(shards))
 	if err != nil {
 		return nil, Report{}, err
 	}
@@ -348,7 +460,13 @@ func (pl *Pool[K]) BottomK(shards [][]K, k int) ([]K, Report, error) {
 // Summary computes the five-number summary in a single multi-rank run;
 // see Selector.Summary.
 func (pl *Pool[K]) Summary(shards [][]K) (FiveNumber[K], Report, error) {
-	sel, err := pl.checkout(len(shards))
+	return pl.SummaryContext(nil, shards)
+}
+
+// SummaryContext is Summary with a deadline on pool admission; see
+// SelectContext.
+func (pl *Pool[K]) SummaryContext(ctx context.Context, shards [][]K) (FiveNumber[K], Report, error) {
+	sel, err := pl.checkout(ctx, len(shards))
 	if err != nil {
 		return FiveNumber[K]{}, Report{}, err
 	}

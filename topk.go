@@ -117,25 +117,25 @@ func (s *Selector[K]) BottomK(shards [][]K, k int) ([]K, Report, error) {
 }
 
 // TopK returns the k largest elements across all shards in descending
-// order; see Selector.TopK. It is a thin wrapper over a throwaway
-// Selector.
+// order; see Selector.TopK. It routes through the shared default Pool
+// for its (Options, K) pair; see Select.
 func TopK[K cmp.Ordered](shards [][]K, k int, opts Options) ([]K, Report, error) {
-	s, err := oneShot[K](len(shards), opts)
+	pl, done, err := defaultPool[K](opts)
 	if err != nil {
 		return nil, Report{}, err
 	}
-	defer s.Close()
-	return s.TopK(shards, k)
+	defer done()
+	return pl.TopK(shards, k)
 }
 
 // BottomK returns the k smallest elements in ascending order; see TopK.
 func BottomK[K cmp.Ordered](shards [][]K, k int, opts Options) ([]K, Report, error) {
-	s, err := oneShot[K](len(shards), opts)
+	pl, done, err := defaultPool[K](opts)
 	if err != nil {
 		return nil, Report{}, err
 	}
-	defer s.Close()
-	return s.BottomK(shards, k)
+	defer done()
+	return pl.BottomK(shards, k)
 }
 
 // FiveNumber is Tukey's five-number summary of a distributed dataset.
@@ -181,15 +181,15 @@ func (s *Selector[K]) Summary(shards [][]K) (FiveNumber[K], Report, error) {
 	}, rep, nil
 }
 
-// Summary computes the five-number summary with a throwaway Selector;
-// see Selector.Summary.
+// Summary computes the five-number summary through the shared default
+// Pool; see Selector.Summary and Select.
 func Summary[K cmp.Ordered](shards [][]K, opts Options) (FiveNumber[K], Report, error) {
-	s, err := oneShot[K](len(shards), opts)
+	pl, done, err := defaultPool[K](opts)
 	if err != nil {
 		return FiveNumber[K]{}, Report{}, err
 	}
-	defer s.Close()
-	return s.Summary(shards)
+	defer done()
+	return pl.Summary(shards)
 }
 
 func max64(a, b int64) int64 {
