@@ -1,23 +1,40 @@
 # CI entry points for the parsel repo (pure Go, no external deps).
 #
-#   make ci      - everything below, in order (what a PR must pass)
-#   make vet     - static checks
+#   make ci      - everything below, in order (what a PR must pass);
+#                  .github/workflows/ci.yml runs exactly these targets,
+#                  split across jobs so the race leg parallelizes
+#   make vet     - static checks: go vet + gofmt (fails on unformatted files)
 #   make build   - compile all packages, commands and examples
 #   make test    - full test suite (includes the differential oracle suite)
-#   make race    - full suite under the race detector (pool/selector/daemon stress)
+#   make race    - full suite under the race detector (pool/selector/daemon/
+#                  dataset stress)
 #   make e2e     - the daemon end-to-end suite alone (httptest + parselclient),
 #                  uncached, for quick iteration on the serving layer
 #   make fuzz    - short fuzz smoke: the 128-bit quantile-rank arithmetic and
 #                  the daemon's HTTP request decoder
+#   make cover   - coverage profile over the core packages (engine, client,
+#                  internal) with a hard threshold; writes cover.out
 
 GO ?= go
 
-.PHONY: ci vet build test race e2e fuzz
+# Core packages the coverage gate measures: the engine, the wire client
+# and every internal package — commands and examples are thin mains and
+# excluded.
+COVER_PKGS = .,./parselclient,./internal/...
+COVER_MIN ?= 85
 
-ci: vet build test race e2e fuzz
+.PHONY: ci vet build test race e2e fuzz cover
+
+ci: vet build test race e2e fuzz cover
 
 vet:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -29,8 +46,16 @@ race:
 	$(GO) test -race ./...
 
 e2e:
-	$(GO) test -count=1 -run 'TestDaemon' ./internal/serve .
+	$(GO) test -count=1 -run 'TestDaemon|TestDataset' ./internal/serve .
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzQuantileRank -fuzztime=5s .
 	$(GO) test -run='^$$' -fuzz=FuzzParseRequest -fuzztime=5s ./internal/serve
+
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out -coverpkg=$(COVER_PKGS) \
+		. ./parselclient ./internal/...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	awk -v t=$$total -v min=$(COVER_MIN) 'BEGIN { \
+		if (t+0 < min+0) { printf "coverage %.1f%% is below the %s%% threshold\n", t, min; exit 1 } \
+		printf "coverage %.1f%% (threshold %s%%)\n", t, min }'

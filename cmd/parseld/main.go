@@ -17,6 +17,15 @@
 //	     -d '{"shards": [[9,1,5],[3,7,2]], "qs": [0.25,0.5,0.99], "timeout_ms": 250}'
 //	curl -s localhost:7075/v1/stats
 //
+// Resident datasets — upload the shards once, query them many times
+// (the query bodies carry no keys; see -dataset-ttl and
+// -dataset-budget for the eviction policy):
+//
+//	curl -s -X PUT localhost:7075/v1/datasets/fleet -d '{"shards": [[9,1,5],[3,7,2]]}'
+//	curl -s localhost:7075/v1/datasets/fleet/query -d '{"kind": "median"}'
+//	curl -s localhost:7075/v1/datasets/fleet/query -d '{"kind": "quantiles", "qs": [0.5,0.99]}'
+//	curl -s -X DELETE localhost:7075/v1/datasets/fleet
+//
 // The wire format is documented in the parselclient package, which is
 // also the Go client for this daemon.
 package main
@@ -80,6 +89,9 @@ func main() {
 		maxBody  = flag.Int64("max-body", 64<<20, "request body byte limit")
 		maxProcs = flag.Int("max-procs", 256, "shard (simulated processor) count limit per request")
 		maxRanks = flag.Int("max-ranks", 4096, "rank/quantile count limit per request")
+		dsTTL    = flag.Duration("dataset-ttl", 10*time.Minute, "resident datasets idle longer than this are evicted")
+		dsBudget = flag.Int64("dataset-budget", 1<<30, "resident-bytes budget across all datasets (uploads beyond it get 413)")
+		dsMax    = flag.Int("max-datasets", 1024, "resident dataset count limit")
 		alg      = flag.String("alg", "fastrand", "algorithm: "+keys(algNames))
 		bal      = flag.String("bal", "modomlb", "load balancer: "+keys(balNames))
 		topo     = flag.String("topo", "crossbar", "interconnect topology: "+keys(topoNames))
@@ -137,6 +149,9 @@ func main() {
 			MaxProcs:     *maxProcs,
 			MaxRanks:     *maxRanks,
 		},
+		DatasetTTL:       *dsTTL,
+		MaxResidentBytes: *dsBudget,
+		MaxDatasets:      *dsMax,
 	})
 	if err != nil {
 		fail("serve: %v", err)

@@ -13,6 +13,8 @@
 //	selectbench -clients 32 -perf BENCH_PR2.json  # ...appended to the snapshot
 //	selectbench -http -clients 32    # daemon round-trip throughput (loopback HTTP)
 //	selectbench -http -clients 32 -perf BENCH_PR3.json  # ...both rows in the snapshot
+//	selectbench -http -dataset -clients 32              # resident-dataset round trips
+//	selectbench -http -dataset -clients 32 -perf BENCH_PR4.json
 package main
 
 import (
@@ -154,11 +156,13 @@ func runClients(clients int) (perfResult, error) {
 	}, nil
 }
 
-// runHTTPClients measures daemon round-trip throughput: an in-process
-// parseld (serve handler on a loopback listener) serves the standard
-// workload to clients concurrent goroutines going through the HTTP
-// client — the full serialize/decode/admit/select/respond path.
-func runHTTPClients(clients int) (perfResult, error) {
+// runLoopbackBench spins an in-process parseld (serve handler on a
+// loopback listener) over the standard workload, warms the pool and
+// connection paths, then measures aggregate throughput of clients
+// concurrent goroutines issuing the query prep returns. prep runs once
+// before timing (e.g. to upload a dataset) and returns the goroutine-
+// safe per-query call.
+func runLoopbackBench(clients int, prep func(ctx context.Context, client *parselclient.Client, shards [][]int64) (func() (float64, error), error)) (perfResult, error) {
 	shards := perfShards()
 	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
 	machines := clients
@@ -184,12 +188,16 @@ func runHTTPClients(clients int) (perfResult, error) {
 	client := parselclient.New("http://"+ln.Addr().String(), nil)
 	ctx := context.Background()
 
-	// Warm the pool and each client's connection path before timing.
+	query, err := prep(ctx, client, shards)
+	if err != nil {
+		return perfResult{}, err
+	}
+	// Warm the pool and each connection path before timing.
 	if err := pool.Warm(len(shards), machines); err != nil {
 		return perfResult{}, err
 	}
 	for i := 0; i < machines; i++ {
-		if _, err := client.Median(ctx, shards); err != nil {
+		if _, err := query(); err != nil {
 			return perfResult{}, err
 		}
 	}
@@ -210,12 +218,12 @@ func runHTTPClients(clients int) (perfResult, error) {
 				if next.Add(1) > int64(queries) {
 					return
 				}
-				res, err := client.Median(ctx, shards)
+				simSec, err := query()
 				if err != nil {
 					failed.Add(1)
 					return
 				}
-				sim.Store(res.SimSeconds)
+				sim.Store(simSec)
 			}
 		}()
 	}
@@ -233,11 +241,48 @@ func runHTTPClients(clients int) (perfResult, error) {
 	}, nil
 }
 
+// runHTTPClients measures daemon round-trip throughput with the shards
+// shipped in every request body — the full serialize/decode/admit/
+// select/respond path.
+func runHTTPClients(clients int) (perfResult, error) {
+	return runLoopbackBench(clients, func(ctx context.Context, client *parselclient.Client, shards [][]int64) (func() (float64, error), error) {
+		return func() (float64, error) {
+			res, err := client.Median(ctx, shards)
+			if err != nil {
+				return 0, err
+			}
+			return res.SimSeconds, nil
+		}, nil
+	})
+}
+
+// runHTTPDatasetClients measures resident-dataset round-trip
+// throughput: the standard workload is uploaded ONCE into a daemon
+// dataset, then every query body carries parameters only — the
+// upload-once/query-many serving model, against the same loopback
+// daemon as runHTTPClients.
+func runHTTPDatasetClients(clients int) (perfResult, error) {
+	return runLoopbackBench(clients, func(ctx context.Context, client *parselclient.Client, shards [][]int64) (func() (float64, error), error) {
+		rd := client.Dataset("bench")
+		if _, err := rd.Upload(ctx, shards); err != nil {
+			return nil, err
+		}
+		return func() (float64, error) {
+			res, err := rd.Median(ctx)
+			if err != nil {
+				return 0, err
+			}
+			return res.SimSeconds, nil
+		}, nil
+	})
+}
+
 // runPerf measures the one-shot and amortized selection paths on the
 // standard workload — plus, when clients > 0, the pooled concurrent
-// serving path (and with httpMode, the daemon round-trip path) — and
+// serving path (and with httpMode, the daemon round-trip path; with
+// datasetMode additionally the resident-dataset round-trip path) — and
 // writes the JSON snapshot to path.
-func runPerf(path string, clients int, httpMode bool) error {
+func runPerf(path string, clients int, httpMode, datasetMode bool) error {
 	shards := perfShards()
 	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
 	var n int64
@@ -303,6 +348,13 @@ func runPerf(path string, clients int, httpMode bool) error {
 				return err
 			}
 			results[fmt.Sprintf("http_%dclients", clients)] = hr
+			if datasetMode {
+				dr, err := runHTTPDatasetClients(clients)
+				if err != nil {
+					return err
+				}
+				results[fmt.Sprintf("http_dataset_%dclients", clients)] = dr
+			}
 		}
 	}
 
@@ -338,11 +390,17 @@ func main() {
 		perf    = flag.String("perf", "", "write a host-performance JSON snapshot to this path and exit")
 		clients = flag.Int("clients", 0, "measure pooled concurrent throughput with this many client goroutines (alone: print; with -perf: append to the snapshot)")
 		httpB   = flag.Bool("http", false, "with -clients: also measure daemon (HTTP) round-trip throughput through an in-process parseld on loopback")
+		dataset = flag.Bool("dataset", false, "with -http -clients: also measure resident-dataset round trips (upload once, query many — bodies carry no keys)")
 	)
 	flag.Parse()
 
+	if *dataset && !*httpB {
+		fmt.Fprintln(os.Stderr, "selectbench: -dataset measures the daemon's resident path; pass -http (and -clients N) with it")
+		os.Exit(2)
+	}
+
 	if *perf != "" {
-		if err := runPerf(*perf, *clients, *httpB); err != nil {
+		if err := runPerf(*perf, *clients, *httpB, *dataset); err != nil {
 			fmt.Fprintf(os.Stderr, "selectbench: perf: %v\n", err)
 			os.Exit(1)
 		}
@@ -366,6 +424,15 @@ func main() {
 			}
 			fmt.Printf("daemon round-trip, %d clients: %.1f queries/s (%.3f ms/query, sim %.4f s)\n",
 				*clients, hr.QPS, float64(hr.NsPerOp)/1e6, hr.SimSeconds)
+			if *dataset {
+				dr, err := runHTTPDatasetClients(*clients)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "selectbench: dataset: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("resident dataset, %d clients: %.1f queries/s (%.3f ms/query, sim %.4f s)\n",
+					*clients, dr.QPS, float64(dr.NsPerOp)/1e6, dr.SimSeconds)
+			}
 		}
 		return
 	}

@@ -1,0 +1,457 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"parsel"
+	"parsel/parselclient"
+)
+
+// The resident-dataset registry: upload once, query many. An upload
+// (PUT /v1/datasets/{id}) ships the shards a single time into a
+// parsel.Dataset — resident per-processor storage pinned to the upload's
+// machine shape — and every later query (POST /v1/datasets/{id}/query)
+// carries parameters only, checking an idle machine of matching shape
+// out of the shared pool. Responses are bit-identical to posting the
+// same shards per query.
+//
+// Two resource bounds keep resident state safe to expose:
+//
+//   - A resident-bytes budget (Options.MaxResidentBytes, plus an entry
+//     count cap MaxDatasets): an upload that would exceed it is refused
+//     with 413 "resident_budget" by a constant-time counter comparison —
+//     live datasets are never evicted to make room.
+//   - A TTL (Options.DatasetTTL): uploads and queries reset a dataset's
+//     expiry; one left idle past the TTL is evicted by the lazy sweep
+//     that runs on every registry touch (uploads, queries, deletes,
+//     stats). Eviction is pure registry work — it never needs a machine,
+//     so a wedged or saturated pool cannot pin expired memory.
+//
+// A query in flight when its dataset is deleted or evicted completes
+// normally (the snapshot is reclaimed after the last reader returns);
+// later queries get 404 "dataset_not_found".
+
+// dsEntry is one resident dataset with its accounting state.
+type dsEntry struct {
+	ds      *parsel.Dataset[int64]
+	bytes   int64
+	expires time.Time
+}
+
+// info shapes the entry's wire description.
+func (e *dsEntry) info(id string, now time.Time) parselclient.DatasetInfo {
+	return parselclient.DatasetInfo{
+		ID:          id,
+		Procs:       e.ds.Procs(),
+		N:           e.ds.N(),
+		Bytes:       e.bytes,
+		ExpiresInMS: e.expires.Sub(now).Milliseconds(),
+	}
+}
+
+// sweepLocked evicts every dataset whose TTL has lapsed. Caller holds
+// dsMu. Closing the evicted datasets is a flag write (in-flight queries
+// complete and the runtime reclaims the snapshots), so the sweep is
+// cheap enough to run on every registry touch.
+func (s *Server) sweepLocked(now time.Time) {
+	for id, e := range s.datasets {
+		if now.Before(e.expires) {
+			continue
+		}
+		delete(s.datasets, id)
+		s.dsBytes -= e.bytes
+		s.dstats.Expired++
+		e.ds.Close()
+	}
+}
+
+// handleDatasets routes /v1/datasets/{id}[/query] by path shape and
+// method. Registered under the "/v1/datasets/" prefix.
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/datasets/")
+	id, op, _ := strings.Cut(rest, "/")
+	if err := checkDatasetID(id); err != nil {
+		// A malformed id is a routing mistake, reported like 404/405:
+		// outside the request-accounting counters.
+		pe := err.(*ParseError)
+		writeError(w, http.StatusBadRequest, pe.Code, pe.Msg)
+		return
+	}
+	switch op {
+	case "":
+		switch r.Method {
+		case http.MethodPut:
+			s.handleDatasetUpload(w, r, id)
+		case http.MethodGet:
+			s.handleDatasetInfo(w, r, id)
+		case http.MethodDelete:
+			s.handleDatasetDelete(w, r, id)
+		default:
+			w.Header().Set("Allow", "PUT, GET, DELETE")
+			writeError(w, http.StatusMethodNotAllowed, parselclient.CodeMethodNotAllowed,
+				"datasets are PUT (upload), GET (info) or DELETE requests")
+		}
+	case "query":
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, parselclient.CodeMethodNotAllowed,
+				"dataset queries are POST requests")
+			return
+		}
+		s.handleDatasetQuery(w, r, id)
+	default:
+		writeError(w, http.StatusNotFound, parselclient.CodeNotFound,
+			fmt.Sprintf("no dataset operation %q", op))
+	}
+}
+
+// admitOrReject takes an admission token, or writes the constant-time
+// 429 and returns false. The caller must release() on true.
+func (s *Server) admitOrReject(w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case s.admit <- struct{}{}:
+		return func() { <-s.admit }, true
+	default:
+		s.countError(http.StatusTooManyRequests, parselclient.CodeQueueFull)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, parselclient.CodeQueueFull,
+			fmt.Sprintf("admission capacity exhausted (%d requests in flight, capacity %d)",
+				len(s.admit), cap(s.admit)))
+		return nil, false
+	}
+}
+
+// refuseIfDraining counts the request and writes the 503 if the daemon
+// is draining; it returns true when the caller must stop.
+func (s *Server) refuseIfDraining(w http.ResponseWriter) bool {
+	s.mu.Lock()
+	s.srv.Requests++
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		s.countError(http.StatusServiceUnavailable, parselclient.CodeShuttingDown)
+		writeError(w, http.StatusServiceUnavailable, parselclient.CodeShuttingDown,
+			"daemon is draining")
+	}
+	return draining
+}
+
+// handleDatasetUpload serves PUT /v1/datasets/{id}: the upload-once
+// half of the resident contract. The shards are parsed, checked against
+// the resident-bytes budget (a constant-time counter comparison — no
+// eviction of live data, no machine work), copied into resident
+// storage, and registered under the id, replacing any previous dataset
+// there.
+func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request, id string) {
+	if s.refuseIfDraining(w) {
+		return
+	}
+	release, ok := s.admitOrReject(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	// Declared-oversize bodies are refused before a byte is read.
+	if r.ContentLength > s.opts.Limits.MaxBodyBytes {
+		s.writeRequestError(w, parseErrf(parselclient.CodeTooLarge,
+			"declared body of %d bytes exceeds %d", r.ContentLength, s.opts.Limits.MaxBodyBytes))
+		return
+	}
+	body, err := readBody(w, r, s.opts.Limits.MaxBodyBytes)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	up, err := ParseDatasetUpload(body, s.opts.Limits)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	need := residentBytes(up.Shards)
+
+	// Admission is a constant-time counter comparison under the registry
+	// lock; the snapshot copy itself runs unlocked (a near-budget upload
+	// must not stall queries and stats for the duration of the memcpy),
+	// against a reservation that is committed or unwound below. A
+	// replaced dataset leaves the registry at reservation time, so
+	// during the copy the id reads as not-found — the same window a
+	// DELETE + re-upload sequence has — and queries in flight on the old
+	// snapshot complete normally.
+	s.dsMu.Lock()
+	now := s.now()
+	s.sweepLocked(now)
+	prev, replacing := s.datasets[id]
+	freed := int64(0)
+	if replacing {
+		freed = prev.bytes
+	}
+	if s.dsBytes-freed+need > s.opts.MaxResidentBytes {
+		held := s.dsBytes
+		s.dstats.Rejected++
+		s.dsMu.Unlock()
+		s.countError(http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget)
+		writeError(w, http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget,
+			fmt.Sprintf("dataset needs %d resident bytes; %d of the %d-byte budget are held (live data is never evicted to make room)",
+				need, held, s.opts.MaxResidentBytes))
+		return
+	}
+	if !replacing && len(s.datasets)+1 > s.opts.MaxDatasets {
+		s.dstats.Rejected++
+		s.dsMu.Unlock()
+		s.countError(http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget)
+		writeError(w, http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget,
+			fmt.Sprintf("daemon already holds %d datasets, the limit", s.opts.MaxDatasets))
+		return
+	}
+	if replacing {
+		delete(s.datasets, id)
+		s.dsBytes -= prev.bytes
+		s.dstats.Replaced++
+	}
+	s.dsBytes += need // the reservation
+	s.dsMu.Unlock()
+	if replacing {
+		prev.ds.Close()
+	}
+
+	ds, err := s.pool.NewDataset(up.Shards)
+
+	s.dsMu.Lock()
+	if err != nil {
+		s.dsBytes -= need
+		s.dsMu.Unlock()
+		s.writeQueryError(w, err)
+		return
+	}
+	if cur, ok := s.datasets[id]; ok {
+		// A concurrent upload of the same id committed during our copy:
+		// last writer wins, exactly as serialized PUTs would end.
+		delete(s.datasets, id)
+		s.dsBytes -= cur.bytes
+		s.dstats.Replaced++
+		cur.ds.Close()
+	} else if !replacing && len(s.datasets)+1 > s.opts.MaxDatasets {
+		// Concurrent uploads of distinct new ids can pass the count
+		// check together; the loser unwinds here (the bytes budget
+		// cannot oversubscribe the same way — it is reserved up front).
+		s.dsBytes -= need
+		s.dstats.Rejected++
+		s.dsMu.Unlock()
+		ds.Close()
+		s.countError(http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget)
+		writeError(w, http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget,
+			fmt.Sprintf("daemon already holds %d datasets, the limit", s.opts.MaxDatasets))
+		return
+	}
+	now = s.now()
+	e := &dsEntry{ds: ds, bytes: ds.Bytes(), expires: now.Add(s.opts.DatasetTTL)}
+	s.dsBytes += e.bytes - need // reconcile the estimate with the ledger's truth
+	s.datasets[id] = e
+	s.dstats.Uploads++
+	info := e.info(id, now)
+	s.dsMu.Unlock()
+
+	s.mu.Lock()
+	s.srv.OK++
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, info)
+}
+
+// residentBytes is the admission-time estimate of what the shards will
+// occupy once resident, kept in one place so the budget check and the
+// ledger (parsel.Dataset.Bytes, reconciled at commit) cannot drift: the
+// daemon's keys are int64, eight bytes a slot.
+func residentBytes(shards [][]int64) int64 {
+	var n int64
+	for _, sh := range shards {
+		n += int64(len(sh))
+	}
+	return n * 8
+}
+
+// handleDatasetInfo serves GET /v1/datasets/{id}: the description
+// without touching the TTL (probes must not keep a dataset alive).
+func (s *Server) handleDatasetInfo(w http.ResponseWriter, r *http.Request, id string) {
+	if s.refuseIfDraining(w) {
+		return
+	}
+	s.dsMu.Lock()
+	now := s.now()
+	s.sweepLocked(now)
+	e, ok := s.datasets[id]
+	var info parselclient.DatasetInfo
+	if ok {
+		info = e.info(id, now)
+	} else {
+		s.dstats.NotFound++
+	}
+	s.dsMu.Unlock()
+	if !ok {
+		s.countError(http.StatusNotFound, parselclient.CodeDatasetNotFound)
+		writeError(w, http.StatusNotFound, parselclient.CodeDatasetNotFound,
+			fmt.Sprintf("no resident dataset %q", id))
+		return
+	}
+	s.mu.Lock()
+	s.srv.OK++
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleDatasetDelete serves DELETE /v1/datasets/{id}: the dataset
+// leaves the registry and its budget is freed immediately; queries in
+// flight complete normally.
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request, id string) {
+	if s.refuseIfDraining(w) {
+		return
+	}
+	s.dsMu.Lock()
+	now := s.now()
+	s.sweepLocked(now)
+	e, ok := s.datasets[id]
+	var info parselclient.DatasetInfo
+	if ok {
+		delete(s.datasets, id)
+		s.dsBytes -= e.bytes
+		s.dstats.Deletes++
+		info = e.info(id, now)
+	} else {
+		s.dstats.NotFound++
+	}
+	s.dsMu.Unlock()
+	if !ok {
+		s.countError(http.StatusNotFound, parselclient.CodeDatasetNotFound)
+		writeError(w, http.StatusNotFound, parselclient.CodeDatasetNotFound,
+			fmt.Sprintf("no resident dataset %q", id))
+		return
+	}
+	e.ds.Close()
+	s.mu.Lock()
+	s.srv.OK++
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleDatasetQuery serves POST /v1/datasets/{id}/query: the
+// query-many half of the resident contract. The body carries the query
+// parameters only; the keys are already resident. A successful lookup
+// resets the dataset's TTL.
+func (s *Server) handleDatasetQuery(w http.ResponseWriter, r *http.Request, id string) {
+	start := time.Now()
+	if s.refuseIfDraining(w) {
+		return
+	}
+	release, ok := s.admitOrReject(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	body, err := readBody(w, r, s.opts.Limits.MaxBodyBytes)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	q, ep, err := ParseDatasetQuery(body, s.opts.Limits)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+
+	s.dsMu.Lock()
+	now := s.now()
+	s.sweepLocked(now)
+	e, ok := s.datasets[id]
+	if ok {
+		e.expires = now.Add(s.opts.DatasetTTL)
+	} else {
+		s.dstats.NotFound++
+	}
+	s.dsMu.Unlock()
+	if !ok {
+		s.countError(http.StatusNotFound, parselclient.CodeDatasetNotFound)
+		writeError(w, http.StatusNotFound, parselclient.CodeDatasetNotFound,
+			fmt.Sprintf("no resident dataset %q", id))
+		return
+	}
+
+	ctx, cancel := s.admissionContext(r.Context(), q.TimeoutMS)
+	defer cancel()
+	resp, err := s.executeDataset(ctx, ep, e.ds, q)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+
+	s.dsMu.Lock()
+	s.dstats.Queries++
+	s.dsMu.Unlock()
+	s.observe(time.Since(start), resp.Report)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// executeDataset dispatches one validated dataset query, mirroring
+// execute over the resident shards.
+func (s *Server) executeDataset(ctx context.Context, ep Endpoint, ds *parsel.Dataset[int64], q *parselclient.DatasetQuery) (*parselclient.Response, error) {
+	switch ep {
+	case EpSelect:
+		res, err := ds.SelectContext(ctx, *q.Rank)
+		if err != nil {
+			return nil, err
+		}
+		return scalarResponse(res), nil
+	case EpMedian:
+		res, err := ds.MedianContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return scalarResponse(res), nil
+	case EpQuantile:
+		res, err := ds.QuantileContext(ctx, *q.Q)
+		if err != nil {
+			return nil, err
+		}
+		return scalarResponse(res), nil
+	case EpQuantiles:
+		vals, rep, err := ds.QuantilesContext(ctx, q.Qs)
+		if err != nil {
+			return nil, err
+		}
+		return multiResponse(vals, rep), nil
+	case EpRanks:
+		vals, rep, err := ds.SelectRanksContext(ctx, q.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		return multiResponse(vals, rep), nil
+	case EpTopK:
+		vals, rep, err := ds.TopKContext(ctx, *q.K)
+		if err != nil {
+			return nil, err
+		}
+		return multiResponse(vals, rep), nil
+	case EpBottomK:
+		vals, rep, err := ds.BottomKContext(ctx, *q.K)
+		if err != nil {
+			return nil, err
+		}
+		return multiResponse(vals, rep), nil
+	case EpSummary:
+		fn, rep, err := ds.SummaryContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &parselclient.Response{
+			Summary: &parselclient.Summary{
+				Min: fn.Min, Q1: fn.Q1, Median: fn.Median, Q3: fn.Q3, Max: fn.Max,
+			},
+			Report: parselclient.WireReport(rep),
+		}, nil
+	}
+	return nil, fmt.Errorf("serve: unknown endpoint %d", int(ep))
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand/v2"
 	"net/http/httptest"
 	"slices"
+	"strings"
 	"sync"
 	"testing"
 
@@ -278,6 +279,79 @@ func TestDaemonDifferentialE2E(t *testing.T) {
 					}
 					if gsum != wsum || simOf(gsrep) != simOf(wsrep) {
 						t.Errorf("summary diverges: http %+v, pool %+v", gsum, wsum)
+					}
+
+					// The same workload replayed through the resident-dataset
+					// path: the shards ship once, every query body carries
+					// parameters only, and each response — simulated metrics
+					// included — must be bit-identical to the shard-per-query
+					// results above.
+					rd := d.client.Dataset("e2e-" + strings.ReplaceAll(shape.name, "/", "-"))
+					if _, err := rd.Upload(ctx, shape.shards); err != nil {
+						t.Fatalf("dataset upload: %v", err)
+					}
+					medRank := (n + 1) / 2
+					dsel, err := rd.Select(ctx, medRank)
+					if err != nil {
+						t.Fatalf("dataset select: %v", err)
+					}
+					if dsel.Value != sorted[medRank-1] {
+						t.Errorf("dataset select rank %d = %d, sort oracle says %d",
+							medRank, dsel.Value, sorted[medRank-1])
+					}
+					dmed, err := rd.Median(ctx)
+					if err != nil {
+						t.Fatalf("dataset median: %v", err)
+					}
+					if dmed.Value != wmed.Value || simOf(dmed.Report) != simOf(wmed.Report) {
+						t.Errorf("dataset median diverges: %d %+v, pool %d %+v",
+							dmed.Value, simOf(dmed.Report), wmed.Value, simOf(wmed.Report))
+					}
+					dq, err := rd.Quantile(ctx, 0.9)
+					if err != nil {
+						t.Fatalf("dataset quantile: %v", err)
+					}
+					if dq.Value != wq.Value || simOf(dq.Report) != simOf(wq.Report) {
+						t.Errorf("dataset quantile(0.9) diverges: %d, pool %d", dq.Value, wq.Value)
+					}
+					dqs, dqrep, err := rd.Quantiles(ctx, qs)
+					if err != nil {
+						t.Fatalf("dataset quantiles: %v", err)
+					}
+					if !slices.Equal(dqs, wqs) || simOf(dqrep) != simOf(wrep) {
+						t.Errorf("dataset quantiles diverge: %v %+v, pool %v %+v",
+							dqs, simOf(dqrep), wqs, simOf(wrep))
+					}
+					drs, drrep, err := rd.SelectRanks(ctx, ranks)
+					if err != nil {
+						t.Fatalf("dataset ranks: %v", err)
+					}
+					if !slices.Equal(drs, wrs) || simOf(drrep) != simOf(wrep2) {
+						t.Errorf("dataset ranks diverge: %v, pool %v", drs, wrs)
+					}
+					dtop, _, err := rd.TopK(ctx, k)
+					if err != nil {
+						t.Fatalf("dataset topk: %v", err)
+					}
+					if !slices.Equal(dtop, wtop) {
+						t.Errorf("dataset topk diverges: %v, pool %v", dtop, wtop)
+					}
+					dbot, _, err := rd.BottomK(ctx, k)
+					if err != nil {
+						t.Fatalf("dataset bottomk: %v", err)
+					}
+					if !slices.Equal(dbot, sorted[:k]) {
+						t.Errorf("dataset bottomk = %v, sort oracle says %v", dbot, sorted[:k])
+					}
+					dsum, dsrep, err := rd.Summary(ctx)
+					if err != nil {
+						t.Fatalf("dataset summary: %v", err)
+					}
+					if dsum != wsum || simOf(dsrep) != simOf(wsrep) {
+						t.Errorf("dataset summary diverges: %+v, pool %+v", dsum, wsum)
+					}
+					if _, err := rd.Delete(ctx); err != nil {
+						t.Fatalf("dataset delete: %v", err)
 					}
 				})
 			}

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -54,6 +55,18 @@ type Options struct {
 	QueueDepth int
 	// Limits bounds individual requests; see Limits.
 	Limits Limits
+	// DatasetTTL is how long a resident dataset survives without being
+	// uploaded to or queried before the lazy sweep evicts it (default 10
+	// minutes).
+	DatasetTTL time.Duration
+	// MaxResidentBytes budgets the total resident size of all datasets;
+	// an upload that would exceed it is refused with 413 resident_budget
+	// (default 1 GiB).
+	MaxResidentBytes int64
+	// MaxDatasets caps the number of resident datasets, so unbounded
+	// tiny (even empty) uploads cannot grow the registry under the bytes
+	// budget (default 1024).
+	MaxDatasets int
 }
 
 // withDefaults fills the zero-valued knobs.
@@ -66,6 +79,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth == 0 {
 		o.QueueDepth = 64
+	}
+	if o.DatasetTTL == 0 {
+		o.DatasetTTL = 10 * time.Minute
+	}
+	if o.MaxResidentBytes == 0 {
+		o.MaxResidentBytes = 1 << 30
+	}
+	if o.MaxDatasets == 0 {
+		o.MaxDatasets = 1024
 	}
 	o.Limits = o.Limits.withDefaults()
 	return o
@@ -84,6 +106,14 @@ type Server struct {
 	srv      parselclient.ServerStats
 	sim      parselclient.SimStats
 	lat      histogram
+
+	// The resident-dataset registry (see dataset.go). dsMu also guards
+	// now, the clock the TTL sweep reads — a test hook.
+	dsMu     sync.Mutex
+	datasets map[string]*dsEntry
+	dsBytes  int64
+	dstats   parselclient.DatasetStats
+	now      func() time.Time
 }
 
 // New builds the daemon handler over a pool. The pool stays owned by
@@ -103,24 +133,43 @@ func New(opts Options) (*Server, error) {
 	if opts.Limits.MaxBodyBytes < 0 || opts.Limits.MaxProcs < 0 || opts.Limits.MaxRanks < 0 {
 		return nil, fmt.Errorf("serve: negative limit: %+v", opts.Limits)
 	}
+	if opts.DatasetTTL < 0 {
+		return nil, fmt.Errorf("serve: DatasetTTL %v is negative", opts.DatasetTTL)
+	}
+	if opts.MaxResidentBytes < 0 || opts.MaxDatasets < 0 {
+		return nil, fmt.Errorf("serve: negative dataset bound (budget %d bytes, %d datasets)",
+			opts.MaxResidentBytes, opts.MaxDatasets)
+	}
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:  opts,
-		pool:  opts.Pool,
-		admit: make(chan struct{}, opts.Pool.MaxMachines()+opts.QueueDepth),
+		opts:     opts,
+		pool:     opts.Pool,
+		admit:    make(chan struct{}, opts.Pool.MaxMachines()+opts.QueueDepth),
+		datasets: make(map[string]*dsEntry),
+		now:      time.Now,
 	}
 	s.mux = http.NewServeMux()
 	for path, ep := range endpoints {
 		s.mux.HandleFunc(path, s.queryHandler(ep))
 	}
+	s.mux.HandleFunc("/v1/datasets/", s.handleDatasets)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s, nil
 }
 
+// SetNowForTest replaces the clock the dataset TTL sweep reads, so
+// tests can advance time deterministically instead of sleeping.
+func (s *Server) SetNowForTest(now func() time.Time) {
+	s.dsMu.Lock()
+	s.now = now
+	s.dsMu.Unlock()
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if _, ok := endpoints[r.URL.Path]; !ok &&
+		!strings.HasPrefix(r.URL.Path, "/v1/datasets/") &&
 		r.URL.Path != "/v1/stats" && r.URL.Path != "/healthz" {
 		writeError(w, http.StatusNotFound, parselclient.CodeNotFound,
 			fmt.Sprintf("no endpoint %q", r.URL.Path))
@@ -150,6 +199,13 @@ func (s *Server) Draining() bool {
 // simulated metrics, and the host latency histogram.
 func (s *Server) Stats() parselclient.Stats {
 	pst := s.pool.Stats()
+	s.dsMu.Lock()
+	s.sweepLocked(s.now())
+	dst := s.dstats
+	dst.Count = int64(len(s.datasets))
+	dst.ResidentBytes = s.dsBytes
+	dst.BudgetBytes = s.opts.MaxResidentBytes
+	s.dsMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	srv := s.srv
@@ -166,9 +222,10 @@ func (s *Server) Stats() parselclient.Stats {
 			Idle:        pst.Idle,
 			MaxMachines: s.pool.MaxMachines(),
 		},
-		Server:  srv,
-		Sim:     s.sim,
-		Latency: s.lat.snapshot(),
+		Server:   srv,
+		Sim:      s.sim,
+		Datasets: dst,
+		Latency:  s.lat.snapshot(),
 	}
 }
 
@@ -182,29 +239,15 @@ func (s *Server) queryHandler(ep Endpoint) http.HandlerFunc {
 				"queries are POST requests")
 			return
 		}
-		s.mu.Lock()
-		s.srv.Requests++
-		draining := s.draining
-		s.mu.Unlock()
-		if draining {
-			s.countError(http.StatusServiceUnavailable, parselclient.CodeShuttingDown)
-			writeError(w, http.StatusServiceUnavailable, parselclient.CodeShuttingDown,
-				"daemon is draining")
+		if s.refuseIfDraining(w) {
 			return
 		}
-
 		// Admission: bounded queue, constant-time rejection beyond it.
-		select {
-		case s.admit <- struct{}{}:
-			defer func() { <-s.admit }()
-		default:
-			s.countError(http.StatusTooManyRequests, parselclient.CodeQueueFull)
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, parselclient.CodeQueueFull,
-				fmt.Sprintf("admission capacity exhausted (%d requests in flight, capacity %d)",
-					len(s.admit), cap(s.admit)))
+		release, ok := s.admitOrReject(w)
+		if !ok {
 			return
 		}
+		defer release()
 
 		body, err := readBody(w, r, s.opts.Limits.MaxBodyBytes)
 		if err != nil {
@@ -345,6 +388,10 @@ func errorStatus(err error) (int, string) {
 		return http.StatusTooManyRequests, parselclient.CodePoolTimeout
 	case errors.Is(err, parsel.ErrPoolClosed):
 		return http.StatusServiceUnavailable, parselclient.CodeShuttingDown
+	case errors.Is(err, parsel.ErrDatasetClosed):
+		// The dataset was deleted or evicted between lookup and query
+		// start: from the wire's perspective it no longer exists.
+		return http.StatusNotFound, parselclient.CodeDatasetNotFound
 	case errors.Is(err, parsel.ErrRankRange):
 		return http.StatusBadRequest, parselclient.CodeRankRange
 	case errors.Is(err, parsel.ErrBadQuantile):

@@ -44,6 +44,20 @@ func (e Endpoint) String() string {
 	return fmt.Sprintf("Endpoint(%d)", int(e))
 }
 
+// kinds maps dataset-query kinds onto the same endpoints, so the
+// dataset path shares the shard-carrying path's validation and
+// dispatch.
+var kinds = map[string]Endpoint{
+	parselclient.KindSelect:    EpSelect,
+	parselclient.KindMedian:    EpMedian,
+	parselclient.KindQuantile:  EpQuantile,
+	parselclient.KindQuantiles: EpQuantiles,
+	parselclient.KindRanks:     EpRanks,
+	parselclient.KindTopK:      EpTopK,
+	parselclient.KindBottomK:   EpBottomK,
+	parselclient.KindSummary:   EpSummary,
+}
+
 // Limits bounds what a single request may ask of the daemon. Zero
 // fields take defaults.
 type Limits struct {
@@ -117,62 +131,168 @@ func ParseRequest(ep Endpoint, body []byte, lim Limits) (*parselclient.Request, 
 		return nil, parseErrf(parselclient.CodeLimitExceeded,
 			"%d shards, limit %d simulated processors", len(req.Shards), lim.MaxProcs)
 	}
-	if req.TimeoutMS < 0 {
-		return nil, parseErrf(parselclient.CodeLimitExceeded,
-			"timeout_ms %d is negative", req.TimeoutMS)
+	if err := checkTimeout(req.TimeoutMS); err != nil {
+		return nil, err
 	}
-	if req.TimeoutMS > maxTimeoutMS {
-		// Bounded here so the millisecond->Duration conversion can never
-		// overflow int64 nanoseconds (which would wrap the admission
-		// deadline negative or tiny, bypassing the server's MaxTimeout
-		// cap). Any server-side cap is far below this anyway.
-		return nil, parseErrf(parselclient.CodeLimitExceeded,
-			"timeout_ms %d exceeds the maximum %d (24h)", req.TimeoutMS, int64(maxTimeoutMS))
+	if err := checkParams(ep, queryParams{
+		rank: req.Rank, ranks: req.Ranks, q: req.Q, qs: req.Qs, k: req.K,
+	}, lim); err != nil {
+		return nil, err
 	}
+	return &req, nil
+}
 
+// checkTimeout bounds timeout_ms so the millisecond->Duration
+// conversion can never overflow int64 nanoseconds (which would wrap the
+// admission deadline negative or tiny, bypassing the server's
+// MaxTimeout cap). Any server-side cap is far below 24h anyway.
+func checkTimeout(ms int64) error {
+	if ms < 0 {
+		return parseErrf(parselclient.CodeLimitExceeded, "timeout_ms %d is negative", ms)
+	}
+	if ms > maxTimeoutMS {
+		return parseErrf(parselclient.CodeLimitExceeded,
+			"timeout_ms %d exceeds the maximum %d (24h)", ms, int64(maxTimeoutMS))
+	}
+	return nil
+}
+
+// queryParams are the per-endpoint query parameters, shared between the
+// shard-carrying Request and the resident DatasetQuery so both wire
+// paths validate identically.
+type queryParams struct {
+	rank  *int64
+	ranks []int64
+	q     *float64
+	qs    []float64
+	k     *int
+}
+
+// checkParams enforces the per-endpoint field requirements and limits.
+func checkParams(ep Endpoint, p queryParams, lim Limits) error {
 	switch ep {
 	case EpSelect:
-		if req.Rank == nil {
-			return nil, parseErrf(parselclient.CodeMissingField, `"rank" is required for select`)
+		if p.rank == nil {
+			return parseErrf(parselclient.CodeMissingField, `"rank" is required for select`)
 		}
 	case EpQuantile:
-		if req.Q == nil {
-			return nil, parseErrf(parselclient.CodeMissingField, `"q" is required for quantile`)
+		if p.q == nil {
+			return parseErrf(parselclient.CodeMissingField, `"q" is required for quantile`)
 		}
-		if err := checkQuantile(*req.Q); err != nil {
-			return nil, err
+		if err := checkQuantile(*p.q); err != nil {
+			return err
 		}
 	case EpQuantiles:
-		if len(req.Qs) == 0 {
-			return nil, parseErrf(parselclient.CodeMissingField, `"qs" must be a non-empty array`)
+		if len(p.qs) == 0 {
+			return parseErrf(parselclient.CodeMissingField, `"qs" must be a non-empty array`)
 		}
-		if len(req.Qs) > lim.MaxRanks {
-			return nil, parseErrf(parselclient.CodeLimitExceeded,
-				"%d quantiles, limit %d", len(req.Qs), lim.MaxRanks)
+		if len(p.qs) > lim.MaxRanks {
+			return parseErrf(parselclient.CodeLimitExceeded,
+				"%d quantiles, limit %d", len(p.qs), lim.MaxRanks)
 		}
-		for _, q := range req.Qs {
+		for _, q := range p.qs {
 			if err := checkQuantile(q); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	case EpRanks:
-		if len(req.Ranks) == 0 {
-			return nil, parseErrf(parselclient.CodeMissingField, `"ranks" must be a non-empty array`)
+		if len(p.ranks) == 0 {
+			return parseErrf(parselclient.CodeMissingField, `"ranks" must be a non-empty array`)
 		}
-		if len(req.Ranks) > lim.MaxRanks {
-			return nil, parseErrf(parselclient.CodeLimitExceeded,
-				"%d ranks, limit %d", len(req.Ranks), lim.MaxRanks)
+		if len(p.ranks) > lim.MaxRanks {
+			return parseErrf(parselclient.CodeLimitExceeded,
+				"%d ranks, limit %d", len(p.ranks), lim.MaxRanks)
 		}
 	case EpTopK, EpBottomK:
-		if req.K == nil {
-			return nil, parseErrf(parselclient.CodeMissingField, `"k" is required`)
+		if p.k == nil {
+			return parseErrf(parselclient.CodeMissingField, `"k" is required`)
 		}
 	case EpMedian, EpSummary:
-		// Shards only.
+		// No parameters.
 	default:
-		return nil, parseErrf(parselclient.CodeNotFound, "unknown endpoint %d", int(ep))
+		return parseErrf(parselclient.CodeNotFound, "unknown endpoint %d", int(ep))
 	}
-	return &req, nil
+	return nil
+}
+
+// ParseDatasetUpload decodes and validates a PUT /v1/datasets/{id}
+// body. Like ParseRequest it never panics and reports every failure as
+// a *ParseError with a stable wire code.
+func ParseDatasetUpload(body []byte, lim Limits) (*parselclient.DatasetUpload, error) {
+	lim = lim.withDefaults()
+	if int64(len(body)) > lim.MaxBodyBytes {
+		return nil, parseErrf(parselclient.CodeTooLarge,
+			"body is %d bytes, limit %d", len(body), lim.MaxBodyBytes)
+	}
+	var up parselclient.DatasetUpload
+	if err := json.Unmarshal(body, &up); err != nil {
+		return nil, parseErrf(parselclient.CodeBadJSON, "decode upload: %v", err)
+	}
+	if up.Shards == nil {
+		return nil, parseErrf(parselclient.CodeMissingField, `"shards" is required`)
+	}
+	if len(up.Shards) > lim.MaxProcs {
+		return nil, parseErrf(parselclient.CodeLimitExceeded,
+			"%d shards, limit %d simulated processors", len(up.Shards), lim.MaxProcs)
+	}
+	return &up, nil
+}
+
+// ParseDatasetQuery decodes and validates a POST /v1/datasets/{id}/query
+// body, resolving its kind to the endpoint whose field rules it shares.
+func ParseDatasetQuery(body []byte, lim Limits) (*parselclient.DatasetQuery, Endpoint, error) {
+	lim = lim.withDefaults()
+	if int64(len(body)) > lim.MaxBodyBytes {
+		return nil, 0, parseErrf(parselclient.CodeTooLarge,
+			"body is %d bytes, limit %d", len(body), lim.MaxBodyBytes)
+	}
+	var q parselclient.DatasetQuery
+	if err := json.Unmarshal(body, &q); err != nil {
+		return nil, 0, parseErrf(parselclient.CodeBadJSON, "decode query: %v", err)
+	}
+	if q.Kind == "" {
+		return nil, 0, parseErrf(parselclient.CodeMissingField, `"kind" is required`)
+	}
+	ep, ok := kinds[q.Kind]
+	if !ok {
+		return nil, 0, parseErrf(parselclient.CodeBadKind,
+			"unknown query kind %q (want select, median, quantile, quantiles, ranks, topk, bottomk or summary)", q.Kind)
+	}
+	if err := checkTimeout(q.TimeoutMS); err != nil {
+		return nil, 0, err
+	}
+	if err := checkParams(ep, queryParams{
+		rank: q.Rank, ranks: q.Ranks, q: q.Q, qs: q.Qs, k: q.K,
+	}, lim); err != nil {
+		return nil, 0, err
+	}
+	return &q, ep, nil
+}
+
+// maxDatasetIDLen bounds dataset ids on the wire.
+const maxDatasetIDLen = 128
+
+// checkDatasetID validates a dataset id from the URL: 1..128 characters
+// out of [A-Za-z0-9._-].
+func checkDatasetID(id string) error {
+	if id == "" {
+		return parseErrf(parselclient.CodeBadDatasetID, "empty dataset id")
+	}
+	if len(id) > maxDatasetIDLen {
+		return parseErrf(parselclient.CodeBadDatasetID,
+			"dataset id is %d characters, limit %d", len(id), maxDatasetIDLen)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return parseErrf(parselclient.CodeBadDatasetID,
+				"dataset id carries %q; allowed characters are [A-Za-z0-9._-]", c)
+		}
+	}
+	return nil
 }
 
 // checkQuantile rejects quantiles the engine would also reject, plus

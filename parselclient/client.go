@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -57,6 +58,16 @@ func (e *APIError) Error() string {
 // request was rejected before queueing (HTTP 429, code "queue_full").
 var ErrQueueFull = errors.New("parselclient: server admission queue full")
 
+// ErrDatasetNotFound reports that no resident dataset has the requested
+// id: never uploaded, deleted, or TTL-evicted (HTTP 404, code
+// "dataset_not_found").
+var ErrDatasetNotFound = errors.New("parselclient: dataset not found")
+
+// ErrResidentBudget reports that an upload was refused because it would
+// exceed the daemon's resident-bytes budget (HTTP 413, code
+// "resident_budget").
+var ErrResidentBudget = errors.New("parselclient: resident-bytes budget exceeded")
+
 // Is maps wire codes back onto the library's typed errors, so callers
 // can handle daemon responses exactly like in-process Pool errors:
 // errors.Is(err, parsel.ErrPoolTimeout) is true for a 429 pool_timeout,
@@ -79,6 +90,10 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == CodeNoShards
 	case ErrQueueFull:
 		return e.Code == CodeQueueFull
+	case ErrDatasetNotFound:
+		return e.Code == CodeDatasetNotFound
+	case ErrResidentBudget:
+		return e.Code == CodeResidentBudget
 	}
 	return false
 }
@@ -116,26 +131,9 @@ func (c *Client) post(ctx context.Context, path string, req Request) (*Response,
 	if err != nil {
 		return nil, fmt.Errorf("parselclient: encode: %w", err)
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	hres, err := c.hc.Do(hreq)
-	if err != nil {
-		return nil, err
-	}
-	defer hres.Body.Close()
-	data, err := io.ReadAll(hres.Body)
-	if err != nil {
-		return nil, fmt.Errorf("parselclient: read response: %w", err)
-	}
-	if hres.StatusCode != http.StatusOK {
-		return nil, decodeError(hres.StatusCode, data)
-	}
 	var resp Response
-	if err := json.Unmarshal(data, &resp); err != nil {
-		return nil, fmt.Errorf("parselclient: decode response: %w", err)
+	if err := c.doJSON(ctx, http.MethodPost, path, body, &resp); err != nil {
+		return nil, err
 	}
 	return &resp, nil
 }
@@ -217,6 +215,196 @@ func (c *Client) BottomK(ctx context.Context, shards [][]int64, k int) ([]int64,
 // Summary computes the five-number summary in one multi-rank run.
 func (c *Client) Summary(ctx context.Context, shards [][]int64) (parsel.FiveNumber[int64], parsel.Report, error) {
 	resp, err := c.post(ctx, "/v1/summary", Request{Shards: shards})
+	if err != nil {
+		return parsel.FiveNumber[int64]{}, parsel.Report{}, err
+	}
+	if resp.Summary == nil {
+		return parsel.FiveNumber[int64]{}, parsel.Report{}, errors.New("parselclient: summary response carries no summary")
+	}
+	s := *resp.Summary
+	return parsel.FiveNumber[int64]{Min: s.Min, Q1: s.Q1, Median: s.Median, Q3: s.Q3, Max: s.Max},
+		resp.Report.Report(), nil
+}
+
+// Dataset addresses one resident dataset on the daemon by id. The
+// handle is stateless (no network traffic until a method call), so it
+// may be built once and shared across goroutines.
+func (c *Client) Dataset(id string) *RemoteDataset {
+	return &RemoteDataset{c: c, id: id}
+}
+
+// RemoteDataset mirrors parsel.Dataset over the wire: upload the shards
+// once, then run any query of the daemon's surface against the resident
+// state — the query bodies carry no keys. Results, including every
+// simulated metric, are bit-identical to posting the same shards with
+// each query. Methods are safe for concurrent use.
+type RemoteDataset struct {
+	c  *Client
+	id string
+}
+
+// ID returns the dataset id the handle addresses.
+func (d *RemoteDataset) ID() string { return d.id }
+
+// path builds the dataset's URL path, escaping the id.
+func (d *RemoteDataset) path(suffix string) string {
+	return "/v1/datasets/" + url.PathEscape(d.id) + suffix
+}
+
+// doJSON runs one non-query dataset request (upload/info/delete).
+func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, out any) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	hres, err := c.hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hres.Body.Close()
+	data, err := io.ReadAll(hres.Body)
+	if err != nil {
+		return fmt.Errorf("parselclient: read response: %w", err)
+	}
+	if hres.StatusCode != http.StatusOK {
+		return decodeError(hres.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("parselclient: decode response: %w", err)
+	}
+	return nil
+}
+
+// Upload ships the shards into resident per-processor storage on the
+// daemon (PUT), replacing any dataset already under this id. This is
+// the only time the keys cross the wire.
+func (d *RemoteDataset) Upload(ctx context.Context, shards [][]int64) (DatasetInfo, error) {
+	body, err := json.Marshal(DatasetUpload{Shards: shards})
+	if err != nil {
+		return DatasetInfo{}, fmt.Errorf("parselclient: encode: %w", err)
+	}
+	var info DatasetInfo
+	if err := d.c.doJSON(ctx, http.MethodPut, d.path(""), body, &info); err != nil {
+		return DatasetInfo{}, err
+	}
+	return info, nil
+}
+
+// Info fetches the dataset's description without touching its TTL.
+func (d *RemoteDataset) Info(ctx context.Context) (DatasetInfo, error) {
+	var info DatasetInfo
+	if err := d.c.doJSON(ctx, http.MethodGet, d.path(""), nil, &info); err != nil {
+		return DatasetInfo{}, err
+	}
+	return info, nil
+}
+
+// Delete removes the dataset, freeing its resident-bytes budget
+// immediately; queries in flight complete, later ones get
+// ErrDatasetNotFound.
+func (d *RemoteDataset) Delete(ctx context.Context) (DatasetInfo, error) {
+	var info DatasetInfo
+	if err := d.c.doJSON(ctx, http.MethodDelete, d.path(""), nil, &info); err != nil {
+		return DatasetInfo{}, err
+	}
+	return info, nil
+}
+
+// query posts one DatasetQuery, defaulting timeout_ms like post does.
+func (d *RemoteDataset) query(ctx context.Context, q DatasetQuery) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if q.TimeoutMS == 0 {
+		q.TimeoutMS = d.c.timeoutMS(ctx)
+	}
+	body, err := json.Marshal(q)
+	if err != nil {
+		return nil, fmt.Errorf("parselclient: encode: %w", err)
+	}
+	var resp Response
+	if err := d.c.doJSON(ctx, http.MethodPost, d.path("/query"), body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// scalar runs a single-value dataset query.
+func (d *RemoteDataset) scalar(ctx context.Context, q DatasetQuery) (parsel.Result[int64], error) {
+	resp, err := d.query(ctx, q)
+	if err != nil {
+		return parsel.Result[int64]{}, err
+	}
+	if resp.Value == nil {
+		return parsel.Result[int64]{}, fmt.Errorf("parselclient: dataset %s: response carries no value", q.Kind)
+	}
+	return parsel.Result[int64]{Value: *resp.Value, Report: resp.Report.Report()}, nil
+}
+
+// multi runs a multi-value dataset query.
+func (d *RemoteDataset) multi(ctx context.Context, q DatasetQuery) ([]int64, parsel.Report, error) {
+	resp, err := d.query(ctx, q)
+	if err != nil {
+		return nil, parsel.Report{}, err
+	}
+	return resp.Values, resp.Report.Report(), nil
+}
+
+// Select returns the element of 1-based rank among the resident
+// population.
+func (d *RemoteDataset) Select(ctx context.Context, rank int64) (parsel.Result[int64], error) {
+	return d.scalar(ctx, DatasetQuery{Kind: KindSelect, Rank: &rank})
+}
+
+// Median returns the element of rank ceil(n/2).
+func (d *RemoteDataset) Median(ctx context.Context) (parsel.Result[int64], error) {
+	return d.scalar(ctx, DatasetQuery{Kind: KindMedian})
+}
+
+// Quantile returns the element of rank ceil(q*n) for q in (0,1], and
+// the minimum for q = 0.
+func (d *RemoteDataset) Quantile(ctx context.Context, q float64) (parsel.Result[int64], error) {
+	return d.scalar(ctx, DatasetQuery{Kind: KindQuantile, Q: &q})
+}
+
+// Quantiles returns the elements at several quantiles in one collective
+// run; results align with qs.
+func (d *RemoteDataset) Quantiles(ctx context.Context, qs []float64) ([]int64, parsel.Report, error) {
+	return d.multi(ctx, DatasetQuery{Kind: KindQuantiles, Qs: qs})
+}
+
+// SelectRanks returns the elements at several 1-based ranks in one
+// collective run; results align with ranks.
+func (d *RemoteDataset) SelectRanks(ctx context.Context, ranks []int64) ([]int64, parsel.Report, error) {
+	return d.multi(ctx, DatasetQuery{Kind: KindRanks, Ranks: ranks})
+}
+
+// TopK returns the k largest resident elements in descending order.
+func (d *RemoteDataset) TopK(ctx context.Context, k int) ([]int64, parsel.Report, error) {
+	return d.multi(ctx, DatasetQuery{Kind: KindTopK, K: &k})
+}
+
+// BottomK returns the k smallest resident elements in ascending order.
+func (d *RemoteDataset) BottomK(ctx context.Context, k int) ([]int64, parsel.Report, error) {
+	return d.multi(ctx, DatasetQuery{Kind: KindBottomK, K: &k})
+}
+
+// Summary computes the five-number summary in one multi-rank run.
+func (d *RemoteDataset) Summary(ctx context.Context) (parsel.FiveNumber[int64], parsel.Report, error) {
+	resp, err := d.query(ctx, DatasetQuery{Kind: KindSummary})
 	if err != nil {
 		return parsel.FiveNumber[int64]{}, parsel.Report{}, err
 	}

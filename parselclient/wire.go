@@ -17,6 +17,22 @@
 //	/v1/bottomk    {"shards": [[...]], "k": K}
 //	/v1/summary    {"shards": [[...]]}
 //
+// Resident datasets restore the paper's operating model — the keys are
+// already distributed, queries amortize over them:
+//
+//	PUT    /v1/datasets/{id}        {"shards": [[...]]}    upload once
+//	POST   /v1/datasets/{id}/query  {"kind": "select", "rank": R, ...}
+//	GET    /v1/datasets/{id}        (info)
+//	DELETE /v1/datasets/{id}
+//
+// An upload ships the shards once into resident per-processor storage;
+// every later query carries parameters only (see DatasetQuery — same
+// field rules as the shard-carrying endpoints, keyed by "kind") and is
+// answered bit-identically to posting the same shards per query.
+// Datasets are TTL-evicted when idle and accounted against a
+// resident-bytes budget: an upload that would exceed it is refused with
+// 413 "resident_budget" in constant time, never by evicting live data.
+//
 // "shards" is the sharded population: one array of int64 keys per
 // simulated processor, exactly as the library's [][]K entry points take
 // it. Any request may carry "timeout_ms", a deadline on pool admission:
@@ -126,6 +142,68 @@ type Response struct {
 	Report Report `json:"report"`
 }
 
+// DatasetUpload is the JSON body of PUT /v1/datasets/{id}: the one
+// time the keys cross the wire. The daemon copies the shards into
+// resident per-processor storage (snapshot-isolated, pinned to the
+// machine shape len(shards)) and every later query against the dataset
+// carries parameters only.
+type DatasetUpload struct {
+	// Shards is the sharded population, one slice of keys per simulated
+	// processor, exactly as the query endpoints take it.
+	Shards [][]int64 `json:"shards"`
+}
+
+// Query kinds accepted by POST /v1/datasets/{id}/query; each mirrors
+// the shard-carrying endpoint of the same name.
+const (
+	KindSelect    = "select"
+	KindMedian    = "median"
+	KindQuantile  = "quantile"
+	KindQuantiles = "quantiles"
+	KindRanks     = "ranks"
+	KindTopK      = "topk"
+	KindBottomK   = "bottomk"
+	KindSummary   = "summary"
+)
+
+// DatasetQuery is the JSON body of POST /v1/datasets/{id}/query: any
+// query of the daemon's surface, addressed at resident shards — the
+// body carries no keys. Field requirements per kind match the
+// shard-carrying endpoints (rank for select, q for quantile, ...).
+type DatasetQuery struct {
+	// Kind picks the query (one of the Kind constants).
+	Kind string `json:"kind"`
+	// Rank is the 1-based target rank (select).
+	Rank *int64 `json:"rank,omitempty"`
+	// Ranks are the 1-based target ranks (ranks).
+	Ranks []int64 `json:"ranks,omitempty"`
+	// Q is the quantile in [0,1] (quantile).
+	Q *float64 `json:"q,omitempty"`
+	// Qs are the quantiles in [0,1] (quantiles).
+	Qs []float64 `json:"qs,omitempty"`
+	// K is the element count (topk, bottomk).
+	K *int `json:"k,omitempty"`
+	// TimeoutMS bounds the wait for a free simulated machine, in
+	// milliseconds. 0 means the server's default admission timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// DatasetInfo describes one resident dataset: the 200 body of upload,
+// info and delete requests on /v1/datasets/{id}.
+type DatasetInfo struct {
+	// ID is the caller-chosen dataset identifier.
+	ID string `json:"id"`
+	// Procs is the machine shape: one simulated processor per shard.
+	Procs int `json:"procs"`
+	// N is the resident population size.
+	N int64 `json:"n"`
+	// Bytes is the resident size accounted against the daemon's budget.
+	Bytes int64 `json:"bytes"`
+	// ExpiresInMS is how long until TTL eviction if the dataset is not
+	// touched again (uploads and queries reset the clock).
+	ExpiresInMS int64 `json:"expires_in_ms"`
+}
+
 // ErrorDetail is the machine-readable error payload.
 type ErrorDetail struct {
 	// Code is one of the Code constants — stable across releases.
@@ -164,6 +242,19 @@ const (
 	CodeNoData = "no_data"
 	// CodeNoShards: the request carries no shards (400).
 	CodeNoShards = "no_shards"
+	// CodeDatasetNotFound: no resident dataset has this id — never
+	// uploaded, deleted, or TTL-evicted (404).
+	CodeDatasetNotFound = "dataset_not_found"
+	// CodeResidentBudget: admitting the upload would exceed the daemon's
+	// resident-bytes budget or dataset count; rejected in constant time,
+	// without evicting live data (413).
+	CodeResidentBudget = "resident_budget"
+	// CodeBadKind: a dataset query's kind is not one of the Kind
+	// constants (400).
+	CodeBadKind = "bad_kind"
+	// CodeBadDatasetID: the dataset id in the URL is empty, too long, or
+	// carries characters outside [A-Za-z0-9._-] (400).
+	CodeBadDatasetID = "bad_dataset_id"
 	// CodeMethodNotAllowed: wrong HTTP method (405).
 	CodeMethodNotAllowed = "method_not_allowed"
 	// CodeNotFound: unknown endpoint (404).
@@ -214,6 +305,33 @@ type SimStats struct {
 	Bytes      int64   `json:"bytes_total"`
 }
 
+// DatasetStats describes the daemon's resident-dataset state: the
+// gauges (Count, ResidentBytes against BudgetBytes) and the lifecycle
+// counters.
+type DatasetStats struct {
+	// Count is the number of resident datasets (a gauge).
+	Count int64 `json:"count"`
+	// ResidentBytes is the total resident size of all datasets (a
+	// gauge), never above BudgetBytes.
+	ResidentBytes int64 `json:"resident_bytes"`
+	// BudgetBytes is the configured resident-bytes budget.
+	BudgetBytes int64 `json:"budget_bytes"`
+	// Uploads counts accepted uploads (including replacements).
+	Uploads int64 `json:"uploads"`
+	// Replaced counts uploads that overwrote an existing id.
+	Replaced int64 `json:"replaced"`
+	// Deletes counts explicit DELETE removals.
+	Deletes int64 `json:"deletes"`
+	// Expired counts TTL evictions.
+	Expired int64 `json:"expired"`
+	// Rejected counts uploads refused for the resident budget (413).
+	Rejected int64 `json:"rejected"`
+	// NotFound counts queries/deletes addressed at absent ids (404).
+	NotFound int64 `json:"not_found"`
+	// Queries counts dataset-path queries served OK.
+	Queries int64 `json:"queries"`
+}
+
 // Bucket is one cumulative histogram bucket: Count observations were
 // <= LE seconds.
 type Bucket struct {
@@ -231,8 +349,9 @@ type Histogram struct {
 
 // Stats is the body of GET /v1/stats.
 type Stats struct {
-	Pool    PoolStats   `json:"pool"`
-	Server  ServerStats `json:"server"`
-	Sim     SimStats    `json:"sim"`
-	Latency Histogram   `json:"latency"`
+	Pool     PoolStats    `json:"pool"`
+	Server   ServerStats  `json:"server"`
+	Sim      SimStats     `json:"sim"`
+	Datasets DatasetStats `json:"datasets"`
+	Latency  Histogram    `json:"latency"`
 }
