@@ -8,10 +8,11 @@
 #   make test    - full test suite (includes the differential oracle suite)
 #   make race    - full suite under the race detector (pool/selector/daemon/
 #                  dataset stress)
-#   make e2e     - the daemon end-to-end suite alone (httptest + parselclient),
-#                  uncached, for quick iteration on the serving layer
-#   make fuzz    - short fuzz smoke: the 128-bit quantile-rank arithmetic and
-#                  the daemon's HTTP request decoder
+#   make e2e     - the daemon end-to-end suite alone (httptest + parselclient,
+#                  incl. the kill-and-restart snapshot harness), uncached, for
+#                  quick iteration on the serving layer
+#   make fuzz    - short fuzz smoke: the 128-bit quantile-rank arithmetic, the
+#                  daemon's HTTP request decoder and the snapshot decoder
 #   make cover   - coverage profile over the core packages (engine, client,
 #                  internal) with a hard threshold; writes cover.out
 
@@ -46,11 +47,12 @@ race:
 	$(GO) test -race ./...
 
 e2e:
-	$(GO) test -count=1 -run 'TestDaemon|TestDataset' ./internal/serve .
+	$(GO) test -count=1 -run 'TestDaemon|TestDataset|TestSnapshot' ./internal/serve .
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzQuantileRank -fuzztime=5s .
 	$(GO) test -run='^$$' -fuzz=FuzzParseRequest -fuzztime=5s ./internal/serve
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=5s ./internal/snapshot
 
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out -coverpkg=$(COVER_PKGS) \

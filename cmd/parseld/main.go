@@ -26,6 +26,15 @@
 //	curl -s localhost:7075/v1/datasets/fleet/query -d '{"kind": "quantiles", "qs": [0.5,0.99]}'
 //	curl -s -X DELETE localhost:7075/v1/datasets/fleet
 //
+// With -snapshot-dir the resident datasets are durable: uploads are
+// persisted to crash-safe snapshot files in the background (and the
+// final state synchronously on graceful drain), and a restarted
+// daemon pointed at the same directory restores every live dataset —
+// same ids, same TTL state, bit-identical query results — without a
+// key crossing the wire again:
+//
+//	parseld -snapshot-dir /var/lib/parseld/snapshots
+//
 // The wire format is documented in the parselclient package, which is
 // also the Go client for this daemon.
 package main
@@ -92,6 +101,7 @@ func main() {
 		dsTTL    = flag.Duration("dataset-ttl", 10*time.Minute, "resident datasets idle longer than this are evicted")
 		dsBudget = flag.Int64("dataset-budget", 1<<30, "resident-bytes budget across all datasets (uploads beyond it get 413)")
 		dsMax    = flag.Int("max-datasets", 1024, "resident dataset count limit")
+		snapDir  = flag.String("snapshot-dir", "", "persist resident datasets to snapshots in this directory and restore them on startup (empty = datasets die with the process)")
 		alg      = flag.String("alg", "fastrand", "algorithm: "+keys(algNames))
 		bal      = flag.String("bal", "modomlb", "load balancer: "+keys(balNames))
 		topo     = flag.String("topo", "crossbar", "interconnect topology: "+keys(topoNames))
@@ -152,9 +162,15 @@ func main() {
 		DatasetTTL:       *dsTTL,
 		MaxResidentBytes: *dsBudget,
 		MaxDatasets:      *dsMax,
+		SnapshotDir:      *snapDir,
 	})
 	if err != nil {
 		fail("serve: %v", err)
+	}
+	if *snapDir != "" {
+		ss := srv.Stats().Snapshots
+		log.Printf("snapshots: restored %d datasets from %s (%d bytes on disk; %d skipped, %d quarantined)",
+			ss.Restored, *snapDir, ss.SnapshotBytes, ss.RestoreSkipped, ss.Quarantined)
 	}
 
 	// Read deadlines keep stalled uploads from camping on admission
@@ -190,6 +206,11 @@ func main() {
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("shutdown: %v", err)
 	}
+	// Requests already admitted when Drain ran may have committed
+	// uploads/deletes after its flush; now that Shutdown has waited
+	// them out, flush once more so the snapshot store holds exactly
+	// what the clients were acknowledged.
+	srv.FlushSnapshots()
 	pool.Close()
 	st := srv.Stats()
 	log.Printf("served %d queries (%d ok, %d timeouts, %d rejected); pool built %d machines",

@@ -15,6 +15,8 @@
 //	selectbench -http -clients 32 -perf BENCH_PR3.json  # ...both rows in the snapshot
 //	selectbench -http -dataset -clients 32              # resident-dataset round trips
 //	selectbench -http -dataset -clients 32 -perf BENCH_PR4.json
+//	selectbench -restore                                # cold upload vs snapshot warm restart
+//	selectbench -http -dataset -restore -clients 32 -perf BENCH_PR5.json
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -277,12 +280,94 @@ func runHTTPDatasetClients(clients int) (perfResult, error) {
 	})
 }
 
+// runRestore measures the two ways a daemon can come to hold the
+// standard 256k workload resident: a cold upload (the keys cross the
+// wire into PUT /v1/datasets/{id}) versus a warm restart (a new
+// daemon recovers the dataset from its snapshot directory — zero
+// bytes on the wire). Each is averaged over trials runs.
+func runRestore() (cold, warm perfResult, err error) {
+	const trials = 3
+	shards := perfShards()
+	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
+
+	root, err := os.MkdirTemp("", "selectbench-snap-*")
+	if err != nil {
+		return cold, warm, err
+	}
+	defer os.RemoveAll(root)
+
+	var coldNS, warmNS int64
+	for trial := 0; trial < trials; trial++ {
+		// Each trial gets its own empty snapshot directory, so the cold
+		// daemon really starts cold — reusing one directory would hand
+		// trial 2's "cold" daemon the previous trial's snapshot to
+		// restore, turning its timed upload into a warm replacement.
+		dir := filepath.Join(root, fmt.Sprintf("trial%d", trial))
+		// Cold path: a fresh daemon, the shards shipped over loopback.
+		pool, err := parsel.NewPool[int64](opts, parsel.PoolOptions{MaxMachines: 1})
+		if err != nil {
+			return cold, warm, err
+		}
+		srv, err := serve.New(serve.Options{Pool: pool, SnapshotDir: dir})
+		if err != nil {
+			pool.Close()
+			return cold, warm, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			pool.Close()
+			return cold, warm, err
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		rd := parselclient.New("http://"+ln.Addr().String(), nil).Dataset("bench")
+		start := time.Now()
+		if _, err := rd.Upload(context.Background(), shards); err != nil {
+			hs.Close()
+			pool.Close()
+			return cold, warm, err
+		}
+		coldNS += time.Since(start).Nanoseconds()
+		// Drain persists the dataset's snapshot; the next daemon
+		// restores from it.
+		srv.Drain()
+		hs.Close()
+		pool.Close()
+
+		// Warm path: a restarted daemon recovering from the snapshot
+		// directory. The measured span is exactly what a cold upload
+		// pays above: from nothing to the dataset resident and
+		// queryable.
+		pool2, err := parsel.NewPool[int64](opts, parsel.PoolOptions{MaxMachines: 1})
+		if err != nil {
+			return cold, warm, err
+		}
+		start = time.Now()
+		srv2, err := serve.New(serve.Options{Pool: pool2, SnapshotDir: dir})
+		if err != nil {
+			pool2.Close()
+			return cold, warm, err
+		}
+		warmNS += time.Since(start).Nanoseconds()
+		if got := srv2.Stats().Snapshots.Restored; got != 1 {
+			pool2.Close()
+			return cold, warm, fmt.Errorf("warm restart restored %d datasets, want 1", got)
+		}
+		srv2.Drain()
+		pool2.Close()
+	}
+	cold = perfResult{NsPerOp: coldNS / trials}
+	warm = perfResult{NsPerOp: warmNS / trials}
+	return cold, warm, nil
+}
+
 // runPerf measures the one-shot and amortized selection paths on the
 // standard workload — plus, when clients > 0, the pooled concurrent
 // serving path (and with httpMode, the daemon round-trip path; with
-// datasetMode additionally the resident-dataset round-trip path) — and
+// datasetMode additionally the resident-dataset round-trip path; with
+// restoreMode the cold-upload vs snapshot-restore comparison) — and
 // writes the JSON snapshot to path.
-func runPerf(path string, clients int, httpMode, datasetMode bool) error {
+func runPerf(path string, clients int, httpMode, datasetMode, restoreMode bool) error {
 	shards := perfShards()
 	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
 	var n int64
@@ -358,6 +443,15 @@ func runPerf(path string, clients int, httpMode, datasetMode bool) error {
 		}
 	}
 
+	if restoreMode {
+		cold, warmres, err := runRestore()
+		if err != nil {
+			return err
+		}
+		results["restore_cold_upload"] = cold
+		results["restore_warm_restart"] = warmres
+	}
+
 	snap := perfSnapshot{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Workload: map[string]any{
@@ -391,6 +485,7 @@ func main() {
 		clients = flag.Int("clients", 0, "measure pooled concurrent throughput with this many client goroutines (alone: print; with -perf: append to the snapshot)")
 		httpB   = flag.Bool("http", false, "with -clients: also measure daemon (HTTP) round-trip throughput through an in-process parseld on loopback")
 		dataset = flag.Bool("dataset", false, "with -http -clients: also measure resident-dataset round trips (upload once, query many — bodies carry no keys)")
+		restore = flag.Bool("restore", false, "measure cold-upload vs snapshot-restore time for the standard dataset (alone: print; with -perf: add the restore_* rows)")
 	)
 	flag.Parse()
 
@@ -400,12 +495,26 @@ func main() {
 	}
 
 	if *perf != "" {
-		if err := runPerf(*perf, *clients, *httpB, *dataset); err != nil {
+		if err := runPerf(*perf, *clients, *httpB, *dataset, *restore); err != nil {
 			fmt.Fprintf(os.Stderr, "selectbench: perf: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *perf)
 		return
+	}
+
+	if *restore {
+		cold, warmres, err := runRestore()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "selectbench: restore: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cold upload (keys over the wire): %.2f ms\n", float64(cold.NsPerOp)/1e6)
+		fmt.Printf("warm restart (snapshot restore):  %.2f ms (%.1fx)\n",
+			float64(warmres.NsPerOp)/1e6, float64(cold.NsPerOp)/float64(warmres.NsPerOp))
+		if *clients == 0 {
+			return
+		}
 	}
 
 	if *clients > 0 {

@@ -90,6 +90,56 @@ func (pl *Pool[K]) NewDataset(shards [][]K) (*Dataset[K], error) {
 	}, nil
 }
 
+// RestoreDataset adopts shards as a resident Dataset without copying:
+// the Dataset takes ownership of the slices (and whatever backing
+// arrays they share), so the caller must not touch them afterwards.
+// This is the warm-restart half of the snapshot contract — a decoded
+// snapshot already lives in one contiguous per-processor backing, and
+// re-copying it would double the restore's memory traffic for nothing.
+//
+// A restored Dataset is indistinguishable from a fresh NewDataset of
+// the same shards: the engine's per-run reset makes every query's
+// outcome — value and every simulated metric — a function of
+// (Options, shards, query) only, so results are bit-identical to the
+// upload the snapshot was taken from.
+func (pl *Pool[K]) RestoreDataset(shards [][]K) (*Dataset[K], error) {
+	if len(shards) == 0 {
+		return nil, ErrNoShards
+	}
+	pl.mu.Lock()
+	closed := pl.closed
+	pl.mu.Unlock()
+	if closed {
+		return nil, ErrPoolClosed
+	}
+	var n int64
+	for _, sh := range shards {
+		n += int64(len(sh))
+	}
+	return &Dataset[K]{
+		pool:   pl,
+		shards: shards,
+		n:      n,
+		bytes:  n * int64(reflect.TypeFor[K]().Size()),
+	}, nil
+}
+
+// View returns the dataset's resident per-processor shards without
+// copying: the export half of the snapshot contract, handing a
+// serializer the exact slices queries run against (so a snapshot needs
+// no re-sharding and restores bit-identically). The returned slices
+// are views into the resident backing array and MUST be treated as
+// read-only — mutating them would corrupt every in-flight and future
+// query. They remain valid after Close (the memory is reclaimed by the
+// runtime once the last reference drops), but View itself follows the
+// lifecycle and returns ErrDatasetClosed on a closed dataset.
+func (ds *Dataset[K]) View() ([][]K, error) {
+	if err := ds.enter(); err != nil {
+		return nil, err
+	}
+	return ds.shards, nil
+}
+
 // enter admits one query against the dataset, or reports why it cannot.
 func (ds *Dataset[K]) enter() error {
 	ds.mu.Lock()

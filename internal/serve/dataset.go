@@ -40,6 +40,20 @@ type dsEntry struct {
 	ds      *parsel.Dataset[int64]
 	bytes   int64
 	expires time.Time
+	// gen is the upload generation (monotonic across the registry); the
+	// snapshot store uses it to skip data rewrites and ignore stale
+	// background persists.
+	gen int64
+	// persistedExpires is the TTL deadline last written to the snapshot
+	// store. Query-driven TTL refreshes re-persist (metadata-only) once
+	// the in-memory deadline has advanced at least half a TTL past it,
+	// so a hard kill costs an actively-queried dataset at most half its
+	// TTL of freshness — not the whole deadline — without an fsync per
+	// query.
+	persistedExpires time.Time
+	// restored marks a dataset recovered from a snapshot at startup
+	// rather than uploaded in this process's lifetime.
+	restored bool
 }
 
 // info shapes the entry's wire description.
@@ -50,6 +64,7 @@ func (e *dsEntry) info(id string, now time.Time) parselclient.DatasetInfo {
 		N:           e.ds.N(),
 		Bytes:       e.bytes,
 		ExpiresInMS: e.expires.Sub(now).Milliseconds(),
+		Restored:    e.restored,
 	}
 }
 
@@ -66,6 +81,7 @@ func (s *Server) sweepLocked(now time.Time) {
 		s.dsBytes -= e.bytes
 		s.dstats.Expired++
 		e.ds.Close()
+		s.markDirty(id) // the snapshotter removes the evicted id's file
 	}
 }
 
@@ -225,6 +241,11 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request, id 
 	if err != nil {
 		s.dsBytes -= need
 		s.dsMu.Unlock()
+		if replacing {
+			// The id's previous dataset left the registry at reservation
+			// time; reconcile its snapshot with that.
+			s.markDirty(id)
+		}
 		s.writeQueryError(w, err)
 		return
 	}
@@ -249,12 +270,14 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request, id 
 		return
 	}
 	now = s.now()
-	e := &dsEntry{ds: ds, bytes: ds.Bytes(), expires: now.Add(s.opts.DatasetTTL)}
+	e := &dsEntry{ds: ds, bytes: ds.Bytes(), expires: now.Add(s.opts.DatasetTTL),
+		gen: s.snapGen.Add(1)}
 	s.dsBytes += e.bytes - need // reconcile the estimate with the ledger's truth
 	s.datasets[id] = e
 	s.dstats.Uploads++
 	info := e.info(id, now)
 	s.dsMu.Unlock()
+	s.markDirty(id)
 
 	s.mu.Lock()
 	s.srv.OK++
@@ -331,6 +354,7 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request, id 
 		return
 	}
 	e.ds.Close()
+	s.markDirty(id) // the snapshotter removes the deleted id's file
 	s.mu.Lock()
 	s.srv.OK++
 	s.mu.Unlock()
@@ -369,6 +393,9 @@ func (s *Server) handleDatasetQuery(w http.ResponseWriter, r *http.Request, id s
 	e, ok := s.datasets[id]
 	if ok {
 		e.expires = now.Add(s.opts.DatasetTTL)
+		if s.snap != nil && e.expires.Sub(e.persistedExpires) >= s.opts.DatasetTTL/2 {
+			s.markDirty(id) // metadata-only re-persist of the advanced TTL
+		}
 	} else {
 		s.dstats.NotFound++
 	}

@@ -31,12 +31,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parsel"
+	"parsel/internal/snapshot"
 	"parsel/parselclient"
 )
 
@@ -67,6 +70,18 @@ type Options struct {
 	// tiny (even empty) uploads cannot grow the registry under the bytes
 	// budget (default 1024).
 	MaxDatasets int
+	// SnapshotDir, when non-empty, makes resident datasets durable: a
+	// snapshot store in this directory mirrors the registry (persisted
+	// in the background on upload, synchronously on drain) and startup
+	// recovers every live manifest entry under its original id and TTL
+	// state. Empty disables persistence. A Server built with a
+	// SnapshotDir owns a background snapshotter goroutine that runs
+	// until Drain; an embedder that discards such a Server without
+	// draining leaks it for the process lifetime.
+	SnapshotDir string
+	// Logf receives the daemon's operational log lines (snapshot
+	// recovery warnings, persist failures). Default log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // withDefaults fills the zero-valued knobs.
@@ -114,6 +129,28 @@ type Server struct {
 	dsBytes  int64
 	dstats   parselclient.DatasetStats
 	now      func() time.Time
+
+	// Dataset durability (see snapshot.go); snap is nil when disabled.
+	// Lock order: snapMu is only ever taken after dsMu, never before.
+	snap      *snapshot.Store
+	optionsFP string
+	logf      func(format string, args ...any)
+	snapGen   atomic.Int64
+	// snapMu guards the dirty set, the inflight count and the stats;
+	// snapCond (on snapMu) wakes flushers when an in-flight persist
+	// finishes. snapIOMu serializes persistOne bodies so a stale
+	// registry observation can never overwrite a newer one's disk
+	// state.
+	snapMu       sync.Mutex
+	snapCond     *sync.Cond
+	snapDirty    map[string]struct{}
+	snapInflight int
+	sstats       parselclient.SnapshotStats
+	snapIOMu     sync.Mutex
+	snapWake     chan struct{}
+	snapStop     chan struct{}
+	snapDone     chan struct{}
+	snapOnce     sync.Once
 }
 
 // New builds the daemon handler over a pool. The pool stays owned by
@@ -142,11 +179,26 @@ func New(opts Options) (*Server, error) {
 	}
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:     opts,
-		pool:     opts.Pool,
-		admit:    make(chan struct{}, opts.Pool.MaxMachines()+opts.QueueDepth),
-		datasets: make(map[string]*dsEntry),
-		now:      time.Now,
+		opts:      opts,
+		pool:      opts.Pool,
+		admit:     make(chan struct{}, opts.Pool.MaxMachines()+opts.QueueDepth),
+		datasets:  make(map[string]*dsEntry),
+		now:       time.Now,
+		optionsFP: fmt.Sprintf("%+v", opts.Pool.Options()),
+		logf:      opts.Logf,
+		snapDirty: make(map[string]struct{}),
+		snapWake:  make(chan struct{}, 1),
+		snapStop:  make(chan struct{}),
+		snapDone:  make(chan struct{}),
+	}
+	if s.logf == nil {
+		s.logf = log.Printf
+	}
+	s.snapCond = sync.NewCond(&s.snapMu)
+	if opts.SnapshotDir != "" {
+		if err := s.initSnapshots(opts.SnapshotDir); err != nil {
+			return nil, err
+		}
 	}
 	s.mux = http.NewServeMux()
 	for path, ep := range endpoints {
@@ -180,12 +232,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Drain begins graceful shutdown: every subsequent query is answered
 // 503 shutting_down, while queries already admitted run to completion.
-// Pair it with http.Server.Shutdown (which waits for in-flight
-// requests) and close the pool last.
+// With snapshots enabled it stops the background snapshotter and
+// persists the registry state — every resident dataset, current TTL
+// clocks included — so a restart on the same directory comes back
+// warm. Requests that were already admitted may still commit uploads
+// or deletes after this flush: pair Drain with http.Server.Shutdown
+// (which waits them out), then call FlushSnapshots once more so the
+// store holds exactly what clients were acknowledged, and close the
+// pool last — the order cmd/parseld uses.
 func (s *Server) Drain() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.drainSnapshots()
 }
 
 // Draining reports whether Drain was called.
@@ -222,10 +281,11 @@ func (s *Server) Stats() parselclient.Stats {
 			Idle:        pst.Idle,
 			MaxMachines: s.pool.MaxMachines(),
 		},
-		Server:   srv,
-		Sim:      s.sim,
-		Datasets: dst,
-		Latency:  s.lat.snapshot(),
+		Server:    srv,
+		Sim:       s.sim,
+		Datasets:  dst,
+		Snapshots: s.snapshotStats(),
+		Latency:   s.lat.snapshot(),
 	}
 }
 

@@ -1,0 +1,397 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"time"
+
+	"parsel"
+	"parsel/internal/snapshot"
+	"parsel/parselclient"
+)
+
+// Dataset durability: when Options.SnapshotDir is set, the daemon
+// keeps every resident dataset mirrored in an on-disk snapshot store
+// (internal/snapshot) so a restart comes back warm — no key ever
+// crosses the wire twice.
+//
+//   - Uploads mark their dataset dirty; a background snapshotter
+//     persists dirty datasets as they appear (atomic temp-file +
+//     fsync + rename writes, so a kill mid-write is invisible).
+//   - Deletes and TTL evictions mark the id dirty too; the
+//     snapshotter reconciles disk with the registry, removing the
+//     file of an id no longer resident.
+//   - Drain marks every resident dataset dirty and flushes
+//     synchronously, so a graceful shutdown persists the exact final
+//     registry state, TTL clocks included.
+//   - Startup recovery re-registers every manifest entry under its
+//     original id and TTL deadline, restoring the decoded shards
+//     zero-copy via Pool.RestoreDataset — queries against a restored
+//     dataset are bit-identical to the pre-restart daemon's. Expired
+//     entries, entries whose file is missing, and entries the
+//     budget/count caps cannot admit are skipped with a logged
+//     warning; corrupt/truncated/version-skewed files are quarantined
+//     (renamed aside) with their typed decode error logged. Recovery
+//     never fails the daemon.
+
+// ErrSnapshotBudget reports that a snapshot could not be re-admitted
+// at recovery because the resident-bytes budget or dataset count cap
+// has no room for it (e.g. the daemon was restarted with a smaller
+// budget). The snapshot file is kept: a restart with more room
+// restores it.
+var ErrSnapshotBudget = errors.New("serve: snapshot cannot be admitted within the resident dataset budget")
+
+// initSnapshots opens the store, recovers its manifest into the
+// registry, and starts the background snapshotter. Called by New;
+// only an unusable directory is an error.
+func (s *Server) initSnapshots(dir string) error {
+	store, warnings, err := snapshot.Open(dir)
+	if err != nil {
+		return err
+	}
+	s.snap = store
+	for _, w := range warnings {
+		s.logf("snapshots: %s", w)
+	}
+	s.recoverSnapshots()
+	go s.snapshotLoop()
+	return nil
+}
+
+// recoverSnapshots re-registers every manifest entry; see the package
+// comment above for the skip/quarantine policy.
+func (s *Server) recoverSnapshots() {
+	s.dsMu.Lock()
+	now := s.now()
+	s.dsMu.Unlock()
+	var maxGen int64
+	for _, m := range s.snap.Entries() {
+		if m.Gen > maxGen {
+			maxGen = m.Gen
+		}
+		if m.ExpiresUnixMS <= now.UnixMilli() {
+			s.snap.Remove(m.ID)
+			s.snapMu.Lock()
+			s.sstats.RestoreSkipped++
+			s.snapMu.Unlock()
+			s.logf("snapshots: dataset %q expired %s before restart; not restored",
+				m.ID, now.Sub(time.UnixMilli(m.ExpiresUnixMS)).Round(time.Second))
+			continue
+		}
+		h, shards, meta, err := s.snap.Load(m.ID)
+		if err != nil {
+			s.snapMu.Lock()
+			if errors.Is(err, fs.ErrNotExist) {
+				s.sstats.RestoreSkipped++
+			} else {
+				s.sstats.Quarantined++
+			}
+			s.snapMu.Unlock()
+			s.logf("snapshots: dataset %q not restored: %v", m.ID, err)
+			continue
+		}
+		if h.Options != s.optionsFP {
+			s.logf("snapshots: dataset %q was persisted under different pool options (%s); restoring anyway — values stay correct, simulated metrics follow the new configuration",
+				m.ID, h.Options)
+		}
+		if err := s.RestoreDataset(m.ID, shards, time.UnixMilli(meta.ExpiresUnixMS), meta.Gen); err != nil {
+			s.snapMu.Lock()
+			s.sstats.RestoreSkipped++
+			s.snapMu.Unlock()
+			s.logf("snapshots: dataset %q not restored: %v", m.ID, err)
+			continue
+		}
+		s.snapMu.Lock()
+		s.sstats.Restored++
+		s.snapMu.Unlock()
+	}
+	s.snapGen.Store(maxGen)
+}
+
+// RestoreDataset registers shards as a resident dataset under id with
+// the given TTL deadline, admitting against the same resident-bytes
+// budget and count cap an upload faces — a refusal is the typed
+// ErrSnapshotBudget, and live data is never evicted to make room. The
+// shards are adopted zero-copy (Pool.RestoreDataset), so the caller
+// must hand over ownership; gen is the dataset's upload generation
+// from the manifest (it keeps stale background persists from
+// regressing newer state). Used by startup recovery; exported so the
+// admission contract is testable in isolation.
+func (s *Server) RestoreDataset(id string, shards [][]int64, expires time.Time, gen int64) error {
+	if err := checkDatasetID(id); err != nil {
+		return err
+	}
+	need := residentBytes(shards)
+	s.dsMu.Lock()
+	if _, ok := s.datasets[id]; ok {
+		s.dsMu.Unlock()
+		return fmt.Errorf("serve: dataset %q is already resident", id)
+	}
+	if s.dsBytes+need > s.opts.MaxResidentBytes {
+		held := s.dsBytes
+		s.dsMu.Unlock()
+		return fmt.Errorf("%w: needs %d bytes, %d of the %d-byte budget are held",
+			ErrSnapshotBudget, need, held, s.opts.MaxResidentBytes)
+	}
+	if len(s.datasets)+1 > s.opts.MaxDatasets {
+		s.dsMu.Unlock()
+		return fmt.Errorf("%w: daemon already holds %d datasets, the limit",
+			ErrSnapshotBudget, s.opts.MaxDatasets)
+	}
+	s.dsBytes += need // the reservation, as in handleDatasetUpload
+	s.dsMu.Unlock()
+
+	ds, err := s.pool.RestoreDataset(shards)
+
+	s.dsMu.Lock()
+	if err == nil {
+		if _, ok := s.datasets[id]; ok {
+			err = fmt.Errorf("serve: dataset %q is already resident", id)
+		}
+	}
+	if err != nil {
+		s.dsBytes -= need
+		s.dsMu.Unlock()
+		if ds != nil {
+			ds.Close()
+		}
+		return err
+	}
+	// persistedExpires == expires: the deadline being registered is the
+	// one just read off disk.
+	e := &dsEntry{ds: ds, bytes: ds.Bytes(), expires: expires, gen: gen,
+		persistedExpires: expires, restored: true}
+	s.dsBytes += e.bytes - need
+	s.datasets[id] = e
+	s.dsMu.Unlock()
+	return nil
+}
+
+// markDirty queues id for the background snapshotter: the dataset's
+// disk state no longer matches the registry (uploaded, replaced,
+// deleted, or evicted). No-op when snapshots are disabled. Safe to
+// call with dsMu held (snapMu is always taken after dsMu, never
+// before it).
+func (s *Server) markDirty(id string) {
+	if s.snap == nil {
+		return
+	}
+	s.snapMu.Lock()
+	s.snapDirty[id] = struct{}{}
+	s.snapMu.Unlock()
+	select {
+	case s.snapWake <- struct{}{}:
+	default:
+	}
+}
+
+// popDirty takes one queued id, marking it in flight; the caller must
+// pair a successful pop with donePersist.
+func (s *Server) popDirty() (string, bool) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	for id := range s.snapDirty {
+		delete(s.snapDirty, id)
+		s.snapInflight++
+		return id, true
+	}
+	return "", false
+}
+
+// donePersist retires one in-flight persist and wakes flushers.
+func (s *Server) donePersist() {
+	s.snapMu.Lock()
+	s.snapInflight--
+	s.snapMu.Unlock()
+	s.snapCond.Broadcast()
+}
+
+// snapshotLoop is the background snapshotter: it drains the dirty set
+// whenever woken, and exits when the drain flush stops it.
+func (s *Server) snapshotLoop() {
+	defer close(s.snapDone)
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-s.snapWake:
+			for {
+				id, ok := s.popDirty()
+				if !ok {
+					break
+				}
+				s.persistOne(id)
+				s.donePersist()
+			}
+		}
+	}
+}
+
+// persistOne reconciles one id's disk state with the registry: a
+// resident dataset is saved (data rewrite skipped when its generation
+// is already on disk), an absent one has its snapshot removed.
+// Persists are serialized (snapIOMu) and each re-reads the registry
+// under the lock, so the last persist of an id always lands its
+// latest state — a stale observation can never clobber a newer one.
+func (s *Server) persistOne(id string) {
+	s.snapIOMu.Lock()
+	defer s.snapIOMu.Unlock()
+	s.dsMu.Lock()
+	e, ok := s.datasets[id]
+	var (
+		ds      *parsel.Dataset[int64]
+		gen     int64
+		expires time.Time
+	)
+	if ok {
+		ds, gen, expires = e.ds, e.gen, e.expires
+	}
+	now := s.now()
+	s.dsMu.Unlock()
+
+	if !ok {
+		if err := s.snap.Remove(id); err != nil {
+			s.countPersist(now, err)
+			s.logf("snapshots: remove %q: %v", id, err)
+		}
+		return
+	}
+	shards, err := ds.View()
+	if err != nil {
+		// Replaced or deleted between the registry read and here; that
+		// path re-marked the id dirty, so the newer state wins.
+		return
+	}
+	err = s.snap.Save(snapshot.Meta{
+		ID:            id,
+		Procs:         ds.Procs(),
+		N:             ds.N(),
+		Bytes:         ds.Bytes(),
+		Gen:           gen,
+		ExpiresUnixMS: expires.UnixMilli(),
+		SavedUnixMS:   now.UnixMilli(),
+		Options:       s.optionsFP,
+	}, shards)
+	s.countPersist(now, err)
+	if err == nil {
+		// Record what deadline is on disk, so query-driven TTL
+		// refreshes know when a metadata re-persist is due.
+		s.dsMu.Lock()
+		if cur, ok := s.datasets[id]; ok && cur == e && cur.persistedExpires.Before(expires) {
+			cur.persistedExpires = expires
+		}
+		s.dsMu.Unlock()
+	}
+	if err != nil {
+		// The dataset stays resident and serving; the next persist of
+		// this id (a later upload, or the drain flush marking every
+		// resident dataset) retries the write.
+		s.logf("snapshots: persist %q: %v", id, err)
+	}
+}
+
+// countPersist attributes one snapshot write to the stats.
+func (s *Server) countPersist(now time.Time, err error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if err != nil {
+		s.sstats.PersistErrors++
+		return
+	}
+	s.sstats.Persists++
+	s.sstats.LastPersistUnixMS = now.UnixMilli()
+}
+
+// FlushSnapshots persists every dirty dataset synchronously and
+// returns only when the dirty set is empty AND no persist is in
+// flight anywhere (background snapshotter included) — after it, disk
+// reflects every registry change made before the call. No-op when
+// snapshots are disabled. Drain calls it after marking all resident
+// datasets dirty; tests call it to make background persistence
+// deterministic.
+func (s *Server) FlushSnapshots() {
+	if s.snap == nil {
+		return
+	}
+	for {
+		if id, ok := s.popDirty(); ok {
+			s.persistOne(id)
+			s.donePersist()
+			continue
+		}
+		s.snapMu.Lock()
+		for len(s.snapDirty) == 0 && s.snapInflight > 0 {
+			s.snapCond.Wait()
+		}
+		idle := len(s.snapDirty) == 0 && s.snapInflight == 0
+		s.snapMu.Unlock()
+		if idle {
+			return
+		}
+	}
+}
+
+// drainSnapshots runs the shutdown persistence exactly once: stop the
+// background snapshotter, flush outstanding data changes, then land
+// every resident dataset's final TTL state in ONE batched manifest
+// commit — not one fsync'd manifest rewrite per dataset. Datasets
+// whose data is not on disk (a failed earlier persist) get a full
+// retried save first.
+func (s *Server) drainSnapshots() {
+	if s.snap == nil {
+		return
+	}
+	s.snapOnce.Do(func() {
+		close(s.snapStop)
+		<-s.snapDone
+
+		// Snapshot the registry's final state.
+		s.dsMu.Lock()
+		now := s.now()
+		metas := make([]snapshot.Meta, 0, len(s.datasets))
+		for id, e := range s.datasets {
+			metas = append(metas, snapshot.Meta{
+				ID:            id,
+				Procs:         e.ds.Procs(),
+				N:             e.ds.N(),
+				Bytes:         e.bytes,
+				Gen:           e.gen,
+				ExpiresUnixMS: e.expires.UnixMilli(),
+				SavedUnixMS:   now.UnixMilli(),
+				Options:       s.optionsFP,
+			})
+			e.persistedExpires = e.expires
+		}
+		s.dsMu.Unlock()
+
+		// Full saves for anything not on disk at its current
+		// generation (pending uploads, earlier persist failures), and
+		// for pending removals already in the dirty set.
+		for _, m := range metas {
+			if on, ok := s.snap.Meta(m.ID); !ok || on.Gen != m.Gen {
+				s.markDirty(m.ID)
+			}
+		}
+		s.FlushSnapshots()
+
+		// The final TTL clocks, one manifest write for the lot.
+		if err := s.snap.RefreshMeta(metas); err != nil {
+			s.logf("snapshots: drain metadata flush: %v", err)
+		}
+	})
+}
+
+// snapshotStats samples the persistence gauges.
+func (s *Server) snapshotStats() parselclient.SnapshotStats {
+	if s.snap == nil {
+		return parselclient.SnapshotStats{}
+	}
+	s.snapMu.Lock()
+	st := s.sstats
+	st.Dirty = int64(len(s.snapDirty))
+	s.snapMu.Unlock()
+	st.Enabled = true
+	st.SnapshotBytes = s.snap.TotalDiskBytes()
+	return st
+}

@@ -1,0 +1,64 @@
+package snapshot
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzSnapshotDecode throws adversarial bytes at the snapshot reader:
+// it must never panic (no index past the data, no allocation driven
+// by an unchecked length field), never return shards alongside an
+// error, classify every failure as exactly one typed error, and any
+// accepted input must decode into shards consistent with its header —
+// a corrupted/truncated/bit-flipped snapshot never resurrects as a
+// dataset.
+func FuzzSnapshotDecode(f *testing.F) {
+	for _, shards := range testShapes {
+		f.Add(Encode(Header{Options: "fp"}, shards))
+	}
+	valid := Encode(Header{Options: "seed"}, [][]int64{{3, 1, 4, 1, 5}, {9, 2, 6}})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])              // truncated CRC
+	f.Add(append([]byte(nil), valid[4:]...)) // sheared magic
+	f.Add([]byte("PSELSNAP"))                // magic only
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	corrupt[20] ^= 0x08
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, shards, err := Decode(data)
+		if err != nil {
+			if shards != nil {
+				t.Fatalf("error %v returned alongside %d shards", err, len(shards))
+			}
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) &&
+				!errors.Is(err, ErrKeyType) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Accepted: header and shards must agree, and the encoding must
+		// be canonical (re-encoding reproduces the input bytes exactly,
+		// so no two distinct files decode to the same dataset state).
+		if h.Procs != len(shards) {
+			t.Fatalf("header claims %d procs, decoded %d shards", h.Procs, len(shards))
+		}
+		var n int64
+		for _, sh := range shards {
+			n += int64(len(sh))
+		}
+		if n != h.N {
+			t.Fatalf("header claims %d keys, decoded %d", h.N, n)
+		}
+		again := Encode(Header{Options: h.Options}, shards)
+		if len(again) != len(data) {
+			t.Fatalf("accepted %d bytes but canonical encoding is %d", len(data), len(again))
+		}
+		for i := range again {
+			if again[i] != data[i] {
+				t.Fatalf("accepted non-canonical encoding (first divergence at byte %d)", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,388 @@
+// Package snapshot is the durable on-disk form of the daemon's
+// resident datasets: a versioned binary snapshot format for one
+// dataset's per-processor shards (snapshot.go) and an atomic
+// crash-safe store of snapshot files with a manifest of the live set
+// (store.go).
+//
+// # File format
+//
+// A snapshot file is a sequence of CRC-checksummed sections, every
+// multi-byte integer little-endian:
+//
+//	magic    8 bytes "PSELSNAP"
+//	version  uint32 (currently 1)
+//	header   uint32 length, payload, uint32 CRC-32C of the payload
+//	extents  uint32 length, one uint64 shard length per processor, CRC
+//	data     uint64 length, the keys of every shard concatenated, CRC
+//
+// The header payload carries the key type (length-prefixed string, so
+// a future float64 daemon cannot silently misread an int64 snapshot),
+// a fingerprint of the pool Options the daemon ran (informational —
+// restoring under different Options still answers queries correctly,
+// it just changes which algorithm serves them), the processor count
+// and the population size. The extents section pins how the flat data
+// section re-shards into per-processor slices, so a restored dataset
+// is bit-identical to the resident original: same shards, same machine
+// shape, no re-sharding.
+//
+// Decode never panics and never returns data from a corrupted,
+// truncated or bit-flipped file: every section is length-bounded
+// against the bytes actually present before anything is allocated,
+// CRCs are verified per section, and trailing garbage is an error.
+// Failures are typed — ErrBadMagic, ErrVersion, ErrKeyType, ErrCorrupt
+// — so callers can distinguish "not a snapshot" from "damaged
+// snapshot" from "future format".
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Typed decode failures. Every Decode error matches exactly one of
+// these under errors.Is.
+var (
+	// ErrBadMagic: the bytes are not a parsel snapshot at all.
+	ErrBadMagic = errors.New("snapshot: bad magic (not a parsel snapshot)")
+	// ErrVersion: the snapshot was written by an unknown (newer or
+	// retired) format version.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrKeyType: the snapshot holds keys of a different type than the
+	// reader decodes.
+	ErrKeyType = errors.New("snapshot: key type mismatch")
+	// ErrCorrupt: the snapshot is truncated, oversized, or fails a
+	// structural or CRC check.
+	ErrCorrupt = errors.New("snapshot: corrupt or truncated snapshot")
+)
+
+const (
+	magic = "PSELSNAP"
+	// Version is the current format version Encode writes.
+	Version = 1
+	// KeyTypeInt64 is the only key type this package currently
+	// encodes; the header field exists so future key types extend the
+	// format instead of aliasing it.
+	KeyTypeInt64 = "int64"
+
+	// maxHeaderLen bounds the header section so a corrupt length field
+	// cannot drive a huge allocation before the CRC is checked.
+	maxHeaderLen = 1 << 16
+	// maxProcs bounds the processor count a decoded header may claim;
+	// far above any real machine shape, far below an allocation risk.
+	maxProcs = 1 << 20
+)
+
+// castagnoli is the CRC-32C table shared by every section checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Header describes one snapshot independent of its key data.
+type Header struct {
+	// KeyType names the element type of the shards (KeyTypeInt64).
+	KeyType string
+	// Options fingerprints the pool configuration the snapshot was
+	// taken under (informational; see the package comment).
+	Options string
+	// Procs is the machine shape: one shard per simulated processor.
+	Procs int
+	// N is the population size across all shards.
+	N int64
+}
+
+// WriteTo streams one dataset's resident shards into w as a snapshot,
+// returning the bytes written. The data section's CRC is computed
+// incrementally over fixed-size chunks, so a near-budget dataset is
+// never materialized a second time in memory on its way to disk. The
+// caller's slices are only read. Header.KeyType, Procs and N are
+// derived from the arguments; only Options is taken from h.
+func WriteTo(w io.Writer, h Header, shards [][]int64) (int64, error) {
+	var n int64
+	for _, sh := range shards {
+		n += int64(len(sh))
+	}
+
+	hdr := make([]byte, 0, 64)
+	hdr = appendString(hdr, KeyTypeInt64)
+	hdr = appendString(hdr, h.Options)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(shards)))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(n))
+
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	bw.WriteString(magic)
+	writeU32(bw, Version)
+
+	writeU32(bw, uint32(len(hdr)))
+	bw.Write(hdr)
+	writeU32(bw, crc32.Checksum(hdr, castagnoli))
+
+	ext := make([]byte, 0, 8*len(shards))
+	for _, sh := range shards {
+		ext = binary.LittleEndian.AppendUint64(ext, uint64(len(sh)))
+	}
+	writeU32(bw, uint32(len(ext)))
+	bw.Write(ext)
+	writeU32(bw, crc32.Checksum(ext, castagnoli))
+
+	writeU64(bw, uint64(8*n))
+	const chunkKeys = 8192
+	buf := make([]byte, 0, 8*chunkKeys)
+	sum := uint32(0)
+	for _, sh := range shards {
+		for off := 0; off < len(sh); off += chunkKeys {
+			end := min(off+chunkKeys, len(sh))
+			buf = buf[:0]
+			for _, k := range sh[off:end] {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+			}
+			sum = crc32.Update(sum, castagnoli, buf)
+			bw.Write(buf)
+		}
+	}
+	writeU32(bw, sum)
+	// bufio errors are sticky; Flush surfaces the first one.
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// Encode is WriteTo into a fresh byte slice, for tests and small
+// snapshots.
+func Encode(h Header, shards [][]int64) []byte {
+	var buf bytes.Buffer
+	WriteTo(&buf, h, shards) // a bytes.Buffer write cannot fail
+	return buf.Bytes()
+}
+
+// countWriter counts the bytes reaching the underlying writer.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+func writeU32(w io.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeU64(w io.Writer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+// appendString appends a uint16-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// reader walks the snapshot bytes with bounds-checked reads; every
+// overrun is ErrCorrupt, never a panic.
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || n > len(r.data)-r.off {
+		return nil, fmt.Errorf("%w: need %d bytes at offset %d, have %d",
+			ErrCorrupt, n, r.off, len(r.data)-r.off)
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// section reads one length-prefixed payload and verifies its trailing
+// CRC. maxLen bounds the claimed length before allocation-free
+// slicing; wantLen, when >= 0, additionally pins the exact length.
+func (r *reader) section(name string, maxLen, wantLen int64) ([]byte, error) {
+	var claimed int64
+	if name == "data" {
+		n, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(maxLen) {
+			return nil, fmt.Errorf("%w: %s section claims %d bytes", ErrCorrupt, name, n)
+		}
+		claimed = int64(n)
+	} else {
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		claimed = int64(n)
+	}
+	if claimed > maxLen || (wantLen >= 0 && claimed != wantLen) {
+		return nil, fmt.Errorf("%w: %s section claims %d bytes (limit %d, want %d)",
+			ErrCorrupt, name, claimed, maxLen, wantLen)
+	}
+	payload, err := r.take(int(claimed))
+	if err != nil {
+		return nil, err
+	}
+	sum, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != sum {
+		return nil, fmt.Errorf("%w: %s section CRC mismatch (stored %08x, computed %08x)",
+			ErrCorrupt, name, sum, got)
+	}
+	return payload, nil
+}
+
+// Decode parses one snapshot. On success the returned shards are
+// freshly allocated out of a single contiguous backing array — exactly
+// the layout parsel.Pool.RestoreDataset adopts without copying — and
+// the header describes them (Procs == len(shards), N == total
+// population). On any corruption the error matches one of the typed
+// failures and no shards are returned.
+func Decode(data []byte) (Header, [][]int64, error) {
+	r := &reader{data: data}
+	mg, err := r.take(len(magic))
+	if err != nil || string(mg) != magic {
+		return Header{}, nil, fmt.Errorf("%w (%d bytes)", ErrBadMagic, len(data))
+	}
+	ver, err := r.u32()
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if ver != Version {
+		return Header{}, nil, fmt.Errorf("%w: file version %d, reader version %d",
+			ErrVersion, ver, Version)
+	}
+
+	hdrPayload, err := r.section("header", maxHeaderLen, -1)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	h, err := decodeHeader(hdrPayload)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if h.KeyType != KeyTypeInt64 {
+		return Header{}, nil, fmt.Errorf("%w: snapshot holds %q keys, reader decodes %q",
+			ErrKeyType, h.KeyType, KeyTypeInt64)
+	}
+	if h.Procs < 1 || h.Procs > maxProcs {
+		return Header{}, nil, fmt.Errorf("%w: header claims %d processors", ErrCorrupt, h.Procs)
+	}
+	if h.N < 0 || h.N > int64(len(data))/8 {
+		return Header{}, nil, fmt.Errorf("%w: header claims %d keys in a %d-byte file",
+			ErrCorrupt, h.N, len(data))
+	}
+
+	ext, err := r.section("extents", int64(len(data)), int64(8*h.Procs))
+	if err != nil {
+		return Header{}, nil, err
+	}
+	lens := make([]int64, h.Procs)
+	var total int64
+	for i := range lens {
+		l := binary.LittleEndian.Uint64(ext[8*i:])
+		if l > uint64(h.N) {
+			return Header{}, nil, fmt.Errorf("%w: shard %d claims %d keys of %d total",
+				ErrCorrupt, i, l, h.N)
+		}
+		lens[i] = int64(l)
+		total += lens[i]
+	}
+	if total != h.N {
+		return Header{}, nil, fmt.Errorf("%w: extents sum to %d keys, header claims %d",
+			ErrCorrupt, total, h.N)
+	}
+
+	body, err := r.section("data", int64(len(data)), 8*h.N)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if r.off != len(data) {
+		return Header{}, nil, fmt.Errorf("%w: %d trailing bytes after the data section",
+			ErrCorrupt, len(data)-r.off)
+	}
+
+	backing := make([]int64, h.N)
+	for i := range backing {
+		backing[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	shards := make([][]int64, h.Procs)
+	off := int64(0)
+	for i, l := range lens {
+		end := off + l
+		shards[i] = backing[off:end:end]
+		off = end
+	}
+	return h, shards, nil
+}
+
+// decodeHeader parses the CRC-verified header payload.
+func decodeHeader(payload []byte) (Header, error) {
+	r := &reader{data: payload}
+	str := func(what string) (string, error) {
+		b, err := r.take(2)
+		if err != nil {
+			return "", fmt.Errorf("%w: header %s length truncated", ErrCorrupt, what)
+		}
+		s, err := r.take(int(binary.LittleEndian.Uint16(b)))
+		if err != nil {
+			return "", fmt.Errorf("%w: header %s truncated", ErrCorrupt, what)
+		}
+		return string(s), nil
+	}
+	var h Header
+	var err error
+	if h.KeyType, err = str("key type"); err != nil {
+		return Header{}, err
+	}
+	if h.Options, err = str("options"); err != nil {
+		return Header{}, err
+	}
+	procs, err := r.u32()
+	if err != nil {
+		return Header{}, fmt.Errorf("%w: header processor count truncated", ErrCorrupt)
+	}
+	n, err := r.u64()
+	if err != nil {
+		return Header{}, fmt.Errorf("%w: header population size truncated", ErrCorrupt)
+	}
+	if r.off != len(payload) {
+		return Header{}, fmt.Errorf("%w: %d trailing header bytes", ErrCorrupt, len(payload)-r.off)
+	}
+	h.Procs = int(procs)
+	h.N = int64(n)
+	return h, nil
+}

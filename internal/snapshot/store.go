@@ -1,0 +1,386 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is a directory of snapshot files plus a manifest of the live
+// set. All mutations are crash-safe: file and manifest writes go
+// through a temp file, fsync, and an atomic rename, so a kill at any
+// instant leaves either the old state or the new one — a partial
+// write is invisible (its temp file is swept on the next Open).
+//
+// Methods are safe for concurrent use; the store serializes its own
+// disk access.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]Meta
+}
+
+// Meta is one manifest entry: everything the daemon needs to
+// re-register a dataset without decoding its snapshot file first.
+type Meta struct {
+	// ID is the dataset id the snapshot restores under.
+	ID string `json:"id"`
+	// File is the snapshot's file name within the store directory.
+	File string `json:"file"`
+	// Procs, N and Bytes mirror the resident dataset's shape and
+	// budget accounting.
+	Procs int   `json:"procs"`
+	N     int64 `json:"n"`
+	Bytes int64 `json:"bytes"`
+	// DiskBytes is the snapshot file's size.
+	DiskBytes int64 `json:"disk_bytes"`
+	// Gen is the dataset's upload generation; a Save carrying the
+	// generation already on disk skips the data rewrite, and a stale
+	// one is ignored entirely.
+	Gen int64 `json:"gen"`
+	// ExpiresUnixMS is the dataset's TTL deadline at the time of the
+	// last persist, as absolute wall-clock milliseconds; recovery
+	// skips entries already past it.
+	ExpiresUnixMS int64 `json:"expires_unix_ms"`
+	// SavedUnixMS stamps the last persist of this entry.
+	SavedUnixMS int64 `json:"saved_unix_ms"`
+	// Options fingerprints the pool configuration at persist time.
+	Options string `json:"options"`
+}
+
+// manifestFile is the JSON schema of the store's manifest.
+type manifestFile struct {
+	Version  int    `json:"version"`
+	Datasets []Meta `json:"datasets"`
+}
+
+const (
+	manifestName    = "manifest.json"
+	manifestVersion = 1
+	snapSuffix      = ".snap"
+	tmpPrefix       = ".tmp-"
+	quarantineExt   = ".quarantined"
+)
+
+// Open opens (creating if needed) a snapshot store at dir. Leftover
+// temp files from interrupted writes are removed. A corrupt or
+// version-skewed manifest is quarantined — renamed aside, reported in
+// the returned warnings — and the store starts empty rather than
+// failing; only an unusable directory is an error.
+func Open(dir string) (*Store, []string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("snapshot: open store: %w", err)
+	}
+	st := &Store{dir: dir, entries: make(map[string]Meta)}
+	var warnings []string
+
+	// Sweep interrupted writes: a temp file that never reached its
+	// rename is not part of any state.
+	if names, err := os.ReadDir(dir); err == nil {
+		for _, de := range names {
+			if strings.HasPrefix(de.Name(), tmpPrefix) {
+				os.Remove(filepath.Join(dir, de.Name()))
+				warnings = append(warnings,
+					fmt.Sprintf("removed interrupted partial write %s", de.Name()))
+			}
+		}
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return st, warnings, nil
+	case err != nil:
+		return nil, nil, fmt.Errorf("snapshot: read manifest: %w", err)
+	}
+	var mf manifestFile
+	if jsonErr := json.Unmarshal(data, &mf); jsonErr != nil || mf.Version != manifestVersion {
+		why := fmt.Sprintf("version %d (want %d)", mf.Version, manifestVersion)
+		if jsonErr != nil {
+			why = jsonErr.Error()
+		}
+		q := manifestName + quarantineExt
+		os.Rename(filepath.Join(dir, manifestName), filepath.Join(dir, q))
+		warnings = append(warnings,
+			fmt.Sprintf("quarantined unreadable manifest to %s: %s", q, why))
+		return st, warnings, nil
+	}
+	for _, m := range mf.Datasets {
+		if m.ID == "" || !safeID(m.ID) || m.File != m.ID+snapSuffix {
+			warnings = append(warnings,
+				fmt.Sprintf("dropped manifest entry with unsafe id/file %q/%q", m.ID, m.File))
+			continue
+		}
+		st.entries[m.ID] = m
+	}
+
+	// Sweep orphans: a .snap file no manifest entry references (e.g. a
+	// crash between a removal's unlink attempt failing over or an
+	// interrupted replace) would otherwise leak disk forever, since
+	// nothing ever loads or deletes it.
+	if names, err := os.ReadDir(dir); err == nil {
+		referenced := make(map[string]bool, len(st.entries))
+		for _, m := range st.entries {
+			referenced[m.File] = true
+		}
+		for _, de := range names {
+			name := de.Name()
+			if !strings.HasSuffix(name, snapSuffix) || referenced[name] {
+				continue
+			}
+			os.Remove(filepath.Join(dir, name))
+			warnings = append(warnings,
+				fmt.Sprintf("removed orphaned snapshot %s (not in the manifest)", name))
+		}
+	}
+	return st, warnings, nil
+}
+
+// safeID reports whether id is usable as a file-name stem: the same
+// [A-Za-z0-9._-] alphabet the daemon enforces on the wire, re-checked
+// here so the store never trusts its caller with path construction.
+func safeID(id string) bool {
+	if id == "" || len(id) > 255-len(snapSuffix) {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return id != "." && id != ".."
+}
+
+// Save persists one dataset: its snapshot file (skipped when the
+// on-disk generation already matches, so TTL refreshes don't rewrite
+// the data) and the manifest. A Save older than the manifest's
+// generation is a no-op — a slow background persist can never regress
+// a newer state.
+func (st *Store) Save(meta Meta, shards [][]int64) error {
+	if !safeID(meta.ID) {
+		return fmt.Errorf("snapshot: unsafe dataset id %q", meta.ID)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	prev, exists := st.entries[meta.ID]
+	if exists && prev.Gen > meta.Gen {
+		return nil
+	}
+	meta.File = meta.ID + snapSuffix
+	if exists && prev.Gen == meta.Gen {
+		// Same data already on disk: metadata-only refresh.
+		meta.DiskBytes = prev.DiskBytes
+	} else {
+		// Streamed, not buffered: a near-budget dataset must not double
+		// resident memory on its way to disk.
+		size, err := st.writeAtomicStream(meta.File, func(w io.Writer) (int64, error) {
+			return WriteTo(w, Header{Options: meta.Options}, shards)
+		})
+		if err != nil {
+			return err
+		}
+		meta.DiskBytes = size
+	}
+	st.entries[meta.ID] = meta
+	return st.writeManifestLocked()
+}
+
+// Remove drops a dataset from the manifest and deletes its snapshot
+// file. The file is unlinked before the manifest commits: a crash in
+// between leaves a manifest entry referencing a missing file, which
+// the next startup's Load skips and drops — self-healing — whereas
+// the opposite order would orphan the file on disk forever.
+// Removing an absent id is a no-op.
+func (st *Store) Remove(id string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	meta, ok := st.entries[id]
+	if !ok {
+		return nil
+	}
+	if err := os.Remove(filepath.Join(st.dir, meta.File)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("snapshot: remove %s: %w", meta.File, err)
+	}
+	delete(st.entries, id)
+	return st.writeManifestLocked()
+}
+
+// Meta returns the manifest entry for id, if any.
+func (st *Store) Meta(id string) (Meta, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m, ok := st.entries[id]
+	return m, ok
+}
+
+// RefreshMeta updates the metadata (TTL deadline, save stamp) of
+// several entries and commits the manifest ONCE — the drain path's
+// batched alternative to N gen-matching Saves, each of which would
+// rewrite and fsync the manifest individually. An entry that is
+// absent or holds a different generation is skipped: metadata must
+// never point a manifest entry at data it does not describe.
+func (st *Store) RefreshMeta(metas []Meta) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	changed := false
+	for _, m := range metas {
+		prev, ok := st.entries[m.ID]
+		if !ok || prev.Gen != m.Gen {
+			continue
+		}
+		m.File = prev.File
+		m.DiskBytes = prev.DiskBytes
+		st.entries[m.ID] = m
+		changed = true
+	}
+	if !changed {
+		return nil
+	}
+	return st.writeManifestLocked()
+}
+
+// Load reads and decodes one dataset's snapshot. A missing file
+// returns an fs.ErrNotExist-matching error and drops the manifest
+// entry (it referenced nothing). A corrupt, truncated or
+// version-skewed file is quarantined — renamed to <file>.quarantined
+// so it never poisons another startup — its entry dropped, and the
+// typed decode error returned.
+func (st *Store) Load(id string) (Header, [][]int64, Meta, error) {
+	st.mu.Lock()
+	meta, ok := st.entries[id]
+	st.mu.Unlock()
+	if !ok {
+		return Header{}, nil, Meta{}, fmt.Errorf("snapshot: no manifest entry for %q: %w",
+			id, fs.ErrNotExist)
+	}
+	data, err := os.ReadFile(filepath.Join(st.dir, meta.File))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			st.drop(id)
+		}
+		return Header{}, nil, Meta{}, fmt.Errorf("snapshot: read %s: %w", meta.File, err)
+	}
+	h, shards, err := Decode(data)
+	if err != nil {
+		st.quarantine(id, meta.File)
+		return Header{}, nil, Meta{}, err
+	}
+	return h, shards, meta, nil
+}
+
+// drop removes a manifest entry without touching files.
+func (st *Store) drop(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.entries[id]; !ok {
+		return
+	}
+	delete(st.entries, id)
+	st.writeManifestLocked()
+}
+
+// quarantine renames a damaged snapshot aside and drops its entry.
+func (st *Store) quarantine(id, file string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	os.Rename(filepath.Join(st.dir, file), filepath.Join(st.dir, file+quarantineExt))
+	if _, ok := st.entries[id]; ok {
+		delete(st.entries, id)
+		st.writeManifestLocked()
+	}
+}
+
+// Entries returns the manifest's live entries, sorted by id for
+// deterministic recovery order.
+func (st *Store) Entries() []Meta {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Meta, 0, len(st.entries))
+	for _, m := range st.entries {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TotalDiskBytes sums the live snapshot files' sizes — the stats
+// gauge behind /v1/stats.
+func (st *Store) TotalDiskBytes() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var total int64
+	for _, m := range st.entries {
+		total += m.DiskBytes
+	}
+	return total
+}
+
+// writeManifestLocked persists the manifest atomically; caller holds
+// st.mu.
+func (st *Store) writeManifestLocked() error {
+	mf := manifestFile{Version: manifestVersion}
+	for _, m := range st.entries {
+		mf.Datasets = append(mf.Datasets, m)
+	}
+	sort.Slice(mf.Datasets, func(i, j int) bool { return mf.Datasets[i].ID < mf.Datasets[j].ID })
+	data, err := json.MarshalIndent(mf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("snapshot: encode manifest: %w", err)
+	}
+	return st.writeAtomic(manifestName, append(data, '\n'))
+}
+
+// writeAtomic writes name via temp file + fsync + rename + directory
+// sync, so the file either keeps its old content or carries the new
+// one in full.
+func (st *Store) writeAtomic(name string, data []byte) error {
+	_, err := st.writeAtomicStream(name, func(w io.Writer) (int64, error) {
+		n, err := w.Write(data)
+		return int64(n), err
+	})
+	return err
+}
+
+// writeAtomicStream is writeAtomic with the content produced by a
+// streaming writer; it returns the byte count written.
+func (st *Store) writeAtomicStream(name string, write func(io.Writer) (int64, error)) (int64, error) {
+	tmp, err := os.CreateTemp(st.dir, tmpPrefix+name+"-*")
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: create temp for %s: %w", name, err)
+	}
+	tmpName := tmp.Name()
+	size, err := write(tmp)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("snapshot: write %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("snapshot: close %s: %w", name, err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(st.dir, name)); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("snapshot: commit %s: %w", name, err)
+	}
+	if d, err := os.Open(st.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return size, nil
+}

@@ -202,6 +202,10 @@ type DatasetInfo struct {
 	// ExpiresInMS is how long until TTL eviction if the dataset is not
 	// touched again (uploads and queries reset the clock).
 	ExpiresInMS int64 `json:"expires_in_ms"`
+	// Restored reports that this dataset was recovered from a snapshot
+	// at daemon startup rather than uploaded over the wire in this
+	// process's lifetime. A re-upload of the id clears it.
+	Restored bool `json:"restored,omitempty"`
 }
 
 // ErrorDetail is the machine-readable error payload.
@@ -332,6 +336,38 @@ type DatasetStats struct {
 	Queries int64 `json:"queries"`
 }
 
+// SnapshotStats describes the daemon's dataset persistence: disabled
+// (all zero, Enabled false) unless parseld runs with -snapshot-dir.
+type SnapshotStats struct {
+	// Enabled reports whether a snapshot directory is configured.
+	Enabled bool `json:"enabled"`
+	// Restored counts datasets recovered from snapshots at startup.
+	Restored int64 `json:"restored"`
+	// RestoreSkipped counts manifest entries not recovered at startup:
+	// expired TTLs, missing files, or datasets the budget/count caps
+	// could not admit.
+	RestoreSkipped int64 `json:"restore_skipped"`
+	// Quarantined counts corrupt/truncated/version-skewed snapshot
+	// files renamed aside (never loaded, never fatal).
+	Quarantined int64 `json:"quarantined"`
+	// Persists counts snapshot writes (uploads persisted in the
+	// background plus the synchronous flush on drain).
+	Persists int64 `json:"persists"`
+	// PersistErrors counts snapshot writes that failed. The dataset
+	// stays resident and serving; the next persist of its id (a later
+	// upload, or the drain flush) retries the write.
+	PersistErrors int64 `json:"persist_errors"`
+	// SnapshotBytes is the on-disk size of all live snapshot files (a
+	// gauge).
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// Dirty is the number of datasets whose latest state is not yet on
+	// disk (a gauge; zero after a graceful drain).
+	Dirty int64 `json:"dirty"`
+	// LastPersistUnixMS stamps the most recent successful snapshot
+	// write, in Unix milliseconds; zero before the first.
+	LastPersistUnixMS int64 `json:"last_persist_unix_ms"`
+}
+
 // Bucket is one cumulative histogram bucket: Count observations were
 // <= LE seconds.
 type Bucket struct {
@@ -349,9 +385,10 @@ type Histogram struct {
 
 // Stats is the body of GET /v1/stats.
 type Stats struct {
-	Pool     PoolStats    `json:"pool"`
-	Server   ServerStats  `json:"server"`
-	Sim      SimStats     `json:"sim"`
-	Datasets DatasetStats `json:"datasets"`
-	Latency  Histogram    `json:"latency"`
+	Pool      PoolStats     `json:"pool"`
+	Server    ServerStats   `json:"server"`
+	Sim       SimStats      `json:"sim"`
+	Datasets  DatasetStats  `json:"datasets"`
+	Snapshots SnapshotStats `json:"snapshots"`
+	Latency   Histogram     `json:"latency"`
 }

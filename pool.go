@@ -269,6 +269,12 @@ func (pl *Pool[K]) Stats() PoolStats {
 // resident Selectors, and so of concurrently executing queries.
 func (pl *Pool[K]) MaxMachines() int { return pl.max }
 
+// Options returns the configuration every resident Selector runs
+// with (Machine.Procs is per-query and meaningless here). Callers use
+// it to fingerprint a pool — e.g. to stamp snapshots with the
+// configuration they were taken under.
+func (pl *Pool[K]) Options() Options { return pl.opts }
+
 // Warm pre-provisions count resident Selectors — machine fabric
 // included — for procs-shaped queries (count is capped at MaxMachines),
 // so a later burst of concurrent traffic pays no machine construction.
