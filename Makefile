@@ -9,8 +9,10 @@
 #   make race    - full suite under the race detector (pool/selector/daemon/
 #                  dataset stress)
 #   make e2e     - the daemon end-to-end suite alone (httptest + parselclient,
-#                  incl. the kill-and-restart snapshot harness), uncached, for
-#                  quick iteration on the serving layer
+#                  incl. the kill-and-restart snapshot harness and the chaos
+#                  suite: differential replay through seeded fault injection,
+#                  panic recovery, deadline propagation), uncached, for quick
+#                  iteration on the serving layer
 #   make fuzz    - short fuzz smoke: the 128-bit quantile-rank arithmetic, the
 #                  daemon's HTTP request decoder and the snapshot decoder
 #   make cover   - coverage profile over the core packages (engine, client,

@@ -35,6 +35,11 @@
 //
 //	parseld -snapshot-dir /var/lib/parseld/snapshots
 //
+// Clients may stamp the remaining milliseconds of their own deadline
+// into the X-Parsel-Deadline request header; the daemon bounds its
+// admission wait by it (composed with timeout_ms and -timeout, capped
+// by -max-timeout) so an abandoned request never occupies a machine.
+//
 // The wire format is documented in the parselclient package, which is
 // also the Go client for this daemon.
 package main
@@ -110,7 +115,22 @@ func main() {
 		warmP    = flag.Int("warm-procs", 8, "machine shape (shard count) -warm builds for")
 		drainTO  = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight queries")
 		readTO   = flag.Duration("read-timeout", 60*time.Second, "connection read deadline: a request's headers+body must arrive within this (bounds how long a stalled upload can hold an admission slot)")
+		writeTO  = flag.Duration("write-timeout", 3*time.Minute, "connection write deadline: a response must be fully written within this of the request being read (0 disables; must exceed -max-timeout or legitimate slow queries are cut off mid-response)")
+		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "how long an idle keep-alive connection is kept open")
 	)
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "Usage: parseld [flags]\n\n")
+		fmt.Fprintf(out, "parseld serves parallel selection queries over HTTP/JSON; see the\n")
+		fmt.Fprintf(out, "parselclient package for the wire format.\n\n")
+		fmt.Fprintf(out, "Clients may stamp the remaining milliseconds of their own deadline\n")
+		fmt.Fprintf(out, "into the X-Parsel-Deadline request header; the daemon bounds the\n")
+		fmt.Fprintf(out, "admission wait by min(header, timeout_ms, -timeout), capped by\n")
+		fmt.Fprintf(out, "-max-timeout, so an abandoned request never occupies a machine.\n")
+		fmt.Fprintf(out, "Every 429 carries a Retry-After hint.\n\n")
+		fmt.Fprintf(out, "Flags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	a, ok := algNames[*alg]
@@ -130,6 +150,9 @@ func main() {
 	}
 	if *queue < 0 {
 		fail("need -queue >= 0")
+	}
+	if *writeTO > 0 && *writeTO <= *maxTO {
+		log.Printf("warning: -write-timeout %v <= -max-timeout %v; slow queries may be cut off mid-response", *writeTO, *maxTO)
 	}
 
 	opts := parsel.Options{
@@ -174,15 +197,17 @@ func main() {
 	}
 
 	// Read deadlines keep stalled uploads from camping on admission
-	// slots (the slot is taken before the body is read). No
-	// WriteTimeout: a legitimate query may wait its full admission
-	// deadline before producing a response.
+	// slots (the slot is taken before the body is read). The write
+	// deadline defaults well above -max-timeout so a legitimate query
+	// can wait its full admission deadline before responding, while a
+	// dead client can't pin a connection forever.
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTO,
-		IdleTimeout:       2 * time.Minute,
+		WriteTimeout:      *writeTO,
+		IdleTimeout:       *idleTO,
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()

@@ -17,6 +17,8 @@
 //	selectbench -http -dataset -clients 32 -perf BENCH_PR4.json
 //	selectbench -restore                                # cold upload vs snapshot warm restart
 //	selectbench -http -dataset -restore -clients 32 -perf BENCH_PR5.json
+//	selectbench -http -dataset -clients 32 -faults 0,0.05,0.20  # throughput under fault injection
+//	selectbench -http -dataset -clients 32 -faults 0,0.05,0.20 -perf BENCH_PR6.json
 package main
 
 import (
@@ -28,12 +30,15 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"parsel"
+	"parsel/internal/faults"
 	"parsel/internal/harness"
 	"parsel/internal/serve"
 	"parsel/parselclient"
@@ -165,7 +170,15 @@ func runClients(clients int) (perfResult, error) {
 // concurrent goroutines issuing the query prep returns. prep runs once
 // before timing (e.g. to upload a dataset) and returns the goroutine-
 // safe per-query call.
-func runLoopbackBench(clients int, prep func(ctx context.Context, client *parselclient.Client, shards [][]int64) (func() (float64, error), error)) (perfResult, error) {
+//
+// A positive faultRate splices a seeded fault injector into the
+// client's transport (the total injection probability, spread evenly
+// across the fault classes) and arms the client's retry policy, so the
+// row measures the goodput cost of riding through that fault stream:
+// extra round trips, re-serialization and injected latency. Backoff
+// sleeps are suppressed — the row prices retry amplification, not the
+// wall-clock politeness a production client would add on top.
+func runLoopbackBench(clients int, faultRate float64, prep func(ctx context.Context, client *parselclient.Client, shards [][]int64) (func() (float64, error), error)) (perfResult, error) {
 	shards := perfShards()
 	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
 	machines := clients
@@ -188,7 +201,25 @@ func runLoopbackBench(clients int, prep func(ctx context.Context, client *parsel
 	hs := &http.Server{Handler: srv}
 	go hs.Serve(ln)
 	defer hs.Close()
-	client := parselclient.New("http://"+ln.Addr().String(), nil)
+	hc := http.DefaultClient
+	if faultRate > 0 {
+		in := faults.New(faults.Options{
+			Seed:       1,
+			Probs:      faults.Uniform(faultRate),
+			MinLatency: 100 * time.Microsecond,
+			MaxLatency: time.Millisecond,
+		})
+		hc = &http.Client{Transport: in.Transport(http.DefaultTransport)}
+	}
+	client := parselclient.New("http://"+ln.Addr().String(), hc)
+	if faultRate > 0 {
+		client.Retry = parselclient.RetryPolicy{
+			MaxAttempts: 16,
+			BudgetRatio: -1,
+			Seed:        1,
+			Sleep:       func(context.Context, time.Duration) error { return nil },
+		}
+	}
 	ctx := context.Background()
 
 	query, err := prep(ctx, client, shards)
@@ -248,7 +279,7 @@ func runLoopbackBench(clients int, prep func(ctx context.Context, client *parsel
 // shipped in every request body — the full serialize/decode/admit/
 // select/respond path.
 func runHTTPClients(clients int) (perfResult, error) {
-	return runLoopbackBench(clients, func(ctx context.Context, client *parselclient.Client, shards [][]int64) (func() (float64, error), error) {
+	return runLoopbackBench(clients, 0, func(ctx context.Context, client *parselclient.Client, shards [][]int64) (func() (float64, error), error) {
 		return func() (float64, error) {
 			res, err := client.Median(ctx, shards)
 			if err != nil {
@@ -265,7 +296,14 @@ func runHTTPClients(clients int) (perfResult, error) {
 // upload-once/query-many serving model, against the same loopback
 // daemon as runHTTPClients.
 func runHTTPDatasetClients(clients int) (perfResult, error) {
-	return runLoopbackBench(clients, func(ctx context.Context, client *parselclient.Client, shards [][]int64) (func() (float64, error), error) {
+	return runHTTPDatasetClientsFaults(clients, 0)
+}
+
+// runHTTPDatasetClientsFaults is runHTTPDatasetClients through a
+// faultRate fault-injecting transport with the retrying client riding
+// over it — the resilience tax on the resident serving path.
+func runHTTPDatasetClientsFaults(clients int, faultRate float64) (perfResult, error) {
+	return runLoopbackBench(clients, faultRate, func(ctx context.Context, client *parselclient.Client, shards [][]int64) (func() (float64, error), error) {
 		rd := client.Dataset("bench")
 		if _, err := rd.Upload(ctx, shards); err != nil {
 			return nil, err
@@ -278,6 +316,23 @@ func runHTTPDatasetClients(clients int) (perfResult, error) {
 			return res.SimSeconds, nil
 		}, nil
 	})
+}
+
+// parseFaultRates parses the -faults flag: comma-separated fractional
+// injection rates in [0, 1), e.g. "0,0.05,0.20".
+func parseFaultRates(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var rates []float64
+	for _, f := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || r < 0 || r >= 1 {
+			return nil, fmt.Errorf("bad fault rate %q (want a fraction in [0, 1))", f)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
 }
 
 // runRestore measures the two ways a daemon can come to hold the
@@ -365,9 +420,10 @@ func runRestore() (cold, warm perfResult, err error) {
 // standard workload — plus, when clients > 0, the pooled concurrent
 // serving path (and with httpMode, the daemon round-trip path; with
 // datasetMode additionally the resident-dataset round-trip path; with
-// restoreMode the cold-upload vs snapshot-restore comparison) — and
+// restoreMode the cold-upload vs snapshot-restore comparison; with
+// faultRates one resident-dataset row per injection rate) — and
 // writes the JSON snapshot to path.
-func runPerf(path string, clients int, httpMode, datasetMode, restoreMode bool) error {
+func runPerf(path string, clients int, httpMode, datasetMode, restoreMode bool, faultRates []float64) error {
 	shards := perfShards()
 	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
 	var n int64
@@ -439,6 +495,13 @@ func runPerf(path string, clients int, httpMode, datasetMode, restoreMode bool) 
 					return err
 				}
 				results[fmt.Sprintf("http_dataset_%dclients", clients)] = dr
+				for _, rate := range faultRates {
+					fr, err := runHTTPDatasetClientsFaults(clients, rate)
+					if err != nil {
+						return fmt.Errorf("faults %.0f%%: %w", rate*100, err)
+					}
+					results[fmt.Sprintf("http_dataset_%dclients_faults%.0fpct", clients, rate*100)] = fr
+				}
 			}
 		}
 	}
@@ -486,6 +549,7 @@ func main() {
 		httpB   = flag.Bool("http", false, "with -clients: also measure daemon (HTTP) round-trip throughput through an in-process parseld on loopback")
 		dataset = flag.Bool("dataset", false, "with -http -clients: also measure resident-dataset round trips (upload once, query many — bodies carry no keys)")
 		restore = flag.Bool("restore", false, "measure cold-upload vs snapshot-restore time for the standard dataset (alone: print; with -perf: add the restore_* rows)")
+		faultsF = flag.String("faults", "", "with -http -dataset -clients: comma-separated fault-injection rates (fractions, e.g. 0,0.05,0.20); measures resident-dataset throughput with a retrying client riding each fault stream")
 	)
 	flag.Parse()
 
@@ -493,9 +557,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "selectbench: -dataset measures the daemon's resident path; pass -http (and -clients N) with it")
 		os.Exit(2)
 	}
+	faultRates, err := parseFaultRates(*faultsF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "selectbench: -faults: %v\n", err)
+		os.Exit(2)
+	}
+	if len(faultRates) > 0 && (!*dataset || *clients == 0) {
+		fmt.Fprintln(os.Stderr, "selectbench: -faults measures the resident path under injection; pass -http -dataset -clients N with it")
+		os.Exit(2)
+	}
 
 	if *perf != "" {
-		if err := runPerf(*perf, *clients, *httpB, *dataset, *restore); err != nil {
+		if err := runPerf(*perf, *clients, *httpB, *dataset, *restore, faultRates); err != nil {
 			fmt.Fprintf(os.Stderr, "selectbench: perf: %v\n", err)
 			os.Exit(1)
 		}
@@ -541,6 +614,15 @@ func main() {
 				}
 				fmt.Printf("resident dataset, %d clients: %.1f queries/s (%.3f ms/query, sim %.4f s)\n",
 					*clients, dr.QPS, float64(dr.NsPerOp)/1e6, dr.SimSeconds)
+				for _, rate := range faultRates {
+					fr, err := runHTTPDatasetClientsFaults(*clients, rate)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "selectbench: faults %.0f%%: %v\n", rate*100, err)
+						os.Exit(1)
+					}
+					fmt.Printf("resident dataset, %d clients, %2.0f%% faults: %.1f queries/s (%.3f ms/query)\n",
+						*clients, rate*100, fr.QPS, float64(fr.NsPerOp)/1e6)
+				}
 			}
 		}
 		return

@@ -1,0 +1,434 @@
+// Package faults is a deterministic, seedable fault injector for the
+// parseld serving stack: the chaos half of the resilience layer. It
+// perturbs HTTP traffic with the transient failures a production
+// deployment sees routinely — injected latency, connection resets,
+// 5xx/429 bursts, truncated and corrupted response bodies, slow-loris
+// reads — on both sides of the wire:
+//
+//   - Transport wraps an http.RoundTripper, so a parselclient pointed
+//     through it experiences client-observed faults (the chaos e2e
+//     suite replays the full differential catalogue this way).
+//   - Middleware wraps an http.Handler, the hook internal/serve exposes
+//     (serve.Options.Middleware), so the daemon itself can be made to
+//     reject, stall, or drop connections.
+//
+// Every decision is drawn from one seeded PCG stream behind a mutex:
+// with sequential requests, the same seed injects the identical fault
+// sequence — History returns it for equality assertions — so every
+// chaos test is reproducible from its seed. A Sleep hook replaces the
+// real clock (fake-clock mode), so injected latency and slow-loris
+// pacing cost nothing in tests.
+//
+// At most one fault is injected per request, chosen by a single
+// uniform draw against the cumulative class probabilities; the
+// remaining mass is a clean pass-through. Which classes are meaningful
+// depends on the side: Transport implements all of them, Middleware
+// implements Latency, HTTP500, HTTP429 and Reset (a server cannot
+// truncate a body it has not produced yet; Reset aborts the connection
+// via http.ErrAbortHandler) and passes the rest through.
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Class is one fault class.
+type Class uint8
+
+const (
+	// None is a clean pass-through (no fault injected).
+	None Class = iota
+	// Latency delays the request by a deterministic duration drawn from
+	// [MinLatency, MaxLatency] before forwarding it.
+	Latency
+	// Reset fails the request with a connection-reset error before it
+	// reaches the server (client side), or aborts the connection without
+	// a response (server side). The request is never processed, so a
+	// retry is always safe.
+	Reset
+	// HTTP500 answers a synthesized 500 without forwarding the request.
+	HTTP500
+	// HTTP429 answers a synthesized 429 queue_full with a Retry-After
+	// header, without forwarding the request.
+	HTTP429
+	// Truncate forwards the request but cuts the response body in half,
+	// so the client sees a JSON decode failure on a request the server
+	// did process (the hard retry case: idempotency matters).
+	Truncate
+	// Corrupt forwards the request but flips the first body byte, so
+	// the response is bit-rot the client must detect and retry.
+	Corrupt
+	// SlowRead forwards the request but drip-feeds the response body in
+	// SlowChunk-byte reads with an injected pause between each — a
+	// slow-loris client from the server's point of view.
+	SlowRead
+)
+
+// classNames is indexed by Class.
+var classNames = [...]string{"none", "latency", "reset", "http500", "http429", "truncate", "corrupt", "slowread"}
+
+// String names the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Probs are the per-class injection probabilities. Their sum must not
+// exceed 1; the remainder is the clean pass-through probability.
+type Probs struct {
+	Latency  float64
+	Reset    float64
+	HTTP500  float64
+	HTTP429  float64
+	Truncate float64
+	Corrupt  float64
+	SlowRead float64
+}
+
+// Uniform spreads a total fault rate evenly across all seven classes.
+func Uniform(rate float64) Probs {
+	p := rate / 7
+	return Probs{Latency: p, Reset: p, HTTP500: p, HTTP429: p, Truncate: p, Corrupt: p, SlowRead: p}
+}
+
+// Total is the summed fault probability.
+func (p Probs) Total() float64 {
+	return p.Latency + p.Reset + p.HTTP500 + p.HTTP429 + p.Truncate + p.Corrupt + p.SlowRead
+}
+
+// Options configures an Injector. Zero-valued knobs take defaults.
+type Options struct {
+	// Seed seeds the decision stream; the same seed over the same
+	// request sequence injects the identical fault sequence.
+	Seed uint64
+	// Probs are the per-class probabilities.
+	Probs Probs
+	// MinLatency and MaxLatency bound injected latency (defaults 1ms
+	// and 20ms).
+	MinLatency, MaxLatency time.Duration
+	// RetryAfter is the hint stamped on injected 429s (default 1s;
+	// rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+	// SlowChunk is the bytes-per-read granularity of SlowRead faults
+	// (default 64).
+	SlowChunk int
+	// Sleep replaces time.Sleep for injected latency and slow-read
+	// pacing — fake-clock mode for tests. Nil means real sleeping.
+	Sleep func(d time.Duration)
+}
+
+// withDefaults fills the zero-valued knobs.
+func (o Options) withDefaults() Options {
+	if o.MinLatency == 0 {
+		o.MinLatency = time.Millisecond
+	}
+	if o.MaxLatency == 0 {
+		o.MaxLatency = 20 * time.Millisecond
+	}
+	if o.RetryAfter == 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.SlowChunk == 0 {
+		o.SlowChunk = 64
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// Event is one injection decision, in sequence order. Clean
+// pass-throughs are recorded too (Class None), so History is a total
+// account of the traffic the injector saw.
+type Event struct {
+	// Seq is the 0-based decision index.
+	Seq int
+	// Class is the injected fault (None for a pass-through).
+	Class Class
+	// Method and Path identify the request.
+	Method, Path string
+	// Delay is the injected latency (Latency faults only).
+	Delay time.Duration
+}
+
+// Injector draws fault decisions from one seeded stream. Safe for
+// concurrent use; determinism of the sequence requires the requests
+// themselves to be issued sequentially.
+type Injector struct {
+	opts Options
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	events []Event
+	counts [len(classNames)]int64
+}
+
+// New builds an Injector. It panics if the probabilities are invalid
+// (negative, or summing past 1) — a misconfigured chaos harness should
+// fail loudly, not skew silently.
+func New(opts Options) *Injector {
+	p := opts.Probs
+	for _, v := range []float64{p.Latency, p.Reset, p.HTTP500, p.HTTP429, p.Truncate, p.Corrupt, p.SlowRead} {
+		if v < 0 || v != v {
+			panic(fmt.Sprintf("faults: negative or NaN probability in %+v", p))
+		}
+	}
+	if p.Total() > 1 {
+		panic(fmt.Sprintf("faults: probabilities sum to %v > 1", p.Total()))
+	}
+	opts = opts.withDefaults()
+	return &Injector{
+		opts: opts,
+		rng:  rand.New(rand.NewPCG(opts.Seed, 0x70617273656c6466)), // "parseldf"
+	}
+}
+
+// decide draws one fault decision and records it.
+func (in *Injector) decide(method, path string) Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ev := Event{Seq: len(in.events), Method: method, Path: path}
+	u := in.rng.Float64()
+	p := in.opts.Probs
+	for _, c := range []struct {
+		class Class
+		prob  float64
+	}{
+		{Latency, p.Latency}, {Reset, p.Reset}, {HTTP500, p.HTTP500}, {HTTP429, p.HTTP429},
+		{Truncate, p.Truncate}, {Corrupt, p.Corrupt}, {SlowRead, p.SlowRead},
+	} {
+		if u < c.prob {
+			ev.Class = c.class
+			break
+		}
+		u -= c.prob
+	}
+	if ev.Class == Latency {
+		span := in.opts.MaxLatency - in.opts.MinLatency
+		ev.Delay = in.opts.MinLatency
+		if span > 0 {
+			ev.Delay += time.Duration(in.rng.Int64N(int64(span) + 1))
+		}
+	}
+	in.events = append(in.events, ev)
+	in.counts[ev.Class]++
+	return ev
+}
+
+// History returns a copy of every decision so far, in order. Two runs
+// with the same seed over the same request sequence return equal
+// histories — the determinism assertion of the chaos suite.
+func (in *Injector) History() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	return out
+}
+
+// Counts returns the per-class decision counts (None included).
+func (in *Injector) Counts() map[Class]int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Class]int64, len(in.counts))
+	for c, n := range in.counts {
+		if n > 0 {
+			out[Class(c)] = n
+		}
+	}
+	return out
+}
+
+// Faults is the total number of injected (non-None) decisions.
+func (in *Injector) Faults() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var n int64
+	for c, cnt := range in.counts {
+		if Class(c) != None {
+			n += cnt
+		}
+	}
+	return n
+}
+
+// errReset is the connection-reset error Transport synthesizes: shaped
+// like a real peer reset (a *net.OpError wrapping ECONNRESET), so the
+// client's retry classification sees exactly what the kernel would
+// hand it.
+var errReset = &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+
+// transport is the client-side RoundTripper wrapper.
+type transport struct {
+	in   *Injector
+	next http.RoundTripper
+}
+
+// Transport wraps next so every round trip may be perturbed by one
+// fault. A nil next means http.DefaultTransport.
+func (in *Injector) Transport(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &transport{in: in, next: next}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	ev := t.in.decide(req.Method, req.URL.Path)
+	switch ev.Class {
+	case Latency:
+		t.in.opts.Sleep(ev.Delay)
+		return t.next.RoundTrip(req)
+	case Reset:
+		// The request never reaches the server; always safe to retry.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, errReset
+	case HTTP500:
+		return synthesize(req, http.StatusInternalServerError, nil,
+			"injected fault: http500"), nil
+	case HTTP429:
+		h := http.Header{}
+		h.Set("Retry-After", strconv.FormatInt(int64((t.in.opts.RetryAfter+time.Second-1)/time.Second), 10))
+		return synthesize(req, http.StatusTooManyRequests, h,
+			`{"error":{"code":"queue_full","message":"injected fault: http429"}}`), nil
+	case Truncate:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		cut := body[:len(body)/2]
+		resp.Body = io.NopCloser(bytes.NewReader(cut))
+		resp.ContentLength = int64(len(cut))
+		return resp, nil
+	case Corrupt:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if len(body) > 0 {
+			// Flipping the leading byte guarantees a JSON body no longer
+			// parses — corruption the client must detect, never absorb.
+			body[0] ^= 0xFF
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+		return resp, nil
+	case SlowRead:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &slowBody{rc: resp.Body, chunk: t.in.opts.SlowChunk, sleep: t.in.opts.Sleep}
+		return resp, nil
+	}
+	return t.next.RoundTrip(req)
+}
+
+// synthesize builds a fault response without touching the network.
+func synthesize(req *http.Request, status int, h http.Header, body string) *http.Response {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+	if h == nil {
+		h = http.Header{}
+	}
+	if len(body) > 0 && body[0] == '{' {
+		h.Set("Content-Type", "application/json")
+	} else {
+		h.Set("Content-Type", "text/plain")
+	}
+	return &http.Response{
+		Status:        http.StatusText(status),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// slowBody drip-feeds an underlying body chunk bytes per read, pausing
+// between reads via the injected clock.
+type slowBody struct {
+	rc    io.ReadCloser
+	chunk int
+	sleep func(time.Duration)
+	first bool
+}
+
+// Read implements io.Reader.
+func (b *slowBody) Read(p []byte) (int, error) {
+	if b.first {
+		b.sleep(time.Millisecond)
+	}
+	b.first = true
+	if len(p) > b.chunk {
+		p = p[:b.chunk]
+	}
+	return b.rc.Read(p)
+}
+
+// Close implements io.Closer.
+func (b *slowBody) Close() error { return b.rc.Close() }
+
+// Middleware returns the server-side hook for serve.Options.Middleware:
+// a wrapper injecting Latency (stalling the handler), HTTP500/HTTP429
+// (rejecting before the handler runs) and Reset (aborting the
+// connection without a response, via the http.ErrAbortHandler
+// convention). Other classes pass through — a server cannot truncate a
+// response the handler streams itself.
+func (in *Injector) Middleware() func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ev := in.decide(r.Method, r.URL.Path)
+			switch ev.Class {
+			case Latency:
+				in.opts.Sleep(ev.Delay)
+			case HTTP500:
+				w.Header().Set("Content-Type", "text/plain")
+				w.WriteHeader(http.StatusInternalServerError)
+				io.WriteString(w, "injected fault: http500")
+				return
+			case HTTP429:
+				w.Header().Set("Retry-After",
+					strconv.FormatInt(int64((in.opts.RetryAfter+time.Second-1)/time.Second), 10))
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusTooManyRequests)
+				io.WriteString(w, `{"error":{"code":"queue_full","message":"injected fault: http429"}}`)
+				return
+			case Reset:
+				// net/http's sanctioned way to drop the connection on the
+				// floor: the recovery middleware re-panics this sentinel.
+				panic(http.ErrAbortHandler)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}

@@ -1,0 +1,258 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// echoHandler answers every request 200 with a fixed JSON body.
+func echoHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"value": 42, "report": {"sim_seconds": 1.5}}`)
+	})
+}
+
+// TestInjectorDeterministic pins the reproducibility contract: two
+// injectors with the same seed, driven by the same request sequence,
+// record identical histories; a different seed diverges.
+func TestInjectorDeterministic(t *testing.T) {
+	drive := func(seed uint64) []Event {
+		in := New(Options{Seed: seed, Probs: Uniform(0.5), Sleep: func(time.Duration) {}})
+		for i := 0; i < 200; i++ {
+			in.decide("POST", "/v1/select")
+		}
+		return in.History()
+	}
+	a, b := drive(7), drive(7)
+	if !slices.Equal(a, b) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	if slices.Equal(a, drive(8)) {
+		t.Fatal("different seeds produced the identical 200-event sequence")
+	}
+	var faults int
+	for _, ev := range a {
+		if ev.Class != None {
+			faults++
+		}
+	}
+	if faults < 60 || faults > 140 {
+		t.Errorf("0.5 fault rate injected %d/200 faults", faults)
+	}
+}
+
+// TestUniformCoversEveryClass checks the uniform split draws every
+// class over a long stream, and that counts account for every decision.
+func TestUniformCoversEveryClass(t *testing.T) {
+	in := New(Options{Seed: 3, Probs: Uniform(0.7), Sleep: func(time.Duration) {}})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		in.decide("GET", "/healthz")
+	}
+	counts := in.Counts()
+	var total int64
+	for _, c := range []Class{Latency, Reset, HTTP500, HTTP429, Truncate, Corrupt, SlowRead} {
+		if counts[c] == 0 {
+			t.Errorf("class %v never drawn in %d decisions at rate 0.7", c, n)
+		}
+	}
+	for _, v := range counts {
+		total += v
+	}
+	if total != n {
+		t.Errorf("counts sum to %d, want %d", total, n)
+	}
+	if in.Faults() != n-counts[None] {
+		t.Errorf("Faults() = %d, want %d", in.Faults(), n-counts[None])
+	}
+}
+
+// TestTransportFaultShapes drives one transport through each class with
+// certainty and checks the wire shape the client sees.
+func TestTransportFaultShapes(t *testing.T) {
+	ts := httptest.NewServer(echoHandler())
+	defer ts.Close()
+
+	roundTrip := func(t *testing.T, probs Probs, slept *[]time.Duration) (*http.Response, error) {
+		t.Helper()
+		in := New(Options{Seed: 1, Probs: probs, SlowChunk: 4,
+			Sleep: func(d time.Duration) {
+				if slept != nil {
+					*slept = append(*slept, d)
+				}
+			}})
+		hc := &http.Client{Transport: in.Transport(ts.Client().Transport)}
+		req, err := http.NewRequest(http.MethodGet, ts.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hc.Do(req)
+	}
+
+	t.Run("reset", func(t *testing.T) {
+		_, err := roundTrip(t, Probs{Reset: 1}, nil)
+		if !errors.Is(err, syscall.ECONNRESET) {
+			t.Fatalf("reset fault surfaced as %v, want ECONNRESET", err)
+		}
+	})
+	t.Run("http500", func(t *testing.T) {
+		resp, err := roundTrip(t, Probs{HTTP500: 1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 500 {
+			t.Fatalf("status %d, want 500", resp.StatusCode)
+		}
+	})
+	t.Run("http429", func(t *testing.T) {
+		resp, err := roundTrip(t, Probs{HTTP429: 1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 429 || resp.Header.Get("Retry-After") != "1" {
+			t.Fatalf("status %d Retry-After %q, want 429 with hint", resp.StatusCode, resp.Header.Get("Retry-After"))
+		}
+		body, _ := io.ReadAll(resp.Body)
+		if !strings.Contains(string(body), "queue_full") {
+			t.Errorf("injected 429 body %q carries no queue_full code", body)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		resp, err := roundTrip(t, Probs{Truncate: 1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if len(body) == 0 || strings.HasSuffix(string(body), "}") {
+			t.Errorf("truncated body %q still looks complete", body)
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		resp, err := roundTrip(t, Probs{Corrupt: 1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if len(body) == 0 || body[0] == '{' {
+			t.Errorf("corrupted body %q still opens as JSON", body)
+		}
+	})
+	t.Run("latency+slowread", func(t *testing.T) {
+		var slept []time.Duration
+		resp, err := roundTrip(t, Probs{Latency: 1}, &slept)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(slept) != 1 || slept[0] < time.Millisecond {
+			t.Errorf("latency fault slept %v, want one injected delay >= MinLatency", slept)
+		}
+		slept = nil
+		resp, err = roundTrip(t, Probs{SlowRead: 1}, &slept)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.HasSuffix(string(body), "}") {
+			t.Errorf("slow-read body %q arrived damaged; the class delays, never corrupts", body)
+		}
+		if len(slept) == 0 {
+			t.Error("slow-read never paused between chunked reads")
+		}
+	})
+	t.Run("passthrough", func(t *testing.T) {
+		resp, err := roundTrip(t, Probs{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 || !strings.HasSuffix(string(body), "}") {
+			t.Errorf("clean pass-through mangled the response: %d %q", resp.StatusCode, body)
+		}
+	})
+}
+
+// TestMiddlewareFaults drives the server-side hook through its classes.
+func TestMiddlewareFaults(t *testing.T) {
+	newServer := func(probs Probs) (*httptest.Server, *Injector) {
+		in := New(Options{Seed: 5, Probs: probs, Sleep: func(time.Duration) {}})
+		return httptest.NewServer(in.Middleware()(echoHandler())), in
+	}
+
+	t.Run("http500", func(t *testing.T) {
+		ts, _ := newServer(Probs{HTTP500: 1})
+		defer ts.Close()
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 500 {
+			t.Fatalf("status %d, want 500", resp.StatusCode)
+		}
+	})
+	t.Run("http429", func(t *testing.T) {
+		ts, _ := newServer(Probs{HTTP429: 1})
+		defer ts.Close()
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 429 || resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("status %d Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+		}
+	})
+	t.Run("reset", func(t *testing.T) {
+		ts, _ := newServer(Probs{Reset: 1})
+		defer ts.Close()
+		_, err := http.Get(ts.URL)
+		if err == nil {
+			t.Fatal("aborted connection still produced a response")
+		}
+	})
+	t.Run("passthrough", func(t *testing.T) {
+		ts, in := newServer(Probs{})
+		defer ts.Close()
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d, want 200", resp.StatusCode)
+		}
+		if got := in.History(); len(got) != 1 || got[0].Class != None {
+			t.Errorf("history %+v, want one None decision", got)
+		}
+	})
+}
+
+// TestInvalidProbsPanic pins the fail-loud contract for misconfigured
+// harnesses.
+func TestInvalidProbsPanic(t *testing.T) {
+	for _, probs := range []Probs{{Latency: -0.1}, {Reset: 0.6, HTTP500: 0.6}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", probs)
+				}
+			}()
+			New(Options{Probs: probs})
+		}()
+	}
+}

@@ -211,6 +211,7 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request, id 
 		s.dstats.Rejected++
 		s.dsMu.Unlock()
 		s.countError(http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget)
+		w.Header().Set("Retry-After", "1") // a delete or TTL eviction may free room
 		writeError(w, http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget,
 			fmt.Sprintf("dataset needs %d resident bytes; %d of the %d-byte budget are held (live data is never evicted to make room)",
 				need, held, s.opts.MaxResidentBytes))
@@ -220,6 +221,7 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request, id 
 		s.dstats.Rejected++
 		s.dsMu.Unlock()
 		s.countError(http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget)
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget,
 			fmt.Sprintf("daemon already holds %d datasets, the limit", s.opts.MaxDatasets))
 		return
@@ -265,6 +267,7 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request, id 
 		s.dsMu.Unlock()
 		ds.Close()
 		s.countError(http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget)
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget,
 			fmt.Sprintf("daemon already holds %d datasets, the limit", s.opts.MaxDatasets))
 		return
@@ -407,7 +410,7 @@ func (s *Server) handleDatasetQuery(w http.ResponseWriter, r *http.Request, id s
 		return
 	}
 
-	ctx, cancel := s.admissionContext(r.Context(), q.TimeoutMS)
+	ctx, cancel := s.admissionContext(r, q.TimeoutMS)
 	defer cancel()
 	resp, err := s.executeDataset(ctx, ep, e.ds, q)
 	if err != nil {

@@ -33,6 +33,8 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -80,8 +82,16 @@ type Options struct {
 	// draining leaks it for the process lifetime.
 	SnapshotDir string
 	// Logf receives the daemon's operational log lines (snapshot
-	// recovery warnings, persist failures). Default log.Printf.
+	// recovery warnings, persist failures, recovered panics). Default
+	// log.Printf.
 	Logf func(format string, args ...any)
+	// Middleware, when non-nil, wraps the routing handler — the hook
+	// chaos tests use to splice a fault injector
+	// (internal/faults.Injector.Middleware) into the daemon. It runs
+	// inside the panic-recovery middleware, so an injected
+	// http.ErrAbortHandler still aborts the connection while any other
+	// panic is recovered and counted.
+	Middleware func(http.Handler) http.Handler
 }
 
 // withDefaults fills the zero-valued knobs.
@@ -111,10 +121,11 @@ func (o Options) withDefaults() Options {
 // Server is the HTTP handler of the selection daemon. Construct with
 // New; it is safe for concurrent use.
 type Server struct {
-	opts  Options
-	pool  *parsel.Pool[int64]
-	mux   *http.ServeMux
-	admit chan struct{} // admission tokens: MaxMachines + QueueDepth
+	opts    Options
+	pool    *parsel.Pool[int64]
+	mux     *http.ServeMux
+	handler http.Handler  // recovery → Options.Middleware → routing
+	admit   chan struct{} // admission tokens: MaxMachines + QueueDepth
 
 	mu       sync.Mutex
 	draining bool
@@ -207,6 +218,11 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/datasets/", s.handleDatasets)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.handler = http.Handler(http.HandlerFunc(s.route))
+	if opts.Middleware != nil {
+		s.handler = opts.Middleware(s.handler)
+	}
+	s.handler = s.recoverPanics(s.handler)
 	return s, nil
 }
 
@@ -218,8 +234,14 @@ func (s *Server) SetNowForTest(now func() time.Time) {
 	s.dsMu.Unlock()
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: the recovery middleware, the
+// optional Options.Middleware, then routing.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// route is the innermost handler: the unknown-path check, then the mux.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	if _, ok := endpoints[r.URL.Path]; !ok &&
 		!strings.HasPrefix(r.URL.Path, "/v1/datasets/") &&
 		r.URL.Path != "/v1/stats" && r.URL.Path != "/healthz" {
@@ -228,6 +250,55 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// statusWriter remembers whether the handler already started a
+// response, so the recovery middleware knows if a 500 can still be
+// written.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// recoverPanics is the outermost middleware: a panicking handler
+// answers a structured 500 instead of tearing down the connection (and
+// the daemon's goroutine) silently. http.ErrAbortHandler re-panics —
+// it is the standard library's (and the fault injector's) deliberate
+// abort-the-connection signal, not a fault to mask. Recovered panics
+// are logged with the stack and counted in ServerStats.Panics.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.mu.Lock()
+			s.srv.Panics++
+			s.mu.Unlock()
+			s.countError(http.StatusInternalServerError, parselclient.CodeInternal)
+			s.logf("serve: panic on %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			if !sw.wrote {
+				writeError(sw, http.StatusInternalServerError, parselclient.CodeInternal,
+					"internal fault (recovered panic)")
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
 }
 
 // Drain begins graceful shutdown: every subsequent query is answered
@@ -320,7 +391,7 @@ func (s *Server) queryHandler(ep Endpoint) http.HandlerFunc {
 			return
 		}
 
-		ctx, cancel := s.admissionContext(r.Context(), req.TimeoutMS)
+		ctx, cancel := s.admissionContext(r, req.TimeoutMS)
 		defer cancel()
 		resp, err := s.execute(ctx, ep, req)
 		if err != nil {
@@ -349,18 +420,38 @@ func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, erro
 }
 
 // admissionContext derives the admission deadline: the request's
-// timeout_ms if given, else the server default — capped by MaxTimeout,
-// and composed with the connection's own context so a vanished client
+// timeout_ms if given, else the server default — further bounded by
+// the client's propagated X-Parsel-Deadline budget (a caller about to
+// give up must never occupy a machine), capped by MaxTimeout, and
+// composed with the connection's own context so a vanished client
 // stops waiting for a machine.
-func (s *Server) admissionContext(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+func (s *Server) admissionContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
 	d := s.opts.DefaultTimeout
 	if timeoutMS > 0 {
 		d = time.Duration(timeoutMS) * time.Millisecond
 	}
+	if hd := headerDeadline(r); hd > 0 && hd < d {
+		d = hd
+	}
 	if d > s.opts.MaxTimeout {
 		d = s.opts.MaxTimeout
 	}
-	return context.WithTimeout(parent, d)
+	return context.WithTimeout(r.Context(), d)
+}
+
+// headerDeadline reads the client's remaining deadline budget from the
+// propagation header, in milliseconds; absent or malformed values mean
+// no bound (the header is an optimization, never a validation surface).
+func headerDeadline(r *http.Request) time.Duration {
+	v := r.Header.Get(parselclient.DeadlineHeader)
+	if v == "" {
+		return 0
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
 }
 
 // execute dispatches one validated request to the pool and shapes the
@@ -528,15 +619,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// handleHealth serves GET /healthz: 200 while serving, 503 once
-// draining (so load balancers stop routing new traffic here first).
+// handleHealth serves GET /healthz, the three-state health machine,
+// each state on its own status code so probes can branch without
+// parsing the body:
+//
+//	200 ok       — serving normally
+//	207 degraded — still serving every endpoint, but a background
+//	               obligation is failing (snapshot persistence); a load
+//	               balancer can keep routing, an operator should look
+//	503 draining — graceful shutdown begun; stop routing here
+//
+// Degraded clears by itself the moment a snapshot write lands again.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		writeError(w, http.StatusServiceUnavailable, parselclient.CodeShuttingDown,
 			"daemon is draining")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if st := s.snapshotStats(); st.Degraded {
+		writeJSON(w, http.StatusMultiStatus, parselclient.HealthStatus{
+			Status: parselclient.HealthDegraded,
+			Reason: "snapshot persistence is failing; resident data is serving but not durable",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, parselclient.HealthStatus{Status: parselclient.HealthOK})
 }
 
 // writeJSON writes a JSON response body.

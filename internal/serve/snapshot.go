@@ -291,16 +291,20 @@ func (s *Server) persistOne(id string) {
 	}
 }
 
-// countPersist attributes one snapshot write to the stats.
+// countPersist attributes one snapshot write to the stats and drives
+// the degraded-health flag: a failed write flips it (the daemon keeps
+// serving, /healthz turns 207), the next successful write clears it.
 func (s *Server) countPersist(now time.Time, err error) {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	if err != nil {
 		s.sstats.PersistErrors++
+		s.sstats.Degraded = true
 		return
 	}
 	s.sstats.Persists++
 	s.sstats.LastPersistUnixMS = now.UnixMilli()
+	s.sstats.Degraded = false
 }
 
 // FlushSnapshots persists every dirty dataset synchronously and

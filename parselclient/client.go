@@ -7,9 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"reflect"
 	"strings"
+	"sync"
 	"time"
 
 	"parsel"
@@ -27,6 +30,21 @@ type Client struct {
 	// timeout_ms (whichever is tighter), so a client deadline is honored
 	// on the server rather than discovered by a dropped connection.
 	QueryTimeout time.Duration
+
+	// Retry configures transparent retries of transient failures (see
+	// RetryPolicy; every operation on this wire is idempotent, so all of
+	// them retry). The zero value disables retries. Configure it before
+	// the client's first call; it must not be mutated concurrently with
+	// calls.
+	Retry RetryPolicy
+
+	// retryMu guards the jitter stream and the token-bucket retry
+	// budget; the counters are atomics on their own.
+	retryMu    sync.Mutex
+	rng        *rand.Rand
+	budget     float64
+	budgetInit bool
+	retryCount retryCounters
 }
 
 // New builds a client for the daemon at baseURL (e.g.
@@ -47,6 +65,10 @@ type APIError struct {
 	Code string
 	// Message is the human-readable detail.
 	Message string
+	// RetryAfter is the server's backoff hint from the Retry-After
+	// header, if the response carried one; a retrying client waits at
+	// least this long before the next attempt.
+	RetryAfter time.Duration
 }
 
 // Error formats the error for humans.
@@ -251,41 +273,59 @@ func (d *RemoteDataset) path(suffix string) string {
 	return "/v1/datasets/" + url.PathEscape(d.id) + suffix
 }
 
-// doJSON runs one non-query dataset request (upload/info/delete).
-func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, out any) error {
-	if ctx == nil {
-		ctx = context.Background()
+// attempt runs one HTTP attempt for doJSON's retry loop: build the
+// request (stamping the remaining deadline budget into DeadlineHeader),
+// send it, decode the response or the structured error. It returns the
+// attempt's error together with any Retry-After hint accompanying it.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any, attemptTimeout time.Duration) (error, time.Duration) {
+	actx := ctx
+	if attemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, attemptTimeout)
+		defer cancel()
 	}
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	hreq, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	hreq, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
 	if err != nil {
-		return err
+		return err, 0
 	}
 	if body != nil {
 		hreq.Header.Set("Content-Type", "application/json")
 	}
+	stampDeadline(hreq, actx)
 	hres, err := c.hc.Do(hreq)
 	if err != nil {
-		return err
+		return err, 0
 	}
 	defer hres.Body.Close()
 	data, err := io.ReadAll(hres.Body)
 	if err != nil {
-		return fmt.Errorf("parselclient: read response: %w", err)
+		return fmt.Errorf("parselclient: read response: %w", err), 0
 	}
 	if hres.StatusCode != http.StatusOK {
-		return decodeError(hres.StatusCode, data)
+		ra := parseRetryAfter(hres.Header)
+		derr := decodeError(hres.StatusCode, data)
+		var api *APIError
+		if errors.As(derr, &api) {
+			api.RetryAfter = ra
+		}
+		return derr, ra
 	}
 	if out == nil {
-		return nil
+		return nil, 0
+	}
+	// A prior attempt may have decoded part of a truncated body into out
+	// before failing; zero it so stale fields cannot survive a retry.
+	if v := reflect.ValueOf(out); v.Kind() == reflect.Pointer && !v.IsNil() {
+		v.Elem().SetZero()
 	}
 	if err := json.Unmarshal(data, out); err != nil {
-		return fmt.Errorf("parselclient: decode response: %w", err)
+		return fmt.Errorf("parselclient: decode response: %w", err), 0
 	}
-	return nil
+	return nil, 0
 }
 
 // Upload ships the shards into resident per-processor storage on the
@@ -416,51 +456,69 @@ func (d *RemoteDataset) Summary(ctx context.Context) (parsel.FiveNumber[int64], 
 		resp.Report.Report(), nil
 }
 
-// Stats fetches the daemon's observability snapshot.
+// Stats fetches the daemon's observability snapshot. Like every other
+// read, it retries under the client's RetryPolicy.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
-	if err != nil {
-		return Stats{}, err
-	}
-	hres, err := c.hc.Do(hreq)
-	if err != nil {
-		return Stats{}, err
-	}
-	defer hres.Body.Close()
-	data, err := io.ReadAll(hres.Body)
-	if err != nil {
-		return Stats{}, err
-	}
-	if hres.StatusCode != http.StatusOK {
-		return Stats{}, decodeError(hres.StatusCode, data)
-	}
 	var st Stats
-	if err := json.Unmarshal(data, &st); err != nil {
-		return Stats{}, fmt.Errorf("parselclient: decode stats: %w", err)
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/stats", nil, &st); err != nil {
+		return Stats{}, err
 	}
 	return st, nil
 }
 
-// Health probes /healthz; nil means the daemon is accepting queries.
-func (c *Client) Health(ctx context.Context) error {
+// Healthz probes /healthz and reports the daemon's health state —
+// HealthOK, HealthDegraded (serving, but e.g. snapshot persistence is
+// failing) or HealthDraining. The probe never retries: a health check
+// wants the instantaneous answer. The error is non-nil only when no
+// recognizable health verdict came back at all.
+func (c *Client) Healthz(ctx context.Context) (HealthStatus, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
 	if err != nil {
-		return err
+		return HealthStatus{}, err
 	}
 	hres, err := c.hc.Do(hreq)
 	if err != nil {
-		return err
+		return HealthStatus{}, err
 	}
 	defer hres.Body.Close()
-	data, _ := io.ReadAll(hres.Body)
-	if hres.StatusCode != http.StatusOK {
-		return decodeError(hres.StatusCode, data)
+	data, err := io.ReadAll(hres.Body)
+	if err != nil {
+		return HealthStatus{}, fmt.Errorf("parselclient: read healthz: %w", err)
+	}
+	switch hres.StatusCode {
+	case http.StatusOK, http.StatusMultiStatus:
+		var hs HealthStatus
+		if jerr := json.Unmarshal(data, &hs); jerr != nil || hs.Status == "" {
+			return HealthStatus{}, fmt.Errorf("parselclient: healthz body %q is not a health state", data)
+		}
+		return hs, nil
+	default:
+		derr := decodeError(hres.StatusCode, data)
+		var api *APIError
+		if errors.As(derr, &api) && api.Code == CodeShuttingDown {
+			return HealthStatus{Status: HealthDraining, Reason: api.Message}, nil
+		}
+		return HealthStatus{}, derr
+	}
+}
+
+// Health probes /healthz; nil means the daemon is accepting queries
+// (healthy or degraded — a degraded daemon still serves). Use Healthz
+// for the three-state verdict.
+func (c *Client) Health(ctx context.Context) error {
+	hs, err := c.Healthz(ctx)
+	if err != nil {
+		return err
+	}
+	if hs.Status == HealthDraining {
+		return &APIError{
+			Status:  http.StatusServiceUnavailable,
+			Code:    CodeShuttingDown,
+			Message: "daemon is draining",
+		}
 	}
 	return nil
 }

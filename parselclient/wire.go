@@ -296,6 +296,9 @@ type ServerStats struct {
 	Rejected int64 `json:"rejected"`
 	// Inflight is the number of requests currently admitted (a gauge).
 	Inflight int64 `json:"inflight"`
+	// Panics counts handler panics caught by the recovery middleware;
+	// each also answered 500 and counted as a ServerError.
+	Panics int64 `json:"panics,omitempty"`
 	// Draining reports whether the daemon has begun graceful shutdown.
 	Draining bool `json:"draining"`
 }
@@ -366,6 +369,33 @@ type SnapshotStats struct {
 	// LastPersistUnixMS stamps the most recent successful snapshot
 	// write, in Unix milliseconds; zero before the first.
 	LastPersistUnixMS int64 `json:"last_persist_unix_ms"`
+	// Degraded reports that the most recent snapshot persist failed and
+	// no write has succeeded since: the daemon keeps serving (uploads
+	// never fail on persistence), but /healthz reports degraded until a
+	// write lands again.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// Health states reported by GET /healthz; each maps to a distinct HTTP
+// status so a probe can branch on the status code alone.
+const (
+	// HealthOK (HTTP 200): serving normally.
+	HealthOK = "ok"
+	// HealthDegraded (HTTP 207): still serving every endpoint, but a
+	// background obligation is failing — currently, snapshot persistence
+	// (the Reason says which). Queries remain safe; durability is not.
+	HealthDegraded = "degraded"
+	// HealthDraining (HTTP 503): graceful shutdown has begun; in-flight
+	// queries finish, new work is refused.
+	HealthDraining = "draining"
+)
+
+// HealthStatus is the body of GET /healthz.
+type HealthStatus struct {
+	// Status is one of the Health constants.
+	Status string `json:"status"`
+	// Reason says why the daemon is not plain-healthy; empty when OK.
+	Reason string `json:"reason,omitempty"`
 }
 
 // Bucket is one cumulative histogram bucket: Count observations were
