@@ -14,7 +14,8 @@
 #                  panic recovery, deadline propagation), uncached, for quick
 #                  iteration on the serving layer
 #   make fuzz    - short fuzz smoke: the 128-bit quantile-rank arithmetic, the
-#                  daemon's HTTP request decoder and the snapshot decoder
+#                  daemon's HTTP request decoder, the snapshot decoder and the
+#                  binary result-frame decoder
 #   make cover   - coverage profile over the core packages (engine, client,
 #                  internal) with a hard threshold; writes cover.out
 
@@ -55,6 +56,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzQuantileRank -fuzztime=5s .
 	$(GO) test -run='^$$' -fuzz=FuzzParseRequest -fuzztime=5s ./internal/serve
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=5s ./internal/snapshot
+	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=5s ./internal/snapshot
 
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out -coverpkg=$(COVER_PKGS) \

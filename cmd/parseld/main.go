@@ -24,7 +24,17 @@
 //	curl -s -X PUT localhost:7075/v1/datasets/fleet -d '{"shards": [[9,1,5],[3,7,2]]}'
 //	curl -s localhost:7075/v1/datasets/fleet/query -d '{"kind": "median"}'
 //	curl -s localhost:7075/v1/datasets/fleet/query -d '{"kind": "quantiles", "qs": [0.5,0.99]}'
+//	curl -s localhost:7075/v1/datasets/fleet/querymany \
+//	     -d '{"queries": [{"kind": "median"}, {"kind": "select", "rank": 1}]}'
 //	curl -s -X DELETE localhost:7075/v1/datasets/fleet
+//
+// Uploads may also be sent as length-prefixed binary frames
+// (Content-Type: application/x-parsel-frame; same layout as the
+// snapshot files) which stream into resident storage without a JSON
+// materialization, and query responses come back as binary frames when
+// the client sends Accept: application/x-parsel-frame. JSON remains
+// the default and is always supported; see the parselclient package
+// (Client.Binary) for the framing.
 //
 // With -snapshot-dir the resident datasets are durable: uploads are
 // persisted to crash-safe snapshot files in the background (and the
@@ -103,6 +113,7 @@ func main() {
 		maxBody  = flag.Int64("max-body", 64<<20, "request body byte limit")
 		maxProcs = flag.Int("max-procs", 256, "shard (simulated processor) count limit per request")
 		maxRanks = flag.Int("max-ranks", 4096, "rank/quantile count limit per request")
+		maxBatch = flag.Int("max-batch", 256, "query count limit per querymany batch")
 		dsTTL    = flag.Duration("dataset-ttl", 10*time.Minute, "resident datasets idle longer than this are evicted")
 		dsBudget = flag.Int64("dataset-budget", 1<<30, "resident-bytes budget across all datasets (uploads beyond it get 413)")
 		dsMax    = flag.Int("max-datasets", 1024, "resident dataset count limit")
@@ -181,6 +192,7 @@ func main() {
 			MaxBodyBytes: *maxBody,
 			MaxProcs:     *maxProcs,
 			MaxRanks:     *maxRanks,
+			MaxBatch:     *maxBatch,
 		},
 		DatasetTTL:       *dsTTL,
 		MaxResidentBytes: *dsBudget,

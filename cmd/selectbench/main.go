@@ -19,6 +19,8 @@
 //	selectbench -http -dataset -restore -clients 32 -perf BENCH_PR5.json
 //	selectbench -http -dataset -clients 32 -faults 0,0.05,0.20  # throughput under fault injection
 //	selectbench -http -dataset -clients 32 -faults 0,0.05,0.20 -perf BENCH_PR6.json
+//	selectbench -http -binary                           # upload MB/s, JSON vs binary frame
+//	selectbench -http -dataset -binary -clients 32 -perf BENCH_PR7.json
 package main
 
 import (
@@ -56,6 +58,10 @@ type perfResult struct {
 	// Clients is the number of concurrent client goroutines of a pooled
 	// measurement; zero for single-client rows.
 	Clients int `json:"clients,omitempty"`
+	// MBPerSec is the dataset-ingest rate of an upload measurement (raw
+	// key megabytes per second — 8 bytes/key, independent of the wire
+	// encoding's own inflation); zero for query rows.
+	MBPerSec float64 `json:"mb_per_s,omitempty"`
 }
 
 // perfSnapshot is the schema of the -perf JSON file. Future PRs track the
@@ -318,6 +324,81 @@ func runHTTPDatasetClientsFaults(clients int, faultRate float64) (perfResult, er
 	})
 }
 
+// runHTTPDatasetClientsBinary is runHTTPDatasetClients over the binary
+// wire format: the upload streams length-prefixed frames instead of a
+// JSON body, and every query negotiates a frame response via Accept.
+func runHTTPDatasetClientsBinary(clients int) (perfResult, error) {
+	return runLoopbackBench(clients, 0, func(ctx context.Context, client *parselclient.Client, shards [][]int64) (func() (float64, error), error) {
+		client.Binary = true
+		rd := client.Dataset("bench")
+		if _, err := rd.Upload(ctx, shards); err != nil {
+			return nil, err
+		}
+		return func() (float64, error) {
+			res, err := rd.Median(ctx)
+			if err != nil {
+				return 0, err
+			}
+			return res.SimSeconds, nil
+		}, nil
+	})
+}
+
+// runUploadBench measures dataset-upload throughput over loopback: how
+// fast the standard 256k workload lands resident, in raw dataset
+// megabytes per second (8 bytes/key — the same numerator for both
+// encodings, so the ratio prices the encoding itself). The binary
+// frame streams straight into resident storage; the JSON body is
+// materialized and decoded first.
+func runUploadBench(binary bool) (perfResult, error) {
+	shards := perfShards()
+	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
+	pool, err := parsel.NewPool[int64](opts, parsel.PoolOptions{MaxMachines: 1})
+	if err != nil {
+		return perfResult{}, err
+	}
+	defer pool.Close()
+	srv, err := serve.New(serve.Options{Pool: pool})
+	if err != nil {
+		return perfResult{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return perfResult{}, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	client := parselclient.New("http://"+ln.Addr().String(), nil)
+	client.Binary = binary
+	rd := client.Dataset("bench")
+	ctx := context.Background()
+
+	var datasetBytes int64
+	for _, s := range shards {
+		datasetBytes += int64(len(s)) * 8
+	}
+	// Warm the connection and both encode paths; each re-upload
+	// replaces the previous resident copy, so the budget never grows.
+	for i := 0; i < 2; i++ {
+		if _, err := rd.Upload(ctx, shards); err != nil {
+			return perfResult{}, err
+		}
+	}
+	const trials = 8
+	start := time.Now()
+	for i := 0; i < trials; i++ {
+		if _, err := rd.Upload(ctx, shards); err != nil {
+			return perfResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	return perfResult{
+		NsPerOp:  elapsed.Nanoseconds() / trials,
+		MBPerSec: float64(datasetBytes*trials) / (1 << 20) / elapsed.Seconds(),
+	}, nil
+}
+
 // parseFaultRates parses the -faults flag: comma-separated fractional
 // injection rates in [0, 1), e.g. "0,0.05,0.20".
 func parseFaultRates(s string) ([]float64, error) {
@@ -421,9 +502,11 @@ func runRestore() (cold, warm perfResult, err error) {
 // serving path (and with httpMode, the daemon round-trip path; with
 // datasetMode additionally the resident-dataset round-trip path; with
 // restoreMode the cold-upload vs snapshot-restore comparison; with
-// faultRates one resident-dataset row per injection rate) — and
-// writes the JSON snapshot to path.
-func runPerf(path string, clients int, httpMode, datasetMode, restoreMode bool, faultRates []float64) error {
+// faultRates one resident-dataset row per injection rate; with
+// binaryMode the upload_json/upload_binary MB/s rows and a
+// binary-framed resident-dataset row) — and writes the JSON snapshot
+// to path.
+func runPerf(path string, clients int, httpMode, datasetMode, restoreMode, binaryMode bool, faultRates []float64) error {
 	shards := perfShards()
 	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
 	var n int64
@@ -495,6 +578,13 @@ func runPerf(path string, clients int, httpMode, datasetMode, restoreMode bool, 
 					return err
 				}
 				results[fmt.Sprintf("http_dataset_%dclients", clients)] = dr
+				if binaryMode {
+					br, err := runHTTPDatasetClientsBinary(clients)
+					if err != nil {
+						return err
+					}
+					results[fmt.Sprintf("http_dataset_binary_%dclients", clients)] = br
+				}
 				for _, rate := range faultRates {
 					fr, err := runHTTPDatasetClientsFaults(clients, rate)
 					if err != nil {
@@ -513,6 +603,19 @@ func runPerf(path string, clients int, httpMode, datasetMode, restoreMode bool, 
 		}
 		results["restore_cold_upload"] = cold
 		results["restore_warm_restart"] = warmres
+	}
+
+	if binaryMode {
+		ju, err := runUploadBench(false)
+		if err != nil {
+			return fmt.Errorf("upload json: %w", err)
+		}
+		bu, err := runUploadBench(true)
+		if err != nil {
+			return fmt.Errorf("upload binary: %w", err)
+		}
+		results["upload_json"] = ju
+		results["upload_binary"] = bu
 	}
 
 	snap := perfSnapshot{
@@ -550,11 +653,16 @@ func main() {
 		dataset = flag.Bool("dataset", false, "with -http -clients: also measure resident-dataset round trips (upload once, query many — bodies carry no keys)")
 		restore = flag.Bool("restore", false, "measure cold-upload vs snapshot-restore time for the standard dataset (alone: print; with -perf: add the restore_* rows)")
 		faultsF = flag.String("faults", "", "with -http -dataset -clients: comma-separated fault-injection rates (fractions, e.g. 0,0.05,0.20); measures resident-dataset throughput with a retrying client riding each fault stream")
+		binary  = flag.Bool("binary", false, "with -http: measure upload throughput for both encodings (upload_json vs upload_binary, MB/s); with -dataset -clients additionally resident-dataset round trips over binary frames")
 	)
 	flag.Parse()
 
 	if *dataset && !*httpB {
 		fmt.Fprintln(os.Stderr, "selectbench: -dataset measures the daemon's resident path; pass -http (and -clients N) with it")
+		os.Exit(2)
+	}
+	if *binary && !*httpB {
+		fmt.Fprintln(os.Stderr, "selectbench: -binary measures the daemon's wire encodings; pass -http with it")
 		os.Exit(2)
 	}
 	faultRates, err := parseFaultRates(*faultsF)
@@ -568,7 +676,7 @@ func main() {
 	}
 
 	if *perf != "" {
-		if err := runPerf(*perf, *clients, *httpB, *dataset, *restore, faultRates); err != nil {
+		if err := runPerf(*perf, *clients, *httpB, *dataset, *restore, *binary, faultRates); err != nil {
 			fmt.Fprintf(os.Stderr, "selectbench: perf: %v\n", err)
 			os.Exit(1)
 		}
@@ -585,6 +693,25 @@ func main() {
 		fmt.Printf("cold upload (keys over the wire): %.2f ms\n", float64(cold.NsPerOp)/1e6)
 		fmt.Printf("warm restart (snapshot restore):  %.2f ms (%.1fx)\n",
 			float64(warmres.NsPerOp)/1e6, float64(cold.NsPerOp)/float64(warmres.NsPerOp))
+		if *clients == 0 && !*binary {
+			return
+		}
+	}
+
+	if *binary {
+		ju, err := runUploadBench(false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "selectbench: upload json: %v\n", err)
+			os.Exit(1)
+		}
+		bu, err := runUploadBench(true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "selectbench: upload binary: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("upload 256k json:   %7.1f MB/s (%.2f ms)\n", ju.MBPerSec, float64(ju.NsPerOp)/1e6)
+		fmt.Printf("upload 256k binary: %7.1f MB/s (%.2f ms, %.1fx)\n",
+			bu.MBPerSec, float64(bu.NsPerOp)/1e6, bu.MBPerSec/ju.MBPerSec)
 		if *clients == 0 {
 			return
 		}
@@ -614,6 +741,15 @@ func main() {
 				}
 				fmt.Printf("resident dataset, %d clients: %.1f queries/s (%.3f ms/query, sim %.4f s)\n",
 					*clients, dr.QPS, float64(dr.NsPerOp)/1e6, dr.SimSeconds)
+				if *binary {
+					br, err := runHTTPDatasetClientsBinary(*clients)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "selectbench: binary dataset: %v\n", err)
+						os.Exit(1)
+					}
+					fmt.Printf("resident dataset (binary), %d clients: %.1f queries/s (%.3f ms/query)\n",
+						*clients, br.QPS, float64(br.NsPerOp)/1e6)
+				}
 				for _, rate := range faultRates {
 					fr, err := runHTTPDatasetClientsFaults(*clients, rate)
 					if err != nil {

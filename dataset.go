@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"slices"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrDatasetClosed is returned by every Dataset method called after
@@ -191,6 +192,39 @@ func (ds *Dataset[K]) SelectContext(ctx context.Context, rank int64) (Result[K],
 	}
 	defer ds.pool.checkin(sel)
 	return sel.Select(ds.shards, rank)
+}
+
+// SelectMany fans a batch of independent rank queries against the
+// resident dataset, running up to the pool's MaxMachines of them
+// concurrently — Pool.SelectMany without the per-query shard shipping.
+// Results align with ranks; each query carries its own error, so one
+// out-of-range rank does not fail the batch, and every result is
+// bit-identical to running that query alone. This is the in-process
+// twin of the daemon's querymany endpoint.
+func (ds *Dataset[K]) SelectMany(ranks []int64) []BatchResult[K] {
+	out := make([]BatchResult[K], len(ranks))
+	if len(ranks) == 0 {
+		return out
+	}
+	workers := min(ds.pool.max, len(ranks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ranks) {
+					return
+				}
+				res, err := ds.Select(ranks[i])
+				out[i] = BatchResult[K]{Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // Median returns the element of rank ceil(n/2); see Pool.Median.

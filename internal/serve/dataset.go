@@ -1,13 +1,18 @@
 package serve
 
 import (
+	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"parsel"
+	"parsel/internal/snapshot"
 	"parsel/parselclient"
 )
 
@@ -119,6 +124,14 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.handleDatasetQuery(w, r, id)
+	case "querymany":
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, parselclient.CodeMethodNotAllowed,
+				"dataset queries are POST requests")
+			return
+		}
+		s.handleDatasetQueryMany(w, r, id)
 	default:
 		writeError(w, http.StatusNotFound, parselclient.CodeNotFound,
 			fmt.Sprintf("no dataset operation %q", op))
@@ -178,6 +191,10 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request, id 
 			"declared body of %d bytes exceeds %d", r.ContentLength, s.opts.Limits.MaxBodyBytes))
 		return
 	}
+	if isFrameContentType(r.Header.Get("Content-Type")) {
+		s.handleFrameUpload(w, r, id)
+		return
+	}
 	body, err := readBody(w, r, s.opts.Limits.MaxBodyBytes)
 	if err != nil {
 		s.writeRequestError(w, err)
@@ -189,15 +206,89 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request, id 
 		return
 	}
 	need := residentBytes(up.Shards)
+	replacing, ok := s.reserveUpload(w, id, need)
+	if !ok {
+		return
+	}
+	ds, err := s.pool.NewDataset(up.Shards)
+	if err != nil {
+		s.unwindUpload(id, need, replacing)
+		s.writeQueryError(w, err)
+		return
+	}
+	s.commitUpload(w, id, ds, need, replacing)
+}
 
-	// Admission is a constant-time counter comparison under the registry
-	// lock; the snapshot copy itself runs unlocked (a near-budget upload
-	// must not stall queries and stats for the duration of the memcpy),
-	// against a reservation that is committed or unwound below. A
-	// replaced dataset leaves the registry at reservation time, so
-	// during the copy the id reads as not-found — the same window a
-	// DELETE + re-upload sequence has — and queries in flight on the old
-	// snapshot complete normally.
+// handleFrameUpload serves a PUT whose Content-Type negotiated the
+// binary frame encoding: the body is the snapshot dataset format,
+// byte-identical to the daemon's durable snapshots, decoded by the
+// same streaming path a warm restart uses. The prologue (magic,
+// version, header) arrives before any key does, so the machine-shape
+// check and the resident-bytes reservation happen up front; the keys
+// then stream in bounded chunks straight into one resident backing
+// array that RestoreDataset adopts without copying — the body is never
+// materialized whole.
+func (s *Server) handleFrameUpload(w http.ResponseWriter, r *http.Request, id string) {
+	body := http.MaxBytesReader(w, r.Body, s.opts.Limits.MaxBodyBytes)
+	dec, err := snapshot.NewStreamDecoder(bufio.NewReaderSize(body, 1<<16), s.opts.Limits.MaxBodyBytes)
+	if err != nil {
+		s.writeFrameUploadError(w, err)
+		return
+	}
+	h := dec.Header()
+	if h.Procs > s.opts.Limits.MaxProcs {
+		s.writeRequestError(w, parseErrf(parselclient.CodeLimitExceeded,
+			"%d shards, limit %d simulated processors", h.Procs, s.opts.Limits.MaxProcs))
+		return
+	}
+	need := h.N * 8
+	replacing, ok := s.reserveUpload(w, id, need)
+	if !ok {
+		return
+	}
+	shards, err := dec.ReadData()
+	if err != nil {
+		s.unwindUpload(id, need, replacing)
+		s.writeFrameUploadError(w, err)
+		return
+	}
+	ds, err := s.pool.RestoreDataset(shards)
+	if err != nil {
+		s.unwindUpload(id, need, replacing)
+		s.writeQueryError(w, err)
+		return
+	}
+	s.commitUpload(w, id, ds, need, replacing)
+}
+
+// writeFrameUploadError reports a binary-upload decode failure. The
+// transport's byte-limit overrun keeps its 413 too_large verdict
+// (retryable semantics identical to the JSON path); every actual
+// decode failure — truncation, bit flip, version skew, wrong magic —
+// is a deterministic 400 bad_frame that no retry can change.
+func (s *Server) writeFrameUploadError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		s.writeRequestError(w, parseErrf(parselclient.CodeTooLarge,
+			"body exceeds %d bytes", mbe.Limit))
+		return
+	}
+	s.countError(http.StatusBadRequest, parselclient.CodeBadFrame)
+	writeError(w, http.StatusBadRequest, parselclient.CodeBadFrame,
+		fmt.Sprintf("decode binary upload: %v", err))
+}
+
+// reserveUpload runs the admission half of an upload against the
+// registry: sweep, the constant-time budget and count checks, then the
+// need-byte reservation. Admission is a counter comparison under the
+// registry lock; the key copy or stream runs unlocked (a near-budget
+// upload must not stall queries and stats for the duration), against a
+// reservation that commitUpload or unwindUpload settles. A replaced
+// dataset leaves the registry here, so during the copy the id reads as
+// not-found — the same window a DELETE + re-upload sequence has — and
+// queries in flight on the old snapshot complete normally. On false
+// the refusal is already written.
+func (s *Server) reserveUpload(w http.ResponseWriter, id string, need int64) (replacing, ok bool) {
 	s.dsMu.Lock()
 	now := s.now()
 	s.sweepLocked(now)
@@ -215,7 +306,7 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request, id 
 		writeError(w, http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget,
 			fmt.Sprintf("dataset needs %d resident bytes; %d of the %d-byte budget are held (live data is never evicted to make room)",
 				need, held, s.opts.MaxResidentBytes))
-		return
+		return false, false
 	}
 	if !replacing && len(s.datasets)+1 > s.opts.MaxDatasets {
 		s.dstats.Rejected++
@@ -224,7 +315,7 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request, id 
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget,
 			fmt.Sprintf("daemon already holds %d datasets, the limit", s.opts.MaxDatasets))
-		return
+		return false, false
 	}
 	if replacing {
 		delete(s.datasets, id)
@@ -236,21 +327,27 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request, id 
 	if replacing {
 		prev.ds.Close()
 	}
+	return replacing, true
+}
 
-	ds, err := s.pool.NewDataset(up.Shards)
-
+// unwindUpload releases a reservation whose dataset never materialized
+// (a decode fault mid-stream, a closed pool).
+func (s *Server) unwindUpload(id string, need int64, replacing bool) {
 	s.dsMu.Lock()
-	if err != nil {
-		s.dsBytes -= need
-		s.dsMu.Unlock()
-		if replacing {
-			// The id's previous dataset left the registry at reservation
-			// time; reconcile its snapshot with that.
-			s.markDirty(id)
-		}
-		s.writeQueryError(w, err)
-		return
+	s.dsBytes -= need
+	s.dsMu.Unlock()
+	if replacing {
+		// The id's previous dataset left the registry at reservation
+		// time; reconcile its snapshot with that.
+		s.markDirty(id)
 	}
+}
+
+// commitUpload installs ds under id against a need-byte reservation,
+// reconciling the estimate with the dataset's true resident size, and
+// answers the request.
+func (s *Server) commitUpload(w http.ResponseWriter, id string, ds *parsel.Dataset[int64], need int64, replacing bool) {
+	s.dsMu.Lock()
 	if cur, ok := s.datasets[id]; ok {
 		// A concurrent upload of the same id committed during our copy:
 		// last writer wins, exactly as serialized PUTs would end.
@@ -272,7 +369,7 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request, id 
 			fmt.Sprintf("daemon already holds %d datasets, the limit", s.opts.MaxDatasets))
 		return
 	}
-	now = s.now()
+	now := s.now()
 	e := &dsEntry{ds: ds, bytes: ds.Bytes(), expires: now.Add(s.opts.DatasetTTL),
 		gen: s.snapGen.Add(1)}
 	s.dsBytes += e.bytes - need // reconcile the estimate with the ledger's truth
@@ -422,7 +519,120 @@ func (s *Server) handleDatasetQuery(w http.ResponseWriter, r *http.Request, id s
 	s.dstats.Queries++
 	s.dsMu.Unlock()
 	s.observe(time.Since(start), resp.Report)
-	writeJSON(w, http.StatusOK, resp)
+	writeResult(w, wantsFrame(r), resp)
+}
+
+// handleDatasetQueryMany serves POST /v1/datasets/{id}/querymany: a
+// batch of independent queries against one resident dataset, answered
+// in a single round trip under one admission token and one shared
+// admission deadline. Items fan out across workers bounded by the
+// pool's machine count (the same worker pattern as the library's batch
+// entry points); per-item failures carry the same stable wire codes
+// single queries map onto HTTP statuses, and one failing item never
+// poisons the rest. Results align with the request.
+func (s *Server) handleDatasetQueryMany(w http.ResponseWriter, r *http.Request, id string) {
+	start := time.Now()
+	if s.refuseIfDraining(w) {
+		return
+	}
+	release, ok := s.admitOrReject(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	body, err := readBody(w, r, s.opts.Limits.MaxBodyBytes)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	queries, eps, timeoutMS, err := ParseDatasetQueryMany(body, s.opts.Limits)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+
+	s.dsMu.Lock()
+	now := s.now()
+	s.sweepLocked(now)
+	e, ok := s.datasets[id]
+	if ok {
+		e.expires = now.Add(s.opts.DatasetTTL)
+		if s.snap != nil && e.expires.Sub(e.persistedExpires) >= s.opts.DatasetTTL/2 {
+			s.markDirty(id) // metadata-only re-persist of the advanced TTL
+		}
+	} else {
+		s.dstats.NotFound++
+	}
+	s.dsMu.Unlock()
+	if !ok {
+		s.countError(http.StatusNotFound, parselclient.CodeDatasetNotFound)
+		writeError(w, http.StatusNotFound, parselclient.CodeDatasetNotFound,
+			fmt.Sprintf("no resident dataset %q", id))
+		return
+	}
+
+	ctx, cancel := s.admissionContext(r, timeoutMS)
+	defer cancel()
+
+	results := make([]parselclient.QueryManyResult, len(queries))
+	workers := min(s.pool.MaxMachines(), len(queries))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				resp, err := s.executeDataset(ctx, eps[i], e.ds, &queries[i])
+				if err != nil {
+					_, code := errorStatus(err)
+					results[i] = parselclient.QueryManyResult{
+						Error: &parselclient.ErrorDetail{Code: code, Message: err.Error()},
+					}
+					continue
+				}
+				results[i] = parselclient.QueryManyResult{Response: *resp}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// One 200 response, one latency observation; the simulated metrics
+	// and the dataset query counter aggregate per successful item, so a
+	// batch reads exactly like the same queries posted one at a time.
+	var okItems int64
+	var agg parselclient.Report
+	for i := range results {
+		if results[i].Error != nil {
+			continue
+		}
+		okItems++
+		agg.SimSeconds += results[i].Report.SimSeconds
+		agg.Messages += results[i].Report.Messages
+		agg.Bytes += results[i].Report.Bytes
+	}
+	s.dsMu.Lock()
+	s.dstats.Queries += okItems
+	s.dsMu.Unlock()
+	s.mu.Lock()
+	s.srv.OK++
+	s.sim.Queries += okItems
+	s.sim.SimSeconds += agg.SimSeconds
+	s.sim.Messages += agg.Messages
+	s.sim.Bytes += agg.Bytes
+	s.lat.observe(time.Since(start).Seconds())
+	s.mu.Unlock()
+
+	if wantsFrame(r) {
+		writeFrameResults(w, results)
+		return
+	}
+	writeJSON(w, http.StatusOK, parselclient.QueryManyResponse{Results: results})
 }
 
 // executeDataset dispatches one validated dataset query, mirroring

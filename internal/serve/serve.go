@@ -178,7 +178,8 @@ func New(opts Options) (*Server, error) {
 		return nil, fmt.Errorf("serve: negative timeout (default %v, max %v)",
 			opts.DefaultTimeout, opts.MaxTimeout)
 	}
-	if opts.Limits.MaxBodyBytes < 0 || opts.Limits.MaxProcs < 0 || opts.Limits.MaxRanks < 0 {
+	if opts.Limits.MaxBodyBytes < 0 || opts.Limits.MaxProcs < 0 ||
+		opts.Limits.MaxRanks < 0 || opts.Limits.MaxBatch < 0 {
 		return nil, fmt.Errorf("serve: negative limit: %+v", opts.Limits)
 	}
 	if opts.DatasetTTL < 0 {
@@ -270,6 +271,63 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// The statusWriter variants forward the optional interfaces the
+// underlying ResponseWriter supports. A plain statusWriter would hide
+// them — interface assertions see the wrapper, not what it wraps — so
+// wrapping the net/http writer used to cost streaming handlers their
+// Flush and the body copy its sendfile fast path.
+
+type statusWriterFlusher struct {
+	*statusWriter
+	f http.Flusher
+}
+
+func (w *statusWriterFlusher) Flush() {
+	// A flush sends the headers if none were written; the status is
+	// committed either way.
+	w.wrote = true
+	w.f.Flush()
+}
+
+type statusWriterReaderFrom struct {
+	*statusWriter
+	rf io.ReaderFrom
+}
+
+func (w *statusWriterReaderFrom) ReadFrom(r io.Reader) (int64, error) {
+	w.wrote = true
+	return w.rf.ReadFrom(r)
+}
+
+type statusWriterFlusherReaderFrom struct {
+	statusWriterFlusher
+	rf io.ReaderFrom
+}
+
+func (w *statusWriterFlusherReaderFrom) ReadFrom(r io.Reader) (int64, error) {
+	w.wrote = true
+	return w.rf.ReadFrom(r)
+}
+
+// wrapStatusWriter wraps w for the recovery middleware, returning the
+// tracking core plus the writer to pass downstream — the narrowest
+// variant that still exposes every optional interface w supports.
+func wrapStatusWriter(w http.ResponseWriter) (*statusWriter, http.ResponseWriter) {
+	sw := &statusWriter{ResponseWriter: w}
+	f, isFlusher := w.(http.Flusher)
+	rf, isReaderFrom := w.(io.ReaderFrom)
+	switch {
+	case isFlusher && isReaderFrom:
+		return sw, &statusWriterFlusherReaderFrom{statusWriterFlusher{sw, f}, rf}
+	case isFlusher:
+		return sw, &statusWriterFlusher{sw, f}
+	case isReaderFrom:
+		return sw, &statusWriterReaderFrom{sw, rf}
+	default:
+		return sw, sw
+	}
+}
+
 // recoverPanics is the outermost middleware: a panicking handler
 // answers a structured 500 instead of tearing down the connection (and
 // the daemon's goroutine) silently. http.ErrAbortHandler re-panics —
@@ -278,7 +336,7 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // are logged with the stack and counted in ServerStats.Panics.
 func (s *Server) recoverPanics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w}
+		sw, dw := wrapStatusWriter(w)
 		defer func() {
 			rec := recover()
 			if rec == nil {
@@ -297,7 +355,7 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 					"internal fault (recovered panic)")
 			}
 		}()
-		next.ServeHTTP(sw, r)
+		next.ServeHTTP(dw, r)
 	})
 }
 
@@ -400,8 +458,70 @@ func (s *Server) queryHandler(ep Endpoint) http.HandlerFunc {
 		}
 
 		s.observe(time.Since(start), resp.Report)
-		writeJSON(w, http.StatusOK, resp)
+		writeResult(w, wantsFrame(r), resp)
 	}
+}
+
+// wantsFrame reports whether the request's Accept header asks for the
+// binary frame encoding of the result. Anything else (absent, */*,
+// JSON) keeps the JSON default; error responses are JSON regardless.
+func wantsFrame(r *http.Request) bool {
+	for _, v := range r.Header.Values("Accept") {
+		for _, part := range strings.Split(v, ",") {
+			if isFrameContentType(part) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isFrameContentType reports whether a Content-Type (or Accept member)
+// names the binary frame encoding, ignoring parameters.
+func isFrameContentType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == parselclient.ContentTypeFrame
+}
+
+// writeResult writes one successful query response in the negotiated
+// encoding: JSON by default, a one-entry binary frame when Accept asked
+// for it.
+func writeResult(w http.ResponseWriter, frame bool, resp *parselclient.Response) {
+	if !frame {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	writeFrameResults(w, []parselclient.QueryManyResult{{Response: *resp}})
+}
+
+// writeFrameResults writes results as a binary frame, one entry per
+// item. Non-empty values move into each entry's binary section and out
+// of its JSON metadata; empty or absent values stay in the metadata, so
+// the []-versus-null distinction — and with it bit-identity to the JSON
+// encoding — survives the frame. A success entry's metadata marshals
+// exactly like a bare Response (the error field is omitted when nil).
+func writeFrameResults(w http.ResponseWriter, results []parselclient.QueryManyResult) {
+	entries := make([]snapshot.FrameEntry, len(results))
+	for i := range results {
+		item := results[i]
+		if len(item.Values) > 0 {
+			entries[i].Values = item.Values
+			item.Values = nil
+		}
+		meta, err := json.Marshal(item)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, parselclient.CodeInternal,
+				fmt.Sprintf("encode result %d: %v", i, err))
+			return
+		}
+		entries[i].Meta = meta
+	}
+	w.Header().Set("Content-Type", parselclient.ContentTypeFrame)
+	w.Header().Set("Content-Length", strconv.FormatInt(snapshot.FrameSize(entries), 10))
+	w.WriteHeader(http.StatusOK)
+	_, _ = snapshot.WriteFrameTo(w, entries)
 }
 
 // readBody drains the request body under the byte limit, mapping an

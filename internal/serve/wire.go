@@ -71,6 +71,8 @@ type Limits struct {
 	// MaxRanks caps the rank/quantile count of a multi-rank request
 	// (default 4096).
 	MaxRanks int
+	// MaxBatch caps the item count of a querymany batch (default 256).
+	MaxBatch int
 }
 
 // withDefaults fills the zero-valued limits.
@@ -83,6 +85,9 @@ func (l Limits) withDefaults() Limits {
 	}
 	if l.MaxRanks == 0 {
 		l.MaxRanks = 4096
+	}
+	if l.MaxBatch == 0 {
+		l.MaxBatch = 256
 	}
 	return l
 }
@@ -267,6 +272,59 @@ func ParseDatasetQuery(body []byte, lim Limits) (*parselclient.DatasetQuery, End
 		return nil, 0, err
 	}
 	return &q, ep, nil
+}
+
+// ParseDatasetQueryMany decodes and validates a POST
+// /v1/datasets/{id}/querymany body. Structural failures anywhere in the
+// batch fail the whole request with a 400 — a malformed batch is a
+// client bug, unlike per-item runtime failures (rank out of range, pool
+// timeout), which the handler reports per item. Returned endpoints
+// align with the queries.
+func ParseDatasetQueryMany(body []byte, lim Limits) ([]parselclient.DatasetQuery, []Endpoint, int64, error) {
+	lim = lim.withDefaults()
+	if int64(len(body)) > lim.MaxBodyBytes {
+		return nil, nil, 0, parseErrf(parselclient.CodeTooLarge,
+			"body is %d bytes, limit %d", len(body), lim.MaxBodyBytes)
+	}
+	var qm parselclient.DatasetQueryMany
+	if err := json.Unmarshal(body, &qm); err != nil {
+		return nil, nil, 0, parseErrf(parselclient.CodeBadJSON, "decode querymany: %v", err)
+	}
+	if len(qm.Queries) == 0 {
+		return nil, nil, 0, parseErrf(parselclient.CodeMissingField, `"queries" must be a non-empty array`)
+	}
+	if len(qm.Queries) > lim.MaxBatch {
+		return nil, nil, 0, parseErrf(parselclient.CodeLimitExceeded,
+			"%d queries, limit %d per batch", len(qm.Queries), lim.MaxBatch)
+	}
+	if err := checkTimeout(qm.TimeoutMS); err != nil {
+		return nil, nil, 0, err
+	}
+	eps := make([]Endpoint, len(qm.Queries))
+	for i := range qm.Queries {
+		q := &qm.Queries[i]
+		if q.TimeoutMS != 0 {
+			return nil, nil, 0, parseErrf(parselclient.CodeLimitExceeded,
+				"queries[%d]: timeout_ms must be 0 — the batch shares one admission deadline", i)
+		}
+		if q.Kind == "" {
+			return nil, nil, 0, parseErrf(parselclient.CodeMissingField,
+				`queries[%d]: "kind" is required`, i)
+		}
+		ep, ok := kinds[q.Kind]
+		if !ok {
+			return nil, nil, 0, parseErrf(parselclient.CodeBadKind,
+				"queries[%d]: unknown query kind %q (want select, median, quantile, quantiles, ranks, topk, bottomk or summary)", i, q.Kind)
+		}
+		if err := checkParams(ep, queryParams{
+			rank: q.Rank, ranks: q.Ranks, q: q.Q, qs: q.Qs, k: q.K,
+		}, lim); err != nil {
+			pe := err.(*ParseError)
+			return nil, nil, 0, parseErrf(pe.Code, "queries[%d]: %s", i, pe.Msg)
+		}
+		eps[i] = ep
+	}
+	return qm.Queries, eps, qm.TimeoutMS, nil
 }
 
 // maxDatasetIDLen bounds dataset ids on the wire.

@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 )
@@ -59,6 +60,48 @@ func FuzzSnapshotDecode(f *testing.F) {
 			if again[i] != data[i] {
 				t.Fatalf("accepted non-canonical encoding (first divergence at byte %d)", i)
 			}
+		}
+	})
+}
+
+// FuzzFrameDecode throws adversarial bytes at the result-frame reader:
+// like FuzzSnapshotDecode it must never panic, never return entries
+// alongside an error, classify every failure as a typed error, and
+// accept only canonical encodings — a corrupted or truncated frame
+// never resurrects as query results.
+func FuzzFrameDecode(f *testing.F) {
+	for _, entries := range testFrames {
+		f.Add(EncodeFrame(entries))
+	}
+	valid := EncodeFrame([]FrameEntry{
+		{Meta: []byte(`{"report":{"sim_seconds":0.5}}`), Values: []int64{3, 1, 4, 1, 5}},
+		{Meta: []byte(`{"error":{"code":"no_data","message":"m"}}`)},
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])              // truncated CRC
+	f.Add(append([]byte(nil), valid[4:]...)) // sheared magic
+	f.Add([]byte("PSELFRME"))                // magic only
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	corrupt[17] ^= 0x20
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeFrame(data)
+		if err != nil {
+			if entries != nil {
+				t.Fatalf("error %v returned alongside %d entries", err, len(entries))
+			}
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) &&
+				!errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Accepted: the encoding must be canonical, so no two distinct
+		// frames decode to the same results.
+		if again := EncodeFrame(entries); !bytes.Equal(again, data) {
+			t.Fatalf("accepted non-canonical frame (%d bytes, canonical %d)", len(data), len(again))
 		}
 	})
 }

@@ -159,6 +159,22 @@ func Encode(h Header, shards [][]int64) []byte {
 	return buf.Bytes()
 }
 
+// EncodedSize is the exact byte length WriteTo will produce for the
+// same arguments — the Content-Length of a streaming upload, known
+// before a byte is encoded.
+func EncodedSize(h Header, shards [][]int64) int64 {
+	var n int64
+	for _, sh := range shards {
+		n += int64(len(sh))
+	}
+	hdr := int64(2+len(KeyTypeInt64)) + int64(2+len(h.Options)) + 4 + 8
+	const sectionOverhead = 4 + 4  // uint32 length + uint32 CRC
+	return int64(len(magic)) + 4 + // magic + version
+		sectionOverhead + hdr + // header section
+		sectionOverhead + 8*int64(len(shards)) + // extents section
+		8 + 8*n + 4 // data section: uint64 length + keys + CRC
+}
+
 // countWriter counts the bytes reaching the underlying writer.
 type countWriter struct {
 	w io.Writer
@@ -226,11 +242,13 @@ func (r *reader) u64() (uint64, error) {
 }
 
 // section reads one length-prefixed payload and verifies its trailing
-// CRC. maxLen bounds the claimed length before allocation-free
-// slicing; wantLen, when >= 0, additionally pins the exact length.
-func (r *reader) section(name string, maxLen, wantLen int64) ([]byte, error) {
+// CRC. wide selects a uint64 length prefix (the data/values sections)
+// over the uint32 one. maxLen bounds the claimed length before
+// allocation-free slicing; wantLen, when >= 0, additionally pins the
+// exact length.
+func (r *reader) section(name string, wide bool, maxLen, wantLen int64) ([]byte, error) {
 	var claimed int64
-	if name == "data" {
+	if wide {
 		n, err := r.u64()
 		if err != nil {
 			return nil, err
@@ -265,88 +283,254 @@ func (r *reader) section(name string, maxLen, wantLen int64) ([]byte, error) {
 	return payload, nil
 }
 
-// Decode parses one snapshot. On success the returned shards are
-// freshly allocated out of a single contiguous backing array — exactly
-// the layout parsel.Pool.RestoreDataset adopts without copying — and
-// the header describes them (Procs == len(shards), N == total
-// population). On any corruption the error matches one of the typed
-// failures and no shards are returned.
-func Decode(data []byte) (Header, [][]int64, error) {
-	r := &reader{data: data}
-	mg, err := r.take(len(magic))
-	if err != nil || string(mg) != magic {
-		return Header{}, nil, fmt.Errorf("%w (%d bytes)", ErrBadMagic, len(data))
+// streamReader feeds StreamDecoder with budgeted, bounds-checked reads:
+// every claim is charged against the remaining byte budget before
+// anything is read or allocated, every truncation is ErrCorrupt, and a
+// genuine I/O failure of the underlying reader (a network fault, an
+// http.MaxBytesReader tripping) propagates unmasked so transport-aware
+// callers can tell it apart from corruption.
+type streamReader struct {
+	r       io.Reader
+	budget  int64
+	scratch [8]byte
+}
+
+func (sr *streamReader) read(what string, buf []byte) error {
+	if int64(len(buf)) > sr.budget {
+		return fmt.Errorf("%w: %s needs %d bytes beyond the byte bound",
+			ErrCorrupt, what, len(buf))
 	}
-	ver, err := r.u32()
+	n, err := io.ReadFull(sr.r, buf)
+	sr.budget -= int64(n)
 	if err != nil {
-		return Header{}, nil, err
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: %s truncated", ErrCorrupt, what)
+		}
+		return fmt.Errorf("snapshot: read %s: %w", what, err)
+	}
+	return nil
+}
+
+func (sr *streamReader) u32(what string) (uint32, error) {
+	if err := sr.read(what, sr.scratch[:4]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(sr.scratch[:4]), nil
+}
+
+func (sr *streamReader) u64(what string) (uint64, error) {
+	if err := sr.read(what, sr.scratch[:8]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(sr.scratch[:8]), nil
+}
+
+// StreamDecoder decodes the snapshot format incrementally from a
+// reader. Construction consumes and validates the prologue — magic,
+// version, the CRC-checked header section — so a serving layer can
+// admit an upload against its resident budget (Header.N keys are
+// coming) before ReadData streams the keys into place; nothing ever
+// materializes the whole input. Decode and the store's Load run on this
+// same decoder, so a restored snapshot and a streamed binary upload
+// share one decode path and one set of corruption guarantees.
+//
+// maxBytes bounds every length claim and allocation. Pass the source's
+// true size when known (a file, a byte slice), or the transport's body
+// limit for a network stream.
+type StreamDecoder struct {
+	sr  streamReader
+	max int64
+	h   Header
+}
+
+// NewStreamDecoder reads the prologue and returns a decoder ready for
+// ReadData. Failures are the same typed errors Decode returns.
+func NewStreamDecoder(r io.Reader, maxBytes int64) (*StreamDecoder, error) {
+	d := &StreamDecoder{sr: streamReader{r: r, budget: maxBytes}, max: maxBytes}
+	var mg [len(magic)]byte
+	if int64(len(mg)) > d.sr.budget {
+		return nil, fmt.Errorf("%w (%d-byte bound)", ErrBadMagic, maxBytes)
+	}
+	n, err := io.ReadFull(d.sr.r, mg[:])
+	d.sr.budget -= int64(n)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w (truncated after %d bytes)", ErrBadMagic, n)
+		}
+		return nil, fmt.Errorf("snapshot: read magic: %w", err)
+	}
+	if string(mg[:]) != magic {
+		return nil, ErrBadMagic
+	}
+	ver, err := d.sr.u32("version")
+	if err != nil {
+		return nil, err
 	}
 	if ver != Version {
-		return Header{}, nil, fmt.Errorf("%w: file version %d, reader version %d",
-			ErrVersion, ver, Version)
+		return nil, fmt.Errorf("%w: file version %d, reader version %d", ErrVersion, ver, Version)
 	}
-
-	hdrPayload, err := r.section("header", maxHeaderLen, -1)
+	payload, err := d.section32("header", maxHeaderLen, -1)
 	if err != nil {
-		return Header{}, nil, err
+		return nil, err
 	}
-	h, err := decodeHeader(hdrPayload)
+	h, err := decodeHeader(payload)
 	if err != nil {
-		return Header{}, nil, err
+		return nil, err
 	}
 	if h.KeyType != KeyTypeInt64 {
-		return Header{}, nil, fmt.Errorf("%w: snapshot holds %q keys, reader decodes %q",
+		return nil, fmt.Errorf("%w: snapshot holds %q keys, reader decodes %q",
 			ErrKeyType, h.KeyType, KeyTypeInt64)
 	}
 	if h.Procs < 1 || h.Procs > maxProcs {
-		return Header{}, nil, fmt.Errorf("%w: header claims %d processors", ErrCorrupt, h.Procs)
+		return nil, fmt.Errorf("%w: header claims %d processors", ErrCorrupt, h.Procs)
 	}
-	if h.N < 0 || h.N > int64(len(data))/8 {
-		return Header{}, nil, fmt.Errorf("%w: header claims %d keys in a %d-byte file",
-			ErrCorrupt, h.N, len(data))
+	if h.N < 0 || h.N > maxBytes/8 {
+		return nil, fmt.Errorf("%w: header claims %d keys within a %d-byte bound",
+			ErrCorrupt, h.N, maxBytes)
 	}
+	d.h = h
+	return d, nil
+}
 
-	ext, err := r.section("extents", int64(len(data)), int64(8*h.Procs))
+// Header describes the dataset the stream carries: validated key type,
+// Options fingerprint, machine shape and population size.
+func (d *StreamDecoder) Header() Header { return d.h }
+
+// section32 reads one uint32-length-prefixed section and verifies its
+// CRC; claims beyond maxLen, wantLen (when >= 0) or the remaining
+// budget never allocate.
+func (d *StreamDecoder) section32(name string, maxLen, wantLen int64) ([]byte, error) {
+	n, err := d.sr.u32(name + " length")
 	if err != nil {
-		return Header{}, nil, err
+		return nil, err
 	}
-	lens := make([]int64, h.Procs)
+	claimed := int64(n)
+	if claimed > maxLen || claimed > d.sr.budget || (wantLen >= 0 && claimed != wantLen) {
+		return nil, fmt.Errorf("%w: %s section claims %d bytes (limit %d, want %d)",
+			ErrCorrupt, name, claimed, min(maxLen, d.sr.budget), wantLen)
+	}
+	payload := make([]byte, claimed)
+	if err := d.sr.read(name+" payload", payload); err != nil {
+		return nil, err
+	}
+	sum, err := d.sr.u32(name + " CRC")
+	if err != nil {
+		return nil, err
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != sum {
+		return nil, fmt.Errorf("%w: %s section CRC mismatch (stored %08x, computed %08x)",
+			ErrCorrupt, name, sum, got)
+	}
+	return payload, nil
+}
+
+// ReadData streams the extents and data sections, verifying the
+// per-section CRCs incrementally (fixed-size chunks, never a second
+// copy of the population) and requiring a clean end of stream. The
+// returned shards are sliced out of a single contiguous backing array —
+// exactly the layout parsel.Pool.RestoreDataset adopts without
+// copying. Call it once, after NewStreamDecoder.
+func (d *StreamDecoder) ReadData() ([][]int64, error) {
+	ext, err := d.section32("extents", 8*int64(maxProcs), int64(8*d.h.Procs))
+	if err != nil {
+		return nil, err
+	}
+	lens := make([]int64, d.h.Procs)
 	var total int64
 	for i := range lens {
 		l := binary.LittleEndian.Uint64(ext[8*i:])
-		if l > uint64(h.N) {
-			return Header{}, nil, fmt.Errorf("%w: shard %d claims %d keys of %d total",
-				ErrCorrupt, i, l, h.N)
+		if l > uint64(d.h.N) {
+			return nil, fmt.Errorf("%w: shard %d claims %d keys of %d total",
+				ErrCorrupt, i, l, d.h.N)
 		}
 		lens[i] = int64(l)
 		total += lens[i]
 	}
-	if total != h.N {
-		return Header{}, nil, fmt.Errorf("%w: extents sum to %d keys, header claims %d",
-			ErrCorrupt, total, h.N)
+	if total != d.h.N {
+		return nil, fmt.Errorf("%w: extents sum to %d keys, header claims %d",
+			ErrCorrupt, total, d.h.N)
 	}
 
-	body, err := r.section("data", int64(len(data)), 8*h.N)
+	want := 8 * d.h.N
+	claimed, err := d.sr.u64("data length")
 	if err != nil {
-		return Header{}, nil, err
+		return nil, err
 	}
-	if r.off != len(data) {
-		return Header{}, nil, fmt.Errorf("%w: %d trailing bytes after the data section",
-			ErrCorrupt, len(data)-r.off)
+	if claimed != uint64(want) || int64(claimed) > d.sr.budget {
+		return nil, fmt.Errorf("%w: data section claims %d bytes, header needs %d",
+			ErrCorrupt, claimed, want)
+	}
+	backing := make([]int64, d.h.N)
+	const chunkKeys = 8192
+	buf := make([]byte, min(want, 8*chunkKeys))
+	sum := uint32(0)
+	key := 0
+	for off := int64(0); off < want; {
+		chunk := min(int64(len(buf)), want-off)
+		if err := d.sr.read("data", buf[:chunk]); err != nil {
+			return nil, err
+		}
+		sum = crc32.Update(sum, castagnoli, buf[:chunk])
+		for i := int64(0); i < chunk; i += 8 {
+			backing[key] = int64(binary.LittleEndian.Uint64(buf[i:]))
+			key++
+		}
+		off += chunk
+	}
+	stored, err := d.sr.u32("data CRC")
+	if err != nil {
+		return nil, err
+	}
+	if stored != sum {
+		return nil, fmt.Errorf("%w: data section CRC mismatch (stored %08x, computed %08x)",
+			ErrCorrupt, stored, sum)
+	}
+	var tail [1]byte
+	switch _, err := io.ReadFull(d.sr.r, tail[:]); err {
+	case io.EOF:
+		// Clean end of stream.
+	case nil:
+		return nil, fmt.Errorf("%w: trailing bytes after the data section", ErrCorrupt)
+	default:
+		return nil, fmt.Errorf("snapshot: read trailer: %w", err)
 	}
 
-	backing := make([]int64, h.N)
-	for i := range backing {
-		backing[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
-	}
-	shards := make([][]int64, h.Procs)
+	shards := make([][]int64, d.h.Procs)
 	off := int64(0)
 	for i, l := range lens {
 		end := off + l
 		shards[i] = backing[off:end:end]
 		off = end
 	}
-	return h, shards, nil
+	return shards, nil
+}
+
+// Decode parses one snapshot held fully in memory — NewStreamDecoder +
+// ReadData over the byte slice. On success the returned shards are
+// freshly allocated out of a single contiguous backing array — exactly
+// the layout parsel.Pool.RestoreDataset adopts without copying — and
+// the header describes them (Procs == len(shards), N == total
+// population). On any corruption the error matches one of the typed
+// failures and no shards are returned.
+func Decode(data []byte) (Header, [][]int64, error) {
+	d, err := NewStreamDecoder(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return Header{}, nil, err
+	}
+	shards, err := d.ReadData()
+	if err != nil {
+		return Header{}, nil, err
+	}
+	return d.h, shards, nil
+}
+
+// IsDecodeError reports whether err is one of the typed decode
+// failures — damaged or alien input, as opposed to an I/O fault of the
+// underlying stream. The store quarantines on decode errors only; the
+// serving layer maps them to the bad_frame wire code.
+func IsDecodeError(err error) bool {
+	return errors.Is(err, ErrBadMagic) || errors.Is(err, ErrVersion) ||
+		errors.Is(err, ErrKeyType) || errors.Is(err, ErrCorrupt)
 }
 
 // decodeHeader parses the CRC-verified header payload.

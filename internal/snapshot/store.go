@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -251,12 +252,16 @@ func (st *Store) RefreshMeta(metas []Meta) error {
 	return st.writeManifestLocked()
 }
 
-// Load reads and decodes one dataset's snapshot. A missing file
-// returns an fs.ErrNotExist-matching error and drops the manifest
-// entry (it referenced nothing). A corrupt, truncated or
-// version-skewed file is quarantined — renamed to <file>.quarantined
-// so it never poisons another startup — its entry dropped, and the
-// typed decode error returned.
+// Load reads and decodes one dataset's snapshot through the same
+// streaming decoder the daemon's binary uploads use (the file is never
+// materialized whole — the data section streams straight into the
+// contiguous backing RestoreDataset adopts). A missing file returns an
+// fs.ErrNotExist-matching error and drops the manifest entry (it
+// referenced nothing). A corrupt, truncated or version-skewed file is
+// quarantined — renamed to <file>.quarantined so it never poisons
+// another startup — its entry dropped, and the typed decode error
+// returned; I/O faults are reported without quarantining (the file may
+// be fine).
 func (st *Store) Load(id string) (Header, [][]int64, Meta, error) {
 	st.mu.Lock()
 	meta, ok := st.entries[id]
@@ -265,19 +270,31 @@ func (st *Store) Load(id string) (Header, [][]int64, Meta, error) {
 		return Header{}, nil, Meta{}, fmt.Errorf("snapshot: no manifest entry for %q: %w",
 			id, fs.ErrNotExist)
 	}
-	data, err := os.ReadFile(filepath.Join(st.dir, meta.File))
+	f, err := os.Open(filepath.Join(st.dir, meta.File))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			st.drop(id)
 		}
 		return Header{}, nil, Meta{}, fmt.Errorf("snapshot: read %s: %w", meta.File, err)
 	}
-	h, shards, err := Decode(data)
+	defer f.Close()
+	fi, err := f.Stat()
 	if err != nil {
-		st.quarantine(id, meta.File)
-		return Header{}, nil, Meta{}, err
+		return Header{}, nil, Meta{}, fmt.Errorf("snapshot: stat %s: %w", meta.File, err)
 	}
-	return h, shards, meta, nil
+	var shards [][]int64
+	dec, err := NewStreamDecoder(bufio.NewReaderSize(f, 1<<16), fi.Size())
+	if err == nil {
+		shards, err = dec.ReadData()
+	}
+	if err != nil {
+		if IsDecodeError(err) {
+			st.quarantine(id, meta.File)
+			return Header{}, nil, Meta{}, err
+		}
+		return Header{}, nil, Meta{}, fmt.Errorf("snapshot: read %s: %w", meta.File, err)
+	}
+	return dec.Header(), shards, meta, nil
 }
 
 // drop removes a manifest entry without touching files.

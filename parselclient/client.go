@@ -14,8 +14,10 @@ import (
 	"strings"
 	"sync"
 	"time"
+	"unicode/utf8"
 
 	"parsel"
+	"parsel/internal/snapshot"
 )
 
 // Client talks to a parseld daemon. The zero value is not usable;
@@ -29,7 +31,21 @@ type Client struct {
 	// Independent of it, a context deadline also propagates as
 	// timeout_ms (whichever is tighter), so a client deadline is honored
 	// on the server rather than discovered by a dropped connection.
+	// timeout_ms is recomputed from the remaining budget on every retry
+	// attempt, so a server is never told a budget the caller no longer
+	// has.
 	QueryTimeout time.Duration
+
+	// Binary switches the key-carrying paths to the binary frame
+	// encoding (ContentTypeFrame): dataset uploads stream the
+	// internal/snapshot format instead of marshaling a JSON body (the
+	// daemon decodes both through one path), and queries send Accept so
+	// bulk results come back framed. Responses to a JSON-only daemon
+	// still decode — negotiation is per response Content-Type — and
+	// results are bit-identical either way, simulated metrics included.
+	// Configure before the first call; it must not be mutated
+	// concurrently with calls.
+	Binary bool
 
 	// Retry configures transparent retries of transient failures (see
 	// RetryPolicy; every operation on this wire is idempotent, so all of
@@ -125,13 +141,21 @@ func (e *APIError) Is(target error) bool {
 // (rounded up so a 300us deadline does not become "no timeout").
 func (c *Client) timeoutMS(ctx context.Context) int64 {
 	eff := c.QueryTimeout
+	bounded := eff > 0
 	if dl, ok := ctx.Deadline(); ok {
-		if rem := time.Until(dl); eff <= 0 || rem < eff {
+		if rem := time.Until(dl); !bounded || rem < eff {
 			eff = rem
 		}
+		bounded = true
+	}
+	if !bounded {
+		return 0
 	}
 	if eff <= 0 {
-		return 0
+		// The budget is already spent (a deadline in the past). Zero would
+		// mean "no timeout" on the wire — the opposite of the truth — so
+		// send the 1ms floor and let the server refuse immediately.
+		return 1
 	}
 	ms := int64((eff + time.Millisecond - 1) / time.Millisecond)
 	// The wire bounds timeout_ms at 24h; clamp rather than let the
@@ -142,22 +166,33 @@ func (c *Client) timeoutMS(ctx context.Context) int64 {
 
 // post sends one query and decodes the response or the structured
 // error. A nil context means no deadline, mirroring the Pool methods.
+// The body is rebuilt per retry attempt so timeout_ms always reflects
+// the attempt's remaining budget, not the first attempt's.
 func (c *Client) post(ctx context.Context, path string, req Request) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if req.TimeoutMS == 0 {
-		req.TimeoutMS = c.timeoutMS(ctx)
-	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, fmt.Errorf("parselclient: encode: %w", err)
+	body := func(actx context.Context) (io.Reader, int64, string, error) {
+		r := req
+		if r.TimeoutMS == 0 {
+			r.TimeoutMS = c.timeoutMS(actx)
+		}
+		return marshalBody(r)
 	}
 	var resp Response
-	if err := c.doJSON(ctx, http.MethodPost, path, body, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, path, body, c.Binary, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// marshalBody encodes one JSON request body for a single attempt.
+func marshalBody(v any) (io.Reader, int64, string, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, 0, "", fmt.Errorf("parselclient: encode: %w", err)
+	}
+	return bytes.NewReader(data), int64(len(data)), ContentTypeJSON, nil
 }
 
 // decodeError turns a non-200 body into an *APIError, tolerating
@@ -169,7 +204,13 @@ func decodeError(status int, data []byte) error {
 	}
 	msg := strings.TrimSpace(string(data))
 	if len(msg) > 200 {
-		msg = msg[:200] + "..."
+		// Truncate on a rune boundary: a cut mid-UTF-8-sequence would
+		// leave a mangled trailing byte in the quoted message.
+		cut := 200
+		for cut > 0 && !utf8.RuneStart(msg[cut]) {
+			cut--
+		}
+		msg = msg[:cut] + "..."
 	}
 	return &APIError{Status: status, Code: CodeInternal, Message: msg}
 }
@@ -273,11 +314,38 @@ func (d *RemoteDataset) path(suffix string) string {
 	return "/v1/datasets/" + url.PathEscape(d.id) + suffix
 }
 
-// attempt runs one HTTP attempt for doJSON's retry loop: build the
-// request (stamping the remaining deadline budget into DeadlineHeader),
-// send it, decode the response or the structured error. It returns the
-// attempt's error together with any Retry-After hint accompanying it.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any, attemptTimeout time.Duration) (error, time.Duration) {
+// bodyFunc builds one attempt's request body: the reader, its length
+// (the request's Content-Length), and its Content-Type. The retry loop
+// calls it afresh for every attempt — with the attempt's own context —
+// so deadline-derived fields (timeout_ms) are recomputed from the
+// remaining budget, and streaming bodies (a binary upload's pipe) get a
+// fresh, fully rewound stream per send. A nil bodyFunc means no body.
+type bodyFunc func(ctx context.Context) (io.Reader, int64, string, error)
+
+// jsonBody adapts pre-marshaled JSON bytes into a bodyFunc (GET/DELETE
+// style requests whose bodies carry nothing deadline-derived).
+func jsonBody(data []byte) bodyFunc {
+	return func(context.Context) (io.Reader, int64, string, error) {
+		return bytes.NewReader(data), int64(len(data)), ContentTypeJSON, nil
+	}
+}
+
+// permanentError marks a failure that happened before any bytes hit the
+// wire (a body that cannot marshal, an unbuildable request): resending
+// cannot change it, so the retry loop must not classify it as a
+// transient transport fault.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// attempt runs one HTTP attempt for do's retry loop: build the body and
+// the request (stamping the remaining deadline budget into
+// DeadlineHeader), send it, decode the response — JSON or a binary
+// result frame, keyed by the response's Content-Type — or the
+// structured error. It returns the attempt's error together with any
+// Retry-After hint accompanying it.
+func (c *Client) attempt(ctx context.Context, method, path string, body bodyFunc, acceptFrame bool, out any, attemptTimeout time.Duration) (error, time.Duration) {
 	actx := ctx
 	if attemptTimeout > 0 {
 		var cancel context.CancelFunc
@@ -285,15 +353,25 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		defer cancel()
 	}
 	var rd io.Reader
+	var length int64
+	var ctype string
 	if body != nil {
-		rd = bytes.NewReader(body)
+		var err error
+		rd, length, ctype, err = body(actx)
+		if err != nil {
+			return &permanentError{err}, 0
+		}
 	}
 	hreq, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
 	if err != nil {
-		return err, 0
+		return &permanentError{err}, 0
 	}
-	if body != nil {
-		hreq.Header.Set("Content-Type", "application/json")
+	if rd != nil {
+		hreq.ContentLength = length
+		hreq.Header.Set("Content-Type", ctype)
+	}
+	if acceptFrame {
+		hreq.Header.Set("Accept", ContentTypeFrame)
 	}
 	stampDeadline(hreq, actx)
 	hres, err := c.hc.Do(hreq)
@@ -322,22 +400,91 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if v := reflect.ValueOf(out); v.Kind() == reflect.Pointer && !v.IsNil() {
 		v.Elem().SetZero()
 	}
+	if isFrameContentType(hres.Header.Get("Content-Type")) {
+		return decodeFrameInto(data, out), 0
+	}
 	if err := json.Unmarshal(data, out); err != nil {
 		return fmt.Errorf("parselclient: decode response: %w", err), 0
 	}
 	return nil, 0
 }
 
+// isFrameContentType reports whether a Content-Type names the binary
+// frame encoding, ignoring parameters.
+func isFrameContentType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == ContentTypeFrame
+}
+
+// decodeFrameInto decodes a binary result frame into the response
+// shapes the query paths expect. The frame convention keeps each
+// result's JSON metadata (value, summary, report, error — and an empty
+// "values" when the query produced one) in the meta section and moves
+// only non-empty values into the binary section, so decoding overlays
+// the values back and yields a struct bit-identical to the JSON
+// encoding of the same result.
+func decodeFrameInto(data []byte, out any) error {
+	entries, err := snapshot.DecodeFrame(data)
+	if err != nil {
+		return fmt.Errorf("parselclient: decode frame: %w", err)
+	}
+	switch v := out.(type) {
+	case *Response:
+		if len(entries) != 1 {
+			return fmt.Errorf("parselclient: frame carries %d results, want 1", len(entries))
+		}
+		if err := json.Unmarshal(entries[0].Meta, v); err != nil {
+			return fmt.Errorf("parselclient: decode frame meta: %w", err)
+		}
+		if entries[0].Values != nil {
+			v.Values = entries[0].Values
+		}
+		return nil
+	case *QueryManyResponse:
+		v.Results = make([]QueryManyResult, len(entries))
+		for i := range entries {
+			if err := json.Unmarshal(entries[i].Meta, &v.Results[i]); err != nil {
+				return fmt.Errorf("parselclient: decode frame meta %d: %w", i, err)
+			}
+			if entries[i].Values != nil {
+				v.Results[i].Values = entries[i].Values
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("parselclient: unexpected binary frame for %T", out)
+	}
+}
+
 // Upload ships the shards into resident per-processor storage on the
 // daemon (PUT), replacing any dataset already under this id. This is
-// the only time the keys cross the wire.
+// the only time the keys cross the wire. With Client.Binary set the
+// shards stream as the snapshot binary format — encoded on the fly
+// through a pipe, never materialized as one request buffer — with
+// Content-Length declared up front; each retry attempt opens a fresh
+// pipe, so the streaming body replays as safely as a buffered one.
 func (d *RemoteDataset) Upload(ctx context.Context, shards [][]int64) (DatasetInfo, error) {
-	body, err := json.Marshal(DatasetUpload{Shards: shards})
-	if err != nil {
-		return DatasetInfo{}, fmt.Errorf("parselclient: encode: %w", err)
+	var body bodyFunc
+	if d.c.Binary {
+		body = func(context.Context) (io.Reader, int64, string, error) {
+			pr, pw := io.Pipe()
+			go func() {
+				_, err := snapshot.WriteTo(pw, snapshot.Header{}, shards)
+				pw.CloseWithError(err)
+			}()
+			return pr, snapshot.EncodedSize(snapshot.Header{}, shards), ContentTypeFrame, nil
+		}
+	} else {
+		data, err := json.Marshal(DatasetUpload{Shards: shards})
+		if err != nil {
+			return DatasetInfo{}, fmt.Errorf("parselclient: encode: %w", err)
+		}
+		body = jsonBody(data)
 	}
 	var info DatasetInfo
-	if err := d.c.doJSON(ctx, http.MethodPut, d.path(""), body, &info); err != nil {
+	if err := d.c.do(ctx, http.MethodPut, d.path(""), body, false, &info); err != nil {
 		return DatasetInfo{}, err
 	}
 	return info, nil
@@ -363,23 +510,81 @@ func (d *RemoteDataset) Delete(ctx context.Context) (DatasetInfo, error) {
 	return info, nil
 }
 
-// query posts one DatasetQuery, defaulting timeout_ms like post does.
+// query posts one DatasetQuery, defaulting timeout_ms like post does —
+// recomputed per retry attempt from the attempt's remaining budget.
 func (d *RemoteDataset) query(ctx context.Context, q DatasetQuery) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if q.TimeoutMS == 0 {
-		q.TimeoutMS = d.c.timeoutMS(ctx)
-	}
-	body, err := json.Marshal(q)
-	if err != nil {
-		return nil, fmt.Errorf("parselclient: encode: %w", err)
+	body := func(actx context.Context) (io.Reader, int64, string, error) {
+		r := q
+		if r.TimeoutMS == 0 {
+			r.TimeoutMS = d.c.timeoutMS(actx)
+		}
+		return marshalBody(r)
 	}
 	var resp Response
-	if err := d.c.doJSON(ctx, http.MethodPost, d.path("/query"), body, &resp); err != nil {
+	if err := d.c.do(ctx, http.MethodPost, d.path("/query"), body, d.c.Binary, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// QueryMany runs a batch of independent queries against the resident
+// dataset in one round trip; results align with queries, and per-item
+// failures surface per item (see QueryManyResult.Err) — one bad query
+// never poisons the batch. The whole batch shares one admission
+// deadline, recomputed per retry attempt; per-item TimeoutMS must stay
+// zero. With Client.Binary set the results come back as one binary
+// frame.
+func (d *RemoteDataset) QueryMany(ctx context.Context, queries []DatasetQuery) ([]QueryManyResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	body := func(actx context.Context) (io.Reader, int64, string, error) {
+		return marshalBody(DatasetQueryMany{Queries: queries, TimeoutMS: d.c.timeoutMS(actx)})
+	}
+	var resp QueryManyResponse
+	if err := d.c.do(ctx, http.MethodPost, d.path("/querymany"), body, d.c.Binary, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(queries) {
+		return nil, fmt.Errorf("parselclient: querymany returned %d results for %d queries", len(resp.Results), len(queries))
+	}
+	return resp.Results, nil
+}
+
+// Err converts the item's error detail, if any, into the same *APIError
+// a single query returning this code would produce — so errors.Is
+// against the library's typed errors (parsel.ErrRankRange,
+// parsel.ErrPoolTimeout, ...) works identically for batch items.
+func (r *QueryManyResult) Err() error {
+	if r.Error == nil {
+		return nil
+	}
+	return &APIError{Status: statusForCode(r.Error.Code), Code: r.Error.Code, Message: r.Error.Message}
+}
+
+// statusForCode maps a wire error code to the HTTP status a direct
+// query failing with it would carry — the inverse of the daemon's
+// status mapping, for errors that arrive inside a 200 batch response.
+func statusForCode(code string) int {
+	switch code {
+	case CodeDatasetNotFound, CodeNotFound:
+		return http.StatusNotFound
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeTooLarge, CodeResidentBudget:
+		return http.StatusRequestEntityTooLarge
+	case CodeQueueFull, CodePoolTimeout:
+		return http.StatusTooManyRequests
+	case CodeShuttingDown:
+		return http.StatusServiceUnavailable
+	case CodeInternal:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 // scalar runs a single-value dataset query.

@@ -184,6 +184,12 @@ func Retryable(err error) bool {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
+	var perm *permanentError
+	if errors.As(err, &perm) {
+		// The failure happened before any bytes hit the wire (a body that
+		// cannot marshal); resending cannot change it.
+		return false
+	}
 	var api *APIError
 	if errors.As(err, &api) {
 		switch api.Code {
@@ -291,11 +297,24 @@ func parseRetryAfter(h http.Header) time.Duration {
 	return time.Duration(secs) * time.Second
 }
 
-// doJSON runs one logical operation: attempt, classify, back off,
-// retry — the retry loop every client method funnels through. With a
-// zero policy it is a single attempt, byte-for-byte the pre-policy
-// client.
+// doJSON runs one logical operation whose body (if any) is static
+// pre-marshaled JSON — the common case for GET/DELETE and
+// info/stats-style requests.
 func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, out any) error {
+	var bf bodyFunc
+	if body != nil {
+		bf = jsonBody(body)
+	}
+	return c.do(ctx, method, path, bf, false, out)
+}
+
+// do runs one logical operation: attempt, classify, back off, retry —
+// the retry loop every client method funnels through. The body is
+// rebuilt by bodyFunc for every attempt (fresh stream, fresh
+// deadline-derived fields); acceptFrame asks the server for a binary
+// result frame. With a zero policy it is a single attempt,
+// byte-for-byte the pre-policy client.
+func (c *Client) do(ctx context.Context, method, path string, body bodyFunc, acceptFrame bool, out any) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -311,7 +330,7 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, o
 	}
 	for attempt := 1; ; attempt++ {
 		c.retryCount.attempts.Add(1)
-		err, retryAfter := c.attempt(ctx, method, path, body, out, p.AttemptTimeout)
+		err, retryAfter := c.attempt(ctx, method, path, body, acceptFrame, out, p.AttemptTimeout)
 		if err == nil {
 			return nil
 		}

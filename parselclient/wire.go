@@ -56,6 +56,24 @@ package parselclient
 
 import "parsel"
 
+// Content types of the two wire encodings. JSON is the default and is
+// always supported; the binary frame encoding is negotiated per
+// request — Content-Type on a dataset upload selects the snapshot
+// binary format for the body, Accept on a query selects the result
+// frame for the response (see Client.Binary). Error responses are
+// always JSON regardless of Accept.
+const (
+	// ContentTypeJSON is the default encoding of every body.
+	ContentTypeJSON = "application/json"
+	// ContentTypeFrame is the binary frame encoding: uploads carry the
+	// internal/snapshot dataset format (versioned header, CRC-32C per
+	// section, per-proc shard extents — byte-identical to the daemon's
+	// durable snapshots), responses carry the result frame (per-result
+	// JSON metadata section plus a flat int64 values section, each
+	// CRC-checked).
+	ContentTypeFrame = "application/x-parsel-frame"
+)
+
 // Request is the JSON body of every query endpoint. Pointer fields
 // distinguish "absent" from a meaningful zero (rank 0 is invalid, but
 // q=0 and k=0 are not).
@@ -188,6 +206,38 @@ type DatasetQuery struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
+// DatasetQueryMany is the JSON body of POST /v1/datasets/{id}/querymany:
+// a batch of independent queries against one resident dataset, answered
+// in a single round trip. Items may mix kinds freely; the daemon fans
+// them across its machine pool and results align with the request.
+// Per-item failures (a rank out of range, a pool timeout) are reported
+// per item — one bad query never poisons the batch.
+type DatasetQueryMany struct {
+	// Queries are the batch items, validated exactly like single
+	// /query bodies. Per-item timeout_ms must be 0: the batch shares
+	// one admission deadline, TimeoutMS below.
+	Queries []DatasetQuery `json:"queries"`
+	// TimeoutMS bounds the whole batch's wait for simulated machines,
+	// in milliseconds. 0 means the server's default admission timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// QueryManyResult is one item's outcome in a QueryManyResponse: either
+// the embedded Response fields (success) or Error (failure), never
+// both.
+type QueryManyResult struct {
+	Response
+	// Error is the item's failure, carrying the same stable wire codes
+	// single queries map onto HTTP statuses; nil on success.
+	Error *ErrorDetail `json:"error,omitempty"`
+}
+
+// QueryManyResponse is the 200 body of POST /v1/datasets/{id}/querymany;
+// Results align with the request's Queries.
+type QueryManyResponse struct {
+	Results []QueryManyResult `json:"results"`
+}
+
 // DatasetInfo describes one resident dataset: the 200 body of upload,
 // info and delete requests on /v1/datasets/{id}.
 type DatasetInfo struct {
@@ -259,6 +309,11 @@ const (
 	// CodeBadDatasetID: the dataset id in the URL is empty, too long, or
 	// carries characters outside [A-Za-z0-9._-] (400).
 	CodeBadDatasetID = "bad_dataset_id"
+	// CodeBadFrame: a binary-framed upload body failed to decode —
+	// truncated, bit-flipped, version-skewed or not the frame format at
+	// all (400). Deterministic, never retried: resending the same bytes
+	// cannot change the verdict.
+	CodeBadFrame = "bad_frame"
 	// CodeMethodNotAllowed: wrong HTTP method (405).
 	CodeMethodNotAllowed = "method_not_allowed"
 	// CodeNotFound: unknown endpoint (404).
