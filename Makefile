@@ -9,7 +9,8 @@
 #   make race    - full suite under the race detector (pool/selector/daemon/
 #                  dataset stress)
 #   make e2e     - the daemon end-to-end suite alone (httptest + parselclient,
-#                  incl. the kill-and-restart snapshot harness and the chaos
+#                  incl. the kill-and-restart snapshot harness, the multi-kind
+#                  catalogues, the tenant admission/ledger suite and the chaos
 #                  suite: differential replay through seeded fault injection,
 #                  panic recovery, deadline propagation), uncached, for quick
 #                  iteration on the serving layer
@@ -50,7 +51,7 @@ race:
 	$(GO) test -race ./...
 
 e2e:
-	$(GO) test -count=1 -run 'TestDaemon|TestDataset|TestSnapshot' ./internal/serve .
+	$(GO) test -count=1 -run 'TestDaemon|TestDataset|TestSnapshot|TestTenant' ./internal/serve .
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzQuantileRank -fuzztime=5s .

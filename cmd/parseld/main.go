@@ -45,6 +45,19 @@
 //
 //	parseld -snapshot-dir /var/lib/parseld/snapshots
 //
+// Keys default to int64; uploads and queries may instead carry
+// "key_kind": "float64" or "string" in the body (or the X-Parsel-Kind
+// header on uploads) and are answered by a kind-matched pool. Float64
+// datasets snapshot and frame like int64; string datasets are
+// serve-only (JSON responses, no snapshots).
+//
+// With -tenants the daemon is multi-tenant: every request except
+// /healthz must present a configured bearer token, and each tenant
+// gets its own resident-byte budget and dataset quota on top of the
+// daemon-wide caps, accounted per tenant in /v1/stats:
+//
+//	parseld -tenants tenants.json
+//
 // Clients may stamp the remaining milliseconds of their own deadline
 // into the X-Parsel-Deadline request header; the daemon bounds its
 // admission wait by it (composed with timeout_ms and -timeout, capped
@@ -56,6 +69,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -118,6 +132,7 @@ func main() {
 		dsBudget = flag.Int64("dataset-budget", 1<<30, "resident-bytes budget across all datasets (uploads beyond it get 413)")
 		dsMax    = flag.Int("max-datasets", 1024, "resident dataset count limit")
 		snapDir  = flag.String("snapshot-dir", "", "persist resident datasets to snapshots in this directory and restore them on startup (empty = datasets die with the process)")
+		tenants  = flag.String("tenants", "", `JSON file of tenants: [{"name": ..., "token": ..., "max_resident_bytes": ..., "max_datasets": ...}]; when set, every request except /healthz needs Authorization: Bearer <token> (empty = open daemon)`)
 		alg      = flag.String("alg", "fastrand", "algorithm: "+keys(algNames))
 		bal      = flag.String("bal", "modomlb", "load balancer: "+keys(balNames))
 		topo     = flag.String("topo", "crossbar", "interconnect topology: "+keys(topoNames))
@@ -183,6 +198,20 @@ func main() {
 		log.Printf("warmed %d machines for %d-shard queries", min(*warm, *machines), *warmP)
 	}
 
+	var tenantCfg []serve.Tenant
+	if *tenants != "" {
+		raw, err := os.ReadFile(*tenants)
+		if err != nil {
+			fail("tenants: %v", err)
+		}
+		if err := json.Unmarshal(raw, &tenantCfg); err != nil {
+			fail("tenants: decode %s: %v", *tenants, err)
+		}
+		if len(tenantCfg) == 0 {
+			fail("tenants: %s lists no tenants", *tenants)
+		}
+	}
+
 	srv, err := serve.New(serve.Options{
 		Pool:           pool,
 		DefaultTimeout: *timeout,
@@ -198,9 +227,14 @@ func main() {
 		MaxResidentBytes: *dsBudget,
 		MaxDatasets:      *dsMax,
 		SnapshotDir:      *snapDir,
+		Tenants:          tenantCfg,
 	})
 	if err != nil {
 		fail("serve: %v", err)
+	}
+	defer srv.Close()
+	if len(tenantCfg) > 0 {
+		log.Printf("tenants: %d configured; requests require Authorization: Bearer <token>", len(tenantCfg))
 	}
 	if *snapDir != "" {
 		ss := srv.Stats().Snapshots

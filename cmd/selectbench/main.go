@@ -21,6 +21,8 @@
 //	selectbench -http -dataset -clients 32 -faults 0,0.05,0.20 -perf BENCH_PR6.json
 //	selectbench -http -binary                           # upload MB/s, JSON vs binary frame
 //	selectbench -http -dataset -binary -clients 32 -perf BENCH_PR7.json
+//	selectbench -http -dataset -binary -clients 32 -kind float64  # float64 rows at parity with int64
+//	selectbench -http -dataset -binary -clients 32 -kind float64 -perf BENCH_PR8.json
 package main
 
 import (
@@ -92,6 +94,20 @@ func perfShards() [][]int64 {
 		}
 	}
 	return shards
+}
+
+// float64Shards mirrors the standard workload into float64 keys. The
+// generated values are < 2^40, so the conversion is exact and the
+// float64 rows rank the same population the int64 rows do.
+func float64Shards(shards [][]int64) [][]float64 {
+	out := make([][]float64, len(shards))
+	for i, s := range shards {
+		out[i] = make([]float64, len(s))
+		for j, v := range s {
+			out[i][j] = float64(v)
+		}
+	}
+	return out
 }
 
 // runClients measures pooled concurrent throughput: clients goroutines
@@ -344,6 +360,26 @@ func runHTTPDatasetClientsBinary(clients int) (perfResult, error) {
 	})
 }
 
+// runHTTPDatasetClientsFloat64 is runHTTPDatasetClients with the
+// workload mirrored into float64 keys: the same daemon, the same query
+// mix, answered by the float64 pool the kind registry dispatches to —
+// the row prices the kind dispatch itself against the int64 baseline.
+func runHTTPDatasetClientsFloat64(clients int) (perfResult, error) {
+	return runLoopbackBench(clients, 0, func(ctx context.Context, client *parselclient.Client, shards [][]int64) (func() (float64, error), error) {
+		rd := parselclient.Keyed[float64](client).Dataset("benchf64")
+		if _, err := rd.Upload(ctx, float64Shards(shards)); err != nil {
+			return nil, err
+		}
+		return func() (float64, error) {
+			res, err := rd.Median(ctx)
+			if err != nil {
+				return 0, err
+			}
+			return res.SimSeconds, nil
+		}, nil
+	})
+}
+
 // runUploadBench measures dataset-upload throughput over loopback: how
 // fast the standard 256k workload lands resident, in raw dataset
 // megabytes per second (8 bytes/key — the same numerator for both
@@ -351,7 +387,18 @@ func runHTTPDatasetClientsBinary(clients int) (perfResult, error) {
 // frame streams straight into resident storage; the JSON body is
 // materialized and decoded first.
 func runUploadBench(binary bool) (perfResult, error) {
-	shards := perfShards()
+	return runUploadBenchAs(binary, perfShards())
+}
+
+// runUploadBenchFloat64 is runUploadBench over float64 keys — same
+// population, same 8 bytes/key numerator, the kind-dispatched path.
+func runUploadBenchFloat64(binary bool) (perfResult, error) {
+	return runUploadBenchAs(binary, float64Shards(perfShards()))
+}
+
+// runUploadBenchAs is the kind-typed upload measurement shared by the
+// int64 and float64 rows.
+func runUploadBenchAs[K parselclient.Key](binary bool, shards [][]K) (perfResult, error) {
 	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
 	pool, err := parsel.NewPool[int64](opts, parsel.PoolOptions{MaxMachines: 1})
 	if err != nil {
@@ -371,7 +418,7 @@ func runUploadBench(binary bool) (perfResult, error) {
 	defer hs.Close()
 	client := parselclient.New("http://"+ln.Addr().String(), nil)
 	client.Binary = binary
-	rd := client.Dataset("bench")
+	rd := parselclient.Keyed[K](client).Dataset("bench")
 	ctx := context.Background()
 
 	var datasetBytes int64
@@ -504,9 +551,10 @@ func runRestore() (cold, warm perfResult, err error) {
 // restoreMode the cold-upload vs snapshot-restore comparison; with
 // faultRates one resident-dataset row per injection rate; with
 // binaryMode the upload_json/upload_binary MB/s rows and a
-// binary-framed resident-dataset row) — and writes the JSON snapshot
-// to path.
-func runPerf(path string, clients int, httpMode, datasetMode, restoreMode, binaryMode bool, faultRates []float64) error {
+// binary-framed resident-dataset row; with f64Mode the float64_* rows
+// pricing the kind-dispatched float64 path at parity with int64) —
+// and writes the JSON snapshot to path.
+func runPerf(path string, clients int, httpMode, datasetMode, restoreMode, binaryMode, f64Mode bool, faultRates []float64) error {
 	shards := perfShards()
 	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
 	var n int64
@@ -578,6 +626,13 @@ func runPerf(path string, clients int, httpMode, datasetMode, restoreMode, binar
 					return err
 				}
 				results[fmt.Sprintf("http_dataset_%dclients", clients)] = dr
+				if f64Mode {
+					fr, err := runHTTPDatasetClientsFloat64(clients)
+					if err != nil {
+						return fmt.Errorf("float64 dataset: %w", err)
+					}
+					results[fmt.Sprintf("float64_http_dataset_%dclients", clients)] = fr
+				}
 				if binaryMode {
 					br, err := runHTTPDatasetClientsBinary(clients)
 					if err != nil {
@@ -616,6 +671,18 @@ func runPerf(path string, clients int, httpMode, datasetMode, restoreMode, binar
 		}
 		results["upload_json"] = ju
 		results["upload_binary"] = bu
+		if f64Mode {
+			fju, err := runUploadBenchFloat64(false)
+			if err != nil {
+				return fmt.Errorf("float64 upload json: %w", err)
+			}
+			fbu, err := runUploadBenchFloat64(true)
+			if err != nil {
+				return fmt.Errorf("float64 upload binary: %w", err)
+			}
+			results["float64_upload_json"] = fju
+			results["float64_upload_binary"] = fbu
+		}
 	}
 
 	snap := perfSnapshot{
@@ -654,8 +721,18 @@ func main() {
 		restore = flag.Bool("restore", false, "measure cold-upload vs snapshot-restore time for the standard dataset (alone: print; with -perf: add the restore_* rows)")
 		faultsF = flag.String("faults", "", "with -http -dataset -clients: comma-separated fault-injection rates (fractions, e.g. 0,0.05,0.20); measures resident-dataset throughput with a retrying client riding each fault stream")
 		binary  = flag.Bool("binary", false, "with -http: measure upload throughput for both encodings (upload_json vs upload_binary, MB/s); with -dataset -clients additionally resident-dataset round trips over binary frames")
+		kindF   = flag.String("kind", "", `measure an additional key kind at parity with int64 (only "float64" is supported): with -http -dataset -clients a float64 resident-dataset row, with -binary float64 upload rows`)
 	)
 	flag.Parse()
+
+	if *kindF != "" && *kindF != "float64" {
+		fmt.Fprintf(os.Stderr, "selectbench: -kind %q not supported (only float64 has a kind-dispatched daemon path worth pricing)\n", *kindF)
+		os.Exit(2)
+	}
+	if *kindF != "" && !*httpB {
+		fmt.Fprintln(os.Stderr, "selectbench: -kind measures the daemon's kind-dispatched path; pass -http with it")
+		os.Exit(2)
+	}
 
 	if *dataset && !*httpB {
 		fmt.Fprintln(os.Stderr, "selectbench: -dataset measures the daemon's resident path; pass -http (and -clients N) with it")
@@ -676,7 +753,7 @@ func main() {
 	}
 
 	if *perf != "" {
-		if err := runPerf(*perf, *clients, *httpB, *dataset, *restore, *binary, faultRates); err != nil {
+		if err := runPerf(*perf, *clients, *httpB, *dataset, *restore, *binary, *kindF == "float64", faultRates); err != nil {
 			fmt.Fprintf(os.Stderr, "selectbench: perf: %v\n", err)
 			os.Exit(1)
 		}
@@ -712,6 +789,21 @@ func main() {
 		fmt.Printf("upload 256k json:   %7.1f MB/s (%.2f ms)\n", ju.MBPerSec, float64(ju.NsPerOp)/1e6)
 		fmt.Printf("upload 256k binary: %7.1f MB/s (%.2f ms, %.1fx)\n",
 			bu.MBPerSec, float64(bu.NsPerOp)/1e6, bu.MBPerSec/ju.MBPerSec)
+		if *kindF == "float64" {
+			fju, err := runUploadBenchFloat64(false)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "selectbench: float64 upload json: %v\n", err)
+				os.Exit(1)
+			}
+			fbu, err := runUploadBenchFloat64(true)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "selectbench: float64 upload binary: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("upload 256k float64 json:   %7.1f MB/s (%.2f ms)\n", fju.MBPerSec, float64(fju.NsPerOp)/1e6)
+			fmt.Printf("upload 256k float64 binary: %7.1f MB/s (%.2f ms, %.1fx)\n",
+				fbu.MBPerSec, float64(fbu.NsPerOp)/1e6, fbu.MBPerSec/fju.MBPerSec)
+		}
 		if *clients == 0 {
 			return
 		}
@@ -741,6 +833,15 @@ func main() {
 				}
 				fmt.Printf("resident dataset, %d clients: %.1f queries/s (%.3f ms/query, sim %.4f s)\n",
 					*clients, dr.QPS, float64(dr.NsPerOp)/1e6, dr.SimSeconds)
+				if *kindF == "float64" {
+					fr, err := runHTTPDatasetClientsFloat64(*clients)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "selectbench: float64 dataset: %v\n", err)
+						os.Exit(1)
+					}
+					fmt.Printf("resident dataset (float64), %d clients: %.1f queries/s (%.3f ms/query)\n",
+						*clients, fr.QPS, float64(fr.NsPerOp)/1e6)
+				}
 				if *binary {
 					br, err := runHTTPDatasetClientsBinary(*clients)
 					if err != nil {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -42,7 +43,17 @@ import (
 
 // dsEntry is one resident dataset with its accounting state.
 type dsEntry struct {
-	ds      *parsel.Dataset[int64]
+	// kind names the dataset's key kind (parselclient.KeyKind*); ds is
+	// the matching *parsel.Dataset[K], dispatched by type switch at the
+	// query sites. procs and n cache the dataset's shape so registry
+	// bookkeeping never needs the typed handle.
+	kind  string
+	ds    any
+	procs int
+	n     int64
+	// tenant names the tenant whose ledger holds this dataset's bytes;
+	// empty on a daemon without tenants.
+	tenant  string
 	bytes   int64
 	expires time.Time
 	// gen is the upload generation (monotonic across the registry); the
@@ -61,15 +72,48 @@ type dsEntry struct {
 	restored bool
 }
 
-// info shapes the entry's wire description.
+// closeDS releases the entry's typed dataset.
+func (e *dsEntry) closeDS() {
+	e.ds.(interface{ Close() }).Close()
+}
+
+// info shapes the entry's wire description. The key kind travels only
+// for non-int64 datasets, keeping the historical wire byte-identical.
 func (e *dsEntry) info(id string, now time.Time) parselclient.DatasetInfo {
+	kind := e.kind
+	if kind == parselclient.KeyKindInt64 {
+		kind = ""
+	}
 	return parselclient.DatasetInfo{
 		ID:          id,
-		Procs:       e.ds.Procs(),
-		N:           e.ds.N(),
+		KeyKind:     kind,
+		Tenant:      e.tenant,
+		Procs:       e.procs,
+		N:           e.n,
 		Bytes:       e.bytes,
 		ExpiresInMS: e.expires.Sub(now).Milliseconds(),
 		Restored:    e.restored,
+	}
+}
+
+// tenantLedger resolves a tenant name to its live ledger; nil for the
+// empty name, an unconfigured name (a snapshot from a tenant since
+// removed), or a daemon without tenants. Caller holds dsMu.
+func (s *Server) tenantLedger(name string) *tenantEntry {
+	if name == "" || s.tenantsByName == nil {
+		return nil
+	}
+	return s.tenantsByName[name]
+}
+
+// dropLocked removes an entry from the ledger (global and per-tenant
+// bytes and counts) without closing its dataset. Caller holds dsMu.
+func (s *Server) dropLocked(id string, e *dsEntry) {
+	delete(s.datasets, id)
+	s.dsBytes -= e.bytes
+	if te := s.tenantLedger(e.tenant); te != nil {
+		te.bytes -= e.bytes
+		te.datasets--
 	}
 }
 
@@ -82,10 +126,9 @@ func (s *Server) sweepLocked(now time.Time) {
 		if now.Before(e.expires) {
 			continue
 		}
-		delete(s.datasets, id)
-		s.dsBytes -= e.bytes
+		s.dropLocked(id, e)
 		s.dstats.Expired++
-		e.ds.Close()
+		e.closeDS()
 		s.markDirty(id) // the snapshotter removes the evicted id's file
 	}
 }
@@ -200,23 +243,41 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request, id 
 		s.writeRequestError(w, err)
 		return
 	}
-	up, err := ParseDatasetUpload(body, s.opts.Limits)
+	kind, err := sniffKeyKind(body, r.Header.Get(parselclient.KindHeader))
 	if err != nil {
 		s.writeRequestError(w, err)
 		return
 	}
+	switch kind {
+	case parselclient.KeyKindFloat64:
+		runUpload[float64](s, w, r, id, body)
+	case parselclient.KeyKindString:
+		runUpload[string](s, w, r, id, body)
+	default:
+		runUpload[int64](s, w, r, id, body)
+	}
+}
+
+// runUpload is the kind-typed tail of a JSON upload.
+func runUpload[K parselclient.Key](s *Server, w http.ResponseWriter, r *http.Request, id string, body []byte) {
+	up, err := ParseDatasetUploadOf[K](body, s.opts.Limits)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	tenant := tenantOf(r)
 	need := residentBytes(up.Shards)
-	replacing, ok := s.reserveUpload(w, id, need)
+	replacing, ok := s.reserveUpload(w, id, tenant, need)
 	if !ok {
 		return
 	}
-	ds, err := s.pool.NewDataset(up.Shards)
+	ds, err := poolOf[K](s).NewDataset(up.Shards)
 	if err != nil {
-		s.unwindUpload(id, need, replacing)
+		s.unwindUpload(id, tenant, need, replacing)
 		s.writeQueryError(w, err)
 		return
 	}
-	s.commitUpload(w, id, ds, need, replacing)
+	commitUpload(s, w, id, tenant, ds, need, replacing)
 }
 
 // handleFrameUpload serves a PUT whose Content-Type negotiated the
@@ -236,29 +297,50 @@ func (s *Server) handleFrameUpload(w http.ResponseWriter, r *http.Request, id st
 		return
 	}
 	h := dec.Header()
+	// The stream header's key type is authoritative for the kind; an
+	// X-Parsel-Kind header, if sent, must agree.
+	if want := r.Header.Get(parselclient.KindHeader); want != "" &&
+		!strings.EqualFold(strings.TrimSpace(want), h.KeyType) {
+		s.writeRequestError(w, parseErrf(parselclient.CodeBadKind,
+			"%s header %q disagrees with the stream's key type %q",
+			parselclient.KindHeader, want, h.KeyType))
+		return
+	}
 	if h.Procs > s.opts.Limits.MaxProcs {
 		s.writeRequestError(w, parseErrf(parselclient.CodeLimitExceeded,
 			"%d shards, limit %d simulated processors", h.Procs, s.opts.Limits.MaxProcs))
 		return
 	}
-	need := h.N * 8
-	replacing, ok := s.reserveUpload(w, id, need)
+	if h.KeyType == snapshot.KeyTypeFloat64 {
+		runFrameUpload[float64](s, w, r, id, dec, h.N)
+		return
+	}
+	runFrameUpload[int64](s, w, r, id, dec, h.N)
+}
+
+// runFrameUpload is the kind-typed tail of a binary upload: reserve
+// against the header's declared size, stream the keys into resident
+// backing, commit.
+func runFrameUpload[K snapshot.FixedKey](s *Server, w http.ResponseWriter, r *http.Request, id string, dec *snapshot.StreamDecoder, n int64) {
+	tenant := tenantOf(r)
+	need := n * 8
+	replacing, ok := s.reserveUpload(w, id, tenant, need)
 	if !ok {
 		return
 	}
-	shards, err := dec.ReadData()
+	shards, err := snapshot.ReadDataAs[K](dec)
 	if err != nil {
-		s.unwindUpload(id, need, replacing)
+		s.unwindUpload(id, tenant, need, replacing)
 		s.writeFrameUploadError(w, err)
 		return
 	}
-	ds, err := s.pool.RestoreDataset(shards)
+	ds, err := poolOf[K](s).RestoreDataset(shards)
 	if err != nil {
-		s.unwindUpload(id, need, replacing)
+		s.unwindUpload(id, tenant, need, replacing)
 		s.writeQueryError(w, err)
 		return
 	}
-	s.commitUpload(w, id, ds, need, replacing)
+	commitUpload(s, w, id, tenant, ds, need, replacing)
 }
 
 // writeFrameUploadError reports a binary-upload decode failure. The
@@ -288,7 +370,7 @@ func (s *Server) writeFrameUploadError(w http.ResponseWriter, err error) {
 // not-found — the same window a DELETE + re-upload sequence has — and
 // queries in flight on the old snapshot complete normally. On false
 // the refusal is already written.
-func (s *Server) reserveUpload(w http.ResponseWriter, id string, need int64) (replacing, ok bool) {
+func (s *Server) reserveUpload(w http.ResponseWriter, id, tenant string, need int64) (replacing, ok bool) {
 	s.dsMu.Lock()
 	now := s.now()
 	s.sweepLocked(now)
@@ -317,24 +399,56 @@ func (s *Server) reserveUpload(w http.ResponseWriter, id string, need int64) (re
 			fmt.Sprintf("daemon already holds %d datasets, the limit", s.opts.MaxDatasets))
 		return false, false
 	}
+	// The tenant's own slice of the budget, after the daemon-wide
+	// checks: bytes freed by replacing count only when the replaced
+	// dataset is charged to the same tenant.
+	if te := s.tenantLedger(tenant); te != nil {
+		tfreed, tcount := int64(0), te.datasets
+		if replacing && prev.tenant == tenant {
+			tfreed = prev.bytes
+			tcount--
+		}
+		var refusal string
+		switch {
+		case te.cfg.MaxResidentBytes > 0 && te.bytes-tfreed+need > te.cfg.MaxResidentBytes:
+			refusal = fmt.Sprintf("dataset needs %d resident bytes; tenant %q holds %d of its %d-byte budget",
+				need, tenant, te.bytes, te.cfg.MaxResidentBytes)
+		case te.cfg.MaxDatasets > 0 && tcount+1 > int64(te.cfg.MaxDatasets):
+			refusal = fmt.Sprintf("tenant %q already holds %d datasets, its quota", tenant, te.cfg.MaxDatasets)
+		}
+		if refusal != "" {
+			te.rejected++
+			s.dstats.Rejected++
+			s.dsMu.Unlock()
+			s.countError(http.StatusRequestEntityTooLarge, parselclient.CodeTenantBudget)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusRequestEntityTooLarge, parselclient.CodeTenantBudget, refusal)
+			return false, false
+		}
+	}
 	if replacing {
-		delete(s.datasets, id)
-		s.dsBytes -= prev.bytes
+		s.dropLocked(id, prev)
 		s.dstats.Replaced++
 	}
 	s.dsBytes += need // the reservation
+	if te := s.tenantLedger(tenant); te != nil {
+		te.bytes += need
+	}
 	s.dsMu.Unlock()
 	if replacing {
-		prev.ds.Close()
+		prev.closeDS()
 	}
 	return replacing, true
 }
 
 // unwindUpload releases a reservation whose dataset never materialized
 // (a decode fault mid-stream, a closed pool).
-func (s *Server) unwindUpload(id string, need int64, replacing bool) {
+func (s *Server) unwindUpload(id, tenant string, need int64, replacing bool) {
 	s.dsMu.Lock()
 	s.dsBytes -= need
+	if te := s.tenantLedger(tenant); te != nil {
+		te.bytes -= need
+	}
 	s.dsMu.Unlock()
 	if replacing {
 		// The id's previous dataset left the registry at reservation
@@ -346,20 +460,23 @@ func (s *Server) unwindUpload(id string, need int64, replacing bool) {
 // commitUpload installs ds under id against a need-byte reservation,
 // reconciling the estimate with the dataset's true resident size, and
 // answers the request.
-func (s *Server) commitUpload(w http.ResponseWriter, id string, ds *parsel.Dataset[int64], need int64, replacing bool) {
+func commitUpload[K parselclient.Key](s *Server, w http.ResponseWriter, id, tenant string, ds *parsel.Dataset[K], need int64, replacing bool) {
+	te := func() *tenantEntry { return s.tenantLedger(tenant) } // resolved under dsMu
 	s.dsMu.Lock()
 	if cur, ok := s.datasets[id]; ok {
 		// A concurrent upload of the same id committed during our copy:
 		// last writer wins, exactly as serialized PUTs would end.
-		delete(s.datasets, id)
-		s.dsBytes -= cur.bytes
+		s.dropLocked(id, cur)
 		s.dstats.Replaced++
-		cur.ds.Close()
+		cur.closeDS()
 	} else if !replacing && len(s.datasets)+1 > s.opts.MaxDatasets {
 		// Concurrent uploads of distinct new ids can pass the count
 		// check together; the loser unwinds here (the bytes budget
 		// cannot oversubscribe the same way — it is reserved up front).
 		s.dsBytes -= need
+		if t := te(); t != nil {
+			t.bytes -= need
+		}
 		s.dstats.Rejected++
 		s.dsMu.Unlock()
 		ds.Close()
@@ -369,10 +486,31 @@ func (s *Server) commitUpload(w http.ResponseWriter, id string, ds *parsel.Datas
 			fmt.Sprintf("daemon already holds %d datasets, the limit", s.opts.MaxDatasets))
 		return
 	}
+	if t := te(); t != nil && t.cfg.MaxDatasets > 0 && t.datasets+1 > int64(t.cfg.MaxDatasets) {
+		// The same race, against the tenant's own quota.
+		s.dsBytes -= need
+		t.bytes -= need
+		t.rejected++
+		s.dstats.Rejected++
+		s.dsMu.Unlock()
+		ds.Close()
+		s.countError(http.StatusRequestEntityTooLarge, parselclient.CodeTenantBudget)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusRequestEntityTooLarge, parselclient.CodeTenantBudget,
+			fmt.Sprintf("tenant %q already holds %d datasets, its quota", tenant, t.cfg.MaxDatasets))
+		return
+	}
 	now := s.now()
-	e := &dsEntry{ds: ds, bytes: ds.Bytes(), expires: now.Add(s.opts.DatasetTTL),
-		gen: s.snapGen.Add(1)}
+	e := &dsEntry{
+		kind: parselclient.KeyKindOf[K](), ds: ds, procs: ds.Procs(), n: ds.N(),
+		tenant: tenant, bytes: ds.Bytes(), expires: now.Add(s.opts.DatasetTTL),
+		gen: s.snapGen.Add(1),
+	}
 	s.dsBytes += e.bytes - need // reconcile the estimate with the ledger's truth
+	if t := te(); t != nil {
+		t.bytes += e.bytes - need
+		t.datasets++
+	}
 	s.datasets[id] = e
 	s.dstats.Uploads++
 	info := e.info(id, now)
@@ -387,14 +525,16 @@ func (s *Server) commitUpload(w http.ResponseWriter, id string, ds *parsel.Datas
 
 // residentBytes is the admission-time estimate of what the shards will
 // occupy once resident, kept in one place so the budget check and the
-// ledger (parsel.Dataset.Bytes, reconciled at commit) cannot drift: the
-// daemon's keys are int64, eight bytes a slot.
-func residentBytes(shards [][]int64) int64 {
+// ledger (parsel.Dataset.Bytes, reconciled at commit) cannot drift:
+// n slots of K's in-memory size — 8 bytes for the fixed-width kinds,
+// the 16-byte string header for strings (whose backing arrays the
+// budget deliberately does not meter, matching Dataset.Bytes).
+func residentBytes[K parselclient.Key](shards [][]K) int64 {
 	var n int64
 	for _, sh := range shards {
 		n += int64(len(sh))
 	}
-	return n * 8
+	return n * int64(reflect.TypeFor[K]().Size())
 }
 
 // handleDatasetInfo serves GET /v1/datasets/{id}: the description
@@ -439,8 +579,7 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request, id 
 	e, ok := s.datasets[id]
 	var info parselclient.DatasetInfo
 	if ok {
-		delete(s.datasets, id)
-		s.dsBytes -= e.bytes
+		s.dropLocked(id, e)
 		s.dstats.Deletes++
 		info = e.info(id, now)
 	} else {
@@ -453,7 +592,7 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request, id 
 			fmt.Sprintf("no resident dataset %q", id))
 		return
 	}
-	e.ds.Close()
+	e.closeDS()
 	s.markDirty(id) // the snapshotter removes the deleted id's file
 	s.mu.Lock()
 	s.srv.OK++
@@ -507,9 +646,27 @@ func (s *Server) handleDatasetQuery(w http.ResponseWriter, r *http.Request, id s
 		return
 	}
 
+	if q.KeyKind != "" && q.KeyKind != e.kind {
+		s.writeRequestError(w, parseErrf(parselclient.CodeBadKind,
+			"dataset %q holds %s keys; the query asked for %s", id, e.kind, q.KeyKind))
+		return
+	}
+
+	switch ds := e.ds.(type) {
+	case *parsel.Dataset[float64]:
+		finishDatasetQuery(s, w, r, ds, ep, q, start)
+	case *parsel.Dataset[string]:
+		finishDatasetQuery(s, w, r, ds, ep, q, start)
+	default:
+		finishDatasetQuery(s, w, r, e.ds.(*parsel.Dataset[int64]), ep, q, start)
+	}
+}
+
+// finishDatasetQuery is the kind-typed tail of a single dataset query.
+func finishDatasetQuery[K parselclient.Key](s *Server, w http.ResponseWriter, r *http.Request, ds *parsel.Dataset[K], ep Endpoint, q *parselclient.DatasetQuery, start time.Time) {
 	ctx, cancel := s.admissionContext(r, q.TimeoutMS)
 	defer cancel()
-	resp, err := s.executeDataset(ctx, ep, e.ds, q)
+	resp, err := executeDatasetOf(ctx, ds, ep, q)
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
@@ -519,7 +676,7 @@ func (s *Server) handleDatasetQuery(w http.ResponseWriter, r *http.Request, id s
 	s.dstats.Queries++
 	s.dsMu.Unlock()
 	s.observe(time.Since(start), resp.Report)
-	writeResult(w, wantsFrame(r), resp)
+	writeResultOf(w, wantsFrame(r), resp)
 }
 
 // handleDatasetQueryMany serves POST /v1/datasets/{id}/querymany: a
@@ -572,10 +729,31 @@ func (s *Server) handleDatasetQueryMany(w http.ResponseWriter, r *http.Request, 
 		return
 	}
 
+	for i := range queries {
+		if k := queries[i].KeyKind; k != "" && k != e.kind {
+			s.writeRequestError(w, parseErrf(parselclient.CodeBadKind,
+				"dataset %q holds %s keys; query %d asked for %s", id, e.kind, i, k))
+			return
+		}
+	}
+
+	switch ds := e.ds.(type) {
+	case *parsel.Dataset[float64]:
+		finishDatasetQueryMany(s, w, r, ds, queries, eps, timeoutMS, start)
+	case *parsel.Dataset[string]:
+		finishDatasetQueryMany(s, w, r, ds, queries, eps, timeoutMS, start)
+	default:
+		finishDatasetQueryMany(s, w, r, e.ds.(*parsel.Dataset[int64]), queries, eps, timeoutMS, start)
+	}
+}
+
+// finishDatasetQueryMany is the kind-typed tail of a batch query: fan
+// out, aggregate, answer.
+func finishDatasetQueryMany[K parselclient.Key](s *Server, w http.ResponseWriter, r *http.Request, ds *parsel.Dataset[K], queries []parselclient.DatasetQuery, eps []Endpoint, timeoutMS int64, start time.Time) {
 	ctx, cancel := s.admissionContext(r, timeoutMS)
 	defer cancel()
 
-	results := make([]parselclient.QueryManyResult, len(queries))
+	results := make([]parselclient.QueryManyResultOf[K], len(queries))
 	workers := min(s.pool.MaxMachines(), len(queries))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -588,15 +766,15 @@ func (s *Server) handleDatasetQueryMany(w http.ResponseWriter, r *http.Request, 
 				if i >= len(queries) {
 					return
 				}
-				resp, err := s.executeDataset(ctx, eps[i], e.ds, &queries[i])
+				resp, err := executeDatasetOf(ctx, ds, eps[i], &queries[i])
 				if err != nil {
 					_, code := errorStatus(err)
-					results[i] = parselclient.QueryManyResult{
+					results[i] = parselclient.QueryManyResultOf[K]{
 						Error: &parselclient.ErrorDetail{Code: code, Message: err.Error()},
 					}
 					continue
 				}
-				results[i] = parselclient.QueryManyResult{Response: *resp}
+				results[i] = parselclient.QueryManyResultOf[K]{ResponseOf: *resp}
 			}
 		}()
 	}
@@ -628,16 +806,16 @@ func (s *Server) handleDatasetQueryMany(w http.ResponseWriter, r *http.Request, 
 	s.lat.observe(time.Since(start).Seconds())
 	s.mu.Unlock()
 
-	if wantsFrame(r) {
-		writeFrameResults(w, results)
+	if wantsFrame(r) && parselclient.KeyKindOf[K]() != parselclient.KeyKindString {
+		writeFrameResultsOf(w, results)
 		return
 	}
-	writeJSON(w, http.StatusOK, parselclient.QueryManyResponse{Results: results})
+	writeJSON(w, http.StatusOK, parselclient.QueryManyResponseOf[K]{Results: results})
 }
 
-// executeDataset dispatches one validated dataset query, mirroring
-// execute over the resident shards.
-func (s *Server) executeDataset(ctx context.Context, ep Endpoint, ds *parsel.Dataset[int64], q *parselclient.DatasetQuery) (*parselclient.Response, error) {
+// executeDatasetOf dispatches one validated dataset query, mirroring
+// executeOn over the resident shards.
+func executeDatasetOf[K parselclient.Key](ctx context.Context, ds *parsel.Dataset[K], ep Endpoint, q *parselclient.DatasetQuery) (*parselclient.ResponseOf[K], error) {
 	switch ep {
 	case EpSelect:
 		res, err := ds.SelectContext(ctx, *q.Rank)
@@ -686,8 +864,9 @@ func (s *Server) executeDataset(ctx context.Context, ep Endpoint, ds *parsel.Dat
 		if err != nil {
 			return nil, err
 		}
-		return &parselclient.Response{
-			Summary: &parselclient.Summary{
+		return &parselclient.ResponseOf[K]{
+			KeyKind: wireKindField[K](),
+			Summary: &parselclient.SummaryOf[K]{
 				Min: fn.Min, Q1: fn.Q1, Median: fn.Median, Q3: fn.Q3, Max: fn.Max,
 			},
 			Report: parselclient.WireReport(rep),

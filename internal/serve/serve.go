@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -45,10 +46,52 @@ import (
 	"parsel/parselclient"
 )
 
+// Tenant is one static tenant of a multi-tenant daemon: a bearer
+// token plus the slice of the daemon's resources the tenant may hold.
+type Tenant struct {
+	// Name identifies the tenant in stats and snapshot manifests.
+	Name string `json:"name"`
+	// Token is the static bearer credential; requests carrying it in
+	// the Authorization header act as this tenant.
+	Token string `json:"token"`
+	// MaxResidentBytes budgets the tenant's resident dataset bytes;
+	// 0 means bounded only by the daemon-wide budget.
+	MaxResidentBytes int64 `json:"max_resident_bytes"`
+	// MaxDatasets caps the tenant's resident dataset count; 0 means
+	// bounded only by the daemon-wide cap.
+	MaxDatasets int `json:"max_datasets"`
+}
+
+// tenantEntry is one tenant's live admission ledger. The ledger
+// fields (bytes, datasets) move in lockstep with the dataset registry
+// and are guarded by dsMu, as are the request counters (the auth path
+// touches the registry lock once per request).
+type tenantEntry struct {
+	cfg      Tenant
+	bytes    int64
+	datasets int64
+	requests int64
+	rejected int64
+}
+
 // Options configures a Server. Zero-valued knobs take defaults.
 type Options struct {
-	// Pool is the resident machine pool every query runs on. Required.
+	// Pool is the resident machine pool int64 queries run on, and the
+	// template for any kind pool not given explicitly. Required.
 	Pool *parsel.Pool[int64]
+	// PoolFloat64 runs float64-kinded queries. When nil, New builds
+	// one from Pool's options and machine count and owns it (Close
+	// releases it).
+	PoolFloat64 *parsel.Pool[float64]
+	// PoolString runs string-kinded queries. When nil, New builds one
+	// from Pool's options and machine count and owns it.
+	PoolString *parsel.Pool[string]
+	// Tenants, when non-empty, turns on tenant admission: every
+	// endpoint except /healthz requires a bearer token matching one
+	// tenant, uploads charge that tenant's ledger, and /v1/stats grows
+	// per-tenant blocks. Empty leaves the daemon single-tenant and
+	// unauthenticated, exactly as before.
+	Tenants []Tenant
 	// DefaultTimeout is the admission deadline for requests that do not
 	// carry timeout_ms (default 5s).
 	DefaultTimeout time.Duration
@@ -123,9 +166,21 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	opts    Options
 	pool    *parsel.Pool[int64]
-	mux     *http.ServeMux
-	handler http.Handler  // recovery → Options.Middleware → routing
-	admit   chan struct{} // admission tokens: MaxMachines + QueueDepth
+	poolF64 *parsel.Pool[float64]
+	poolStr *parsel.Pool[string]
+	// ownedClose releases the kind pools New built itself (nil-valued
+	// Options fields); Close runs them.
+	ownedClose []func()
+	// tenants maps bearer token → ledger, tenantsByName maps tenant
+	// name → the same ledgers (snapshot recovery attributes restored
+	// datasets by name), and tenantNames orders the /v1/stats blocks.
+	// All are nil when tenancy is off.
+	tenants       map[string]*tenantEntry
+	tenantsByName map[string]*tenantEntry
+	tenantNames   []string
+	mux           *http.ServeMux
+	handler       http.Handler  // recovery → Options.Middleware → routing
+	admit         chan struct{} // admission tokens: MaxMachines + QueueDepth
 
 	mu       sync.Mutex
 	draining bool
@@ -164,9 +219,10 @@ type Server struct {
 	snapOnce     sync.Once
 }
 
-// New builds the daemon handler over a pool. The pool stays owned by
-// the caller (Drain does not close it), so one pool can outlive or be
-// shared across servers.
+// New builds the daemon handler over a pool. The pools passed in stay
+// owned by the caller (Drain does not close them), so one pool can
+// outlive or be shared across servers; kind pools New builds itself
+// are owned by the Server and released by Close.
 func New(opts Options) (*Server, error) {
 	if opts.Pool == nil {
 		return nil, errors.New("serve: Options.Pool is required")
@@ -193,6 +249,8 @@ func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts:      opts,
 		pool:      opts.Pool,
+		poolF64:   opts.PoolFloat64,
+		poolStr:   opts.PoolString,
 		admit:     make(chan struct{}, opts.Pool.MaxMachines()+opts.QueueDepth),
 		datasets:  make(map[string]*dsEntry),
 		now:       time.Now,
@@ -205,6 +263,55 @@ func New(opts Options) (*Server, error) {
 	}
 	if s.logf == nil {
 		s.logf = log.Printf
+	}
+	// The non-int64 kind pools default to clones of the int64 pool's
+	// shape, so a daemon configured for one kind serves all three.
+	// Admission (the admit channel) is shared across kinds: it bounds
+	// requests in flight, not machines per kind.
+	if s.poolF64 == nil {
+		p, err := parsel.NewPool[float64](s.pool.Options(),
+			parsel.PoolOptions{MaxMachines: s.pool.MaxMachines()})
+		if err != nil {
+			return nil, fmt.Errorf("serve: build float64 pool: %w", err)
+		}
+		s.poolF64 = p
+		s.ownedClose = append(s.ownedClose, func() { p.Close() })
+	}
+	if s.poolStr == nil {
+		p, err := parsel.NewPool[string](s.pool.Options(),
+			parsel.PoolOptions{MaxMachines: s.pool.MaxMachines()})
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("serve: build string pool: %w", err)
+		}
+		s.poolStr = p
+		s.ownedClose = append(s.ownedClose, func() { p.Close() })
+	}
+	if len(opts.Tenants) > 0 {
+		s.tenants = make(map[string]*tenantEntry, len(opts.Tenants))
+		s.tenantsByName = make(map[string]*tenantEntry, len(opts.Tenants))
+		for _, t := range opts.Tenants {
+			if t.Name == "" || t.Token == "" {
+				s.Close()
+				return nil, fmt.Errorf("serve: tenant needs both a name and a token (got name %q)", t.Name)
+			}
+			if t.MaxResidentBytes < 0 || t.MaxDatasets < 0 {
+				s.Close()
+				return nil, fmt.Errorf("serve: tenant %q has a negative bound", t.Name)
+			}
+			if _, dup := s.tenants[t.Token]; dup {
+				s.Close()
+				return nil, fmt.Errorf("serve: duplicate tenant token")
+			}
+			if _, dup := s.tenantsByName[t.Name]; dup {
+				s.Close()
+				return nil, fmt.Errorf("serve: duplicate tenant name %q", t.Name)
+			}
+			te := &tenantEntry{cfg: t}
+			s.tenants[t.Token] = te
+			s.tenantsByName[t.Name] = te
+			s.tenantNames = append(s.tenantNames, t.Name)
+		}
 	}
 	s.snapCond = sync.NewCond(&s.snapMu)
 	if opts.SnapshotDir != "" {
@@ -241,7 +348,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
-// route is the innermost handler: the unknown-path check, then the mux.
+// route is the innermost handler: the unknown-path check, tenant
+// authentication, then the mux.
 func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	if _, ok := endpoints[r.URL.Path]; !ok &&
 		!strings.HasPrefix(r.URL.Path, "/v1/datasets/") &&
@@ -250,7 +358,47 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("no endpoint %q", r.URL.Path))
 		return
 	}
-	s.mux.ServeHTTP(w, r)
+	if r, ok := s.authenticate(w, r); ok {
+		s.mux.ServeHTTP(w, r)
+	}
+}
+
+// tenantCtxKey carries the authenticated tenant's name through the
+// request context; absent (or empty) on a daemon without tenants.
+type tenantCtxKey struct{}
+
+// tenantOf reads the authenticated tenant name off the request.
+func tenantOf(r *http.Request) string {
+	name, _ := r.Context().Value(tenantCtxKey{}).(string)
+	return name
+}
+
+// authenticate enforces tenant admission when Options.Tenants is set:
+// every endpoint except /healthz (load balancers probe unauthenticated)
+// must carry "Authorization: Bearer <token>" naming a configured
+// tenant. On success the tenant's name rides the request context; any
+// other outcome is a 401 unknown_tenant, already written here.
+func (s *Server) authenticate(w http.ResponseWriter, r *http.Request) (*http.Request, bool) {
+	if s.tenants == nil || r.URL.Path == "/healthz" {
+		return r, true
+	}
+	auth := r.Header.Get("Authorization")
+	scheme, token, _ := strings.Cut(auth, " ")
+	var te *tenantEntry
+	if strings.EqualFold(scheme, "Bearer") {
+		te = s.tenants[strings.TrimSpace(token)]
+	}
+	if te == nil {
+		s.countError(http.StatusUnauthorized, parselclient.CodeUnknownTenant)
+		writeError(w, http.StatusUnauthorized, parselclient.CodeUnknownTenant,
+			"this daemon requires a bearer token naming a configured tenant")
+		return r, false
+	}
+	s.dsMu.Lock()
+	te.requests++
+	s.dsMu.Unlock()
+	ctx := context.WithValue(r.Context(), tenantCtxKey{}, te.cfg.Name)
+	return r.WithContext(ctx), true
 }
 
 // statusWriter remembers whether the handler already started a
@@ -376,6 +524,16 @@ func (s *Server) Drain() {
 	s.drainSnapshots()
 }
 
+// Close releases the kind pools the Server built itself (never the
+// caller's Options pools). Call it after Drain and the HTTP server's
+// shutdown — a closed pool fails queries still in flight.
+func (s *Server) Close() {
+	for _, f := range s.ownedClose {
+		f()
+	}
+	s.ownedClose = nil
+}
+
 // Draining reports whether Drain was called.
 func (s *Server) Draining() bool {
 	s.mu.Lock()
@@ -393,6 +551,21 @@ func (s *Server) Stats() parselclient.Stats {
 	dst.Count = int64(len(s.datasets))
 	dst.ResidentBytes = s.dsBytes
 	dst.BudgetBytes = s.opts.MaxResidentBytes
+	var tenants map[string]parselclient.TenantStats
+	if s.tenants != nil {
+		tenants = make(map[string]parselclient.TenantStats, len(s.tenantNames))
+		for _, name := range s.tenantNames {
+			te := s.tenantsByName[name]
+			tenants[name] = parselclient.TenantStats{
+				Datasets:         te.datasets,
+				ResidentBytes:    te.bytes,
+				MaxResidentBytes: te.cfg.MaxResidentBytes,
+				MaxDatasets:      te.cfg.MaxDatasets,
+				Requests:         te.requests,
+				Rejected:         te.rejected,
+			}
+		}
+	}
 	s.dsMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -413,6 +586,7 @@ func (s *Server) Stats() parselclient.Stats {
 		Server:    srv,
 		Sim:       s.sim,
 		Datasets:  dst,
+		Tenants:   tenants,
 		Snapshots: s.snapshotStats(),
 		Latency:   s.lat.snapshot(),
 	}
@@ -443,22 +617,52 @@ func (s *Server) queryHandler(ep Endpoint) http.HandlerFunc {
 			s.writeRequestError(w, err)
 			return
 		}
-		req, err := ParseRequest(ep, body, s.opts.Limits)
+		kind, err := sniffKeyKind(body, "")
 		if err != nil {
 			s.writeRequestError(w, err)
 			return
 		}
-
-		ctx, cancel := s.admissionContext(r, req.TimeoutMS)
-		defer cancel()
-		resp, err := s.execute(ctx, ep, req)
-		if err != nil {
-			s.writeQueryError(w, err)
-			return
+		switch kind {
+		case parselclient.KeyKindFloat64:
+			runQuery[float64](s, w, r, ep, body, start)
+		case parselclient.KeyKindString:
+			runQuery[string](s, w, r, ep, body, start)
+		default:
+			runQuery[int64](s, w, r, ep, body, start)
 		}
+	}
+}
 
-		s.observe(time.Since(start), resp.Report)
-		writeResult(w, wantsFrame(r), resp)
+// runQuery is the kind-typed tail of a one-shot query: parse the body
+// under K's schema, run it on K's pool, answer in the negotiated
+// encoding. Admission already happened in the caller.
+func runQuery[K parselclient.Key](s *Server, w http.ResponseWriter, r *http.Request, ep Endpoint, body []byte, start time.Time) {
+	req, err := ParseRequestOf[K](ep, body, s.opts.Limits)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	ctx, cancel := s.admissionContext(r, req.TimeoutMS)
+	defer cancel()
+	resp, err := executeOn(ctx, poolOf[K](s), ep, req)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	s.observe(time.Since(start), resp.Report)
+	writeResultOf(w, wantsFrame(r), resp)
+}
+
+// poolOf picks the Server's pool for key kind K.
+func poolOf[K parselclient.Key](s *Server) *parsel.Pool[K] {
+	var z K
+	switch any(z).(type) {
+	case float64:
+		return any(s.poolF64).(*parsel.Pool[K])
+	case string:
+		return any(s.poolStr).(*parsel.Pool[K])
+	default:
+		return any(s.pool).(*parsel.Pool[K])
 	}
 }
 
@@ -477,37 +681,66 @@ func wantsFrame(r *http.Request) bool {
 }
 
 // isFrameContentType reports whether a Content-Type (or Accept member)
-// names the binary frame encoding, ignoring parameters.
+// names the binary frame encoding, ignoring parameters. Media types
+// are case-insensitive (RFC 9110 §8.3.1), so the match folds case.
 func isFrameContentType(ct string) bool {
 	if i := strings.IndexByte(ct, ';'); i >= 0 {
 		ct = ct[:i]
 	}
-	return strings.TrimSpace(ct) == parselclient.ContentTypeFrame
+	return strings.EqualFold(strings.TrimSpace(ct), parselclient.ContentTypeFrame)
 }
 
-// writeResult writes one successful query response in the negotiated
+// frameBits reinterprets a result's values as the frame's int64 bit
+// container: int64 passes through, float64 contributes its IEEE-754
+// bits. nil (with false) means the kind has no frame encoding.
+func frameBits[K parselclient.Key](vals []K) ([]int64, bool) {
+	switch v := any(vals).(type) {
+	case []int64:
+		return v, true
+	case []float64:
+		bits := make([]int64, len(v))
+		for i, f := range v {
+			bits[i] = int64(math.Float64bits(f))
+		}
+		return bits, true
+	default:
+		return nil, false
+	}
+}
+
+// writeResultOf writes one successful query response in the negotiated
 // encoding: JSON by default, a one-entry binary frame when Accept asked
-// for it.
-func writeResult(w http.ResponseWriter, frame bool, resp *parselclient.Response) {
-	if !frame {
+// for it. String results have no frame encoding and are answered as
+// JSON regardless of Accept — negotiation is per response Content-Type,
+// so a framing client still decodes them.
+func writeResultOf[K parselclient.Key](w http.ResponseWriter, frame bool, resp *parselclient.ResponseOf[K]) {
+	if !frame || parselclient.KeyKindOf[K]() == parselclient.KeyKindString {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	writeFrameResults(w, []parselclient.QueryManyResult{{Response: *resp}})
+	writeFrameResultsOf(w, []parselclient.QueryManyResultOf[K]{{ResponseOf: *resp}})
 }
 
-// writeFrameResults writes results as a binary frame, one entry per
-// item. Non-empty values move into each entry's binary section and out
-// of its JSON metadata; empty or absent values stay in the metadata, so
-// the []-versus-null distinction — and with it bit-identity to the JSON
-// encoding — survives the frame. A success entry's metadata marshals
-// exactly like a bare Response (the error field is omitted when nil).
-func writeFrameResults(w http.ResponseWriter, results []parselclient.QueryManyResult) {
+// writeFrameResultsOf writes results as a binary frame, one entry per
+// item. Non-empty values move into each entry's binary section (as the
+// kind's bit pattern) and out of its JSON metadata; empty or absent
+// values stay in the metadata, so the []-versus-null distinction — and
+// with it bit-identity to the JSON encoding — survives the frame. A
+// success entry's metadata marshals exactly like a bare response (the
+// error field is omitted when nil). Callers must not reach here for
+// string results — they have no bit container.
+func writeFrameResultsOf[K parselclient.Key](w http.ResponseWriter, results []parselclient.QueryManyResultOf[K]) {
 	entries := make([]snapshot.FrameEntry, len(results))
 	for i := range results {
 		item := results[i]
 		if len(item.Values) > 0 {
-			entries[i].Values = item.Values
+			bits, ok := frameBits(item.Values)
+			if !ok {
+				writeError(w, http.StatusInternalServerError, parselclient.CodeInternal,
+					fmt.Sprintf("result %d has no frame encoding", i))
+				return
+			}
+			entries[i].Values = bits
 			item.Values = nil
 		}
 		meta, err := json.Marshal(item)
@@ -574,59 +807,70 @@ func headerDeadline(r *http.Request) time.Duration {
 	return time.Duration(ms) * time.Millisecond
 }
 
-// execute dispatches one validated request to the pool and shapes the
-// response.
-func (s *Server) execute(ctx context.Context, ep Endpoint, req *parselclient.Request) (*parselclient.Response, error) {
+// wireKindField is the key_kind value responses of kind K carry:
+// empty for int64 (keeping the historical wire byte-identical), the
+// kind name otherwise.
+func wireKindField[K parselclient.Key]() string {
+	if kind := parselclient.KeyKindOf[K](); kind != parselclient.KeyKindInt64 {
+		return kind
+	}
+	return ""
+}
+
+// executeOn dispatches one validated request to a kind's pool and
+// shapes the response.
+func executeOn[K parselclient.Key](ctx context.Context, pool *parsel.Pool[K], ep Endpoint, req *parselclient.RequestOf[K]) (*parselclient.ResponseOf[K], error) {
 	switch ep {
 	case EpSelect:
-		res, err := s.pool.SelectContext(ctx, req.Shards, *req.Rank)
+		res, err := pool.SelectContext(ctx, req.Shards, *req.Rank)
 		if err != nil {
 			return nil, err
 		}
 		return scalarResponse(res), nil
 	case EpMedian:
-		res, err := s.pool.MedianContext(ctx, req.Shards)
+		res, err := pool.MedianContext(ctx, req.Shards)
 		if err != nil {
 			return nil, err
 		}
 		return scalarResponse(res), nil
 	case EpQuantile:
-		res, err := s.pool.QuantileContext(ctx, req.Shards, *req.Q)
+		res, err := pool.QuantileContext(ctx, req.Shards, *req.Q)
 		if err != nil {
 			return nil, err
 		}
 		return scalarResponse(res), nil
 	case EpQuantiles:
-		vals, rep, err := s.pool.QuantilesContext(ctx, req.Shards, req.Qs)
+		vals, rep, err := pool.QuantilesContext(ctx, req.Shards, req.Qs)
 		if err != nil {
 			return nil, err
 		}
 		return multiResponse(vals, rep), nil
 	case EpRanks:
-		vals, rep, err := s.pool.SelectRanksContext(ctx, req.Shards, req.Ranks)
+		vals, rep, err := pool.SelectRanksContext(ctx, req.Shards, req.Ranks)
 		if err != nil {
 			return nil, err
 		}
 		return multiResponse(vals, rep), nil
 	case EpTopK:
-		vals, rep, err := s.pool.TopKContext(ctx, req.Shards, *req.K)
+		vals, rep, err := pool.TopKContext(ctx, req.Shards, *req.K)
 		if err != nil {
 			return nil, err
 		}
 		return multiResponse(vals, rep), nil
 	case EpBottomK:
-		vals, rep, err := s.pool.BottomKContext(ctx, req.Shards, *req.K)
+		vals, rep, err := pool.BottomKContext(ctx, req.Shards, *req.K)
 		if err != nil {
 			return nil, err
 		}
 		return multiResponse(vals, rep), nil
 	case EpSummary:
-		fn, rep, err := s.pool.SummaryContext(ctx, req.Shards)
+		fn, rep, err := pool.SummaryContext(ctx, req.Shards)
 		if err != nil {
 			return nil, err
 		}
-		return &parselclient.Response{
-			Summary: &parselclient.Summary{
+		return &parselclient.ResponseOf[K]{
+			KeyKind: wireKindField[K](),
+			Summary: &parselclient.SummaryOf[K]{
 				Min: fn.Min, Q1: fn.Q1, Median: fn.Median, Q3: fn.Q3, Max: fn.Max,
 			},
 			Report: parselclient.WireReport(rep),
@@ -636,18 +880,22 @@ func (s *Server) execute(ctx context.Context, ep Endpoint, req *parselclient.Req
 }
 
 // scalarResponse shapes a single-value result.
-func scalarResponse(res parsel.Result[int64]) *parselclient.Response {
+func scalarResponse[K parselclient.Key](res parsel.Result[K]) *parselclient.ResponseOf[K] {
 	v := res.Value
-	return &parselclient.Response{Value: &v, Report: parselclient.WireReport(res.Report)}
+	return &parselclient.ResponseOf[K]{
+		KeyKind: wireKindField[K](), Value: &v, Report: parselclient.WireReport(res.Report),
+	}
 }
 
 // multiResponse shapes a multi-value result; the empty (k=0) result
 // stays a JSON [] rather than null.
-func multiResponse(vals []int64, rep parsel.Report) *parselclient.Response {
+func multiResponse[K parselclient.Key](vals []K, rep parsel.Report) *parselclient.ResponseOf[K] {
 	if vals == nil {
-		vals = []int64{}
+		vals = []K{}
 	}
-	return &parselclient.Response{Values: vals, Report: parselclient.WireReport(rep)}
+	return &parselclient.ResponseOf[K]{
+		KeyKind: wireKindField[K](), Values: vals, Report: parselclient.WireReport(rep),
+	}
 }
 
 // errorStatus maps engine/pool errors onto HTTP status + wire code. The

@@ -60,7 +60,11 @@ func (s *Server) initSnapshots(dir string) error {
 }
 
 // recoverSnapshots re-registers every manifest entry; see the package
-// comment above for the skip/quarantine policy.
+// comment above for the skip/quarantine policy. The manifest's key
+// type picks the decode path: int64 (or a legacy manifest without the
+// field) and float64 restore through the same typed loader; any other
+// key type — there should be none, string datasets are never persisted
+// — is skipped with the typed snapshot.ErrKeyType logged.
 func (s *Server) recoverSnapshots() {
 	s.dsMu.Lock()
 	now := s.now()
@@ -79,46 +83,83 @@ func (s *Server) recoverSnapshots() {
 				m.ID, now.Sub(time.UnixMilli(m.ExpiresUnixMS)).Round(time.Second))
 			continue
 		}
-		h, shards, meta, err := s.snap.Load(m.ID)
-		if err != nil {
+		if m.Tenant != "" && len(s.tenantsByName) > 0 && s.tenantsByName[m.Tenant] == nil {
+			// The owning tenant left the configuration. The file is
+			// kept: a restart that re-adds the tenant restores it.
 			s.snapMu.Lock()
-			if errors.Is(err, fs.ErrNotExist) {
+			s.sstats.RestoreSkipped++
+			s.snapMu.Unlock()
+			s.logf("snapshots: dataset %q belongs to unconfigured tenant %q; not restored",
+				m.ID, m.Tenant)
+			continue
+		}
+		var loadErr, restoreErr error
+		switch m.KeyType {
+		case "", snapshot.KeyTypeInt64:
+			loadErr, restoreErr = recoverOne[int64](s, m)
+		case snapshot.KeyTypeFloat64:
+			loadErr, restoreErr = recoverOne[float64](s, m)
+		default:
+			loadErr = fmt.Errorf("%w: manifest declares %q keys (string datasets are serve-only, never persisted)",
+				snapshot.ErrKeyType, m.KeyType)
+		}
+		switch {
+		case loadErr != nil:
+			s.snapMu.Lock()
+			if errors.Is(loadErr, fs.ErrNotExist) || errors.Is(loadErr, snapshot.ErrKeyType) {
 				s.sstats.RestoreSkipped++
 			} else {
 				s.sstats.Quarantined++
 			}
 			s.snapMu.Unlock()
-			s.logf("snapshots: dataset %q not restored: %v", m.ID, err)
-			continue
-		}
-		if h.Options != s.optionsFP {
-			s.logf("snapshots: dataset %q was persisted under different pool options (%s); restoring anyway — values stay correct, simulated metrics follow the new configuration",
-				m.ID, h.Options)
-		}
-		if err := s.RestoreDataset(m.ID, shards, time.UnixMilli(meta.ExpiresUnixMS), meta.Gen); err != nil {
+			s.logf("snapshots: dataset %q not restored: %v", m.ID, loadErr)
+		case restoreErr != nil:
 			s.snapMu.Lock()
 			s.sstats.RestoreSkipped++
 			s.snapMu.Unlock()
-			s.logf("snapshots: dataset %q not restored: %v", m.ID, err)
-			continue
+			s.logf("snapshots: dataset %q not restored: %v", m.ID, restoreErr)
+		default:
+			s.snapMu.Lock()
+			s.sstats.Restored++
+			s.snapMu.Unlock()
 		}
-		s.snapMu.Lock()
-		s.sstats.Restored++
-		s.snapMu.Unlock()
 	}
 	s.snapGen.Store(maxGen)
 }
 
-// RestoreDataset registers shards as a resident dataset under id with
-// the given TTL deadline, admitting against the same resident-bytes
-// budget and count cap an upload faces — a refusal is the typed
-// ErrSnapshotBudget, and live data is never evicted to make room. The
-// shards are adopted zero-copy (Pool.RestoreDataset), so the caller
-// must hand over ownership; gen is the dataset's upload generation
-// from the manifest (it keeps stale background persists from
-// regressing newer state). Used by startup recovery; exported so the
-// admission contract is testable in isolation.
+// recoverOne loads and re-registers one manifest entry as K-keyed. A
+// load failure and a registration failure report separately so the
+// caller can attribute quarantines to decode faults only.
+func recoverOne[K snapshot.FixedKey](s *Server, m snapshot.Meta) (loadErr, restoreErr error) {
+	h, shards, meta, err := snapshot.LoadAs[K](s.snap, m.ID)
+	if err != nil {
+		return err, nil
+	}
+	if h.Options != s.optionsFP {
+		s.logf("snapshots: dataset %q was persisted under different pool options (%s); restoring anyway — values stay correct, simulated metrics follow the new configuration",
+			m.ID, h.Options)
+	}
+	return nil, restoreDataset[K](s, m.ID, shards, meta.Tenant,
+		time.UnixMilli(meta.ExpiresUnixMS), meta.Gen)
+}
+
+// RestoreDataset registers shards as a resident int64 dataset under id
+// with the given TTL deadline, admitting against the same
+// resident-bytes budget and count cap an upload faces — a refusal is
+// the typed ErrSnapshotBudget, and live data is never evicted to make
+// room. The shards are adopted zero-copy (Pool.RestoreDataset), so the
+// caller must hand over ownership; gen is the dataset's upload
+// generation from the manifest (it keeps stale background persists
+// from regressing newer state). Used by startup recovery; exported so
+// the admission contract is testable in isolation.
 func (s *Server) RestoreDataset(id string, shards [][]int64, expires time.Time, gen int64) error {
+	return restoreDataset(s, id, shards, "", expires, gen)
+}
+
+// restoreDataset is the kind-typed core of RestoreDataset, charging
+// the owning tenant's ledger (and checking its budget and quota) when
+// the tenant is configured.
+func restoreDataset[K snapshot.FixedKey](s *Server, id string, shards [][]K, tenant string, expires time.Time, gen int64) error {
 	if err := checkDatasetID(id); err != nil {
 		return err
 	}
@@ -139,10 +180,26 @@ func (s *Server) RestoreDataset(id string, shards [][]int64, expires time.Time, 
 		return fmt.Errorf("%w: daemon already holds %d datasets, the limit",
 			ErrSnapshotBudget, s.opts.MaxDatasets)
 	}
+	if te := s.tenantLedger(tenant); te != nil {
+		switch {
+		case te.cfg.MaxResidentBytes > 0 && te.bytes+need > te.cfg.MaxResidentBytes:
+			held := te.bytes
+			s.dsMu.Unlock()
+			return fmt.Errorf("%w: tenant %q holds %d of its %d-byte budget",
+				ErrSnapshotBudget, tenant, held, te.cfg.MaxResidentBytes)
+		case te.cfg.MaxDatasets > 0 && te.datasets+1 > int64(te.cfg.MaxDatasets):
+			s.dsMu.Unlock()
+			return fmt.Errorf("%w: tenant %q already holds %d datasets, its quota",
+				ErrSnapshotBudget, tenant, te.cfg.MaxDatasets)
+		}
+	}
 	s.dsBytes += need // the reservation, as in handleDatasetUpload
+	if te := s.tenantLedger(tenant); te != nil {
+		te.bytes += need
+	}
 	s.dsMu.Unlock()
 
-	ds, err := s.pool.RestoreDataset(shards)
+	ds, err := poolOf[K](s).RestoreDataset(shards)
 
 	s.dsMu.Lock()
 	if err == nil {
@@ -152,6 +209,9 @@ func (s *Server) RestoreDataset(id string, shards [][]int64, expires time.Time, 
 	}
 	if err != nil {
 		s.dsBytes -= need
+		if te := s.tenantLedger(tenant); te != nil {
+			te.bytes -= need
+		}
 		s.dsMu.Unlock()
 		if ds != nil {
 			ds.Close()
@@ -160,9 +220,16 @@ func (s *Server) RestoreDataset(id string, shards [][]int64, expires time.Time, 
 	}
 	// persistedExpires == expires: the deadline being registered is the
 	// one just read off disk.
-	e := &dsEntry{ds: ds, bytes: ds.Bytes(), expires: expires, gen: gen,
-		persistedExpires: expires, restored: true}
+	e := &dsEntry{
+		kind: parselclient.KeyKindOf[K](), ds: ds, procs: ds.Procs(), n: ds.N(),
+		tenant: tenant, bytes: ds.Bytes(), expires: expires, gen: gen,
+		persistedExpires: expires, restored: true,
+	}
 	s.dsBytes += e.bytes - need
+	if te := s.tenantLedger(tenant); te != nil {
+		te.bytes += e.bytes - need
+		te.datasets++
+	}
 	s.datasets[id] = e
 	s.dsMu.Unlock()
 	return nil
@@ -240,12 +307,13 @@ func (s *Server) persistOne(id string) {
 	s.dsMu.Lock()
 	e, ok := s.datasets[id]
 	var (
-		ds      *parsel.Dataset[int64]
+		dsAny   any
 		gen     int64
 		expires time.Time
+		tenant  string
 	)
 	if ok {
-		ds, gen, expires = e.ds, e.gen, e.expires
+		dsAny, gen, expires, tenant = e.ds, e.gen, e.expires, e.tenant
 	}
 	now := s.now()
 	s.dsMu.Unlock()
@@ -257,13 +325,32 @@ func (s *Server) persistOne(id string) {
 		}
 		return
 	}
+	switch ds := dsAny.(type) {
+	case *parsel.Dataset[int64]:
+		persistEntry(s, id, e, ds, gen, expires, tenant, now)
+	case *parsel.Dataset[float64]:
+		persistEntry(s, id, e, ds, gen, expires, tenant, now)
+	default:
+		// String datasets are serve-only — the snapshot format has no
+		// variable-width section — so reconcile disk by removing any
+		// file a same-id fixed-kind predecessor left behind.
+		if err := s.snap.Remove(id); err != nil {
+			s.countPersist(now, err)
+			s.logf("snapshots: remove %q: %v", id, err)
+		}
+	}
+}
+
+// persistEntry writes one fixed-kind dataset's snapshot; the key type
+// is stamped from K by the store.
+func persistEntry[K snapshot.FixedKey](s *Server, id string, e *dsEntry, ds *parsel.Dataset[K], gen int64, expires time.Time, tenant string, now time.Time) {
 	shards, err := ds.View()
 	if err != nil {
 		// Replaced or deleted between the registry read and here; that
 		// path re-marked the id dirty, so the newer state wins.
 		return
 	}
-	err = s.snap.Save(snapshot.Meta{
+	err = snapshot.SaveAs(s.snap, snapshot.Meta{
 		ID:            id,
 		Procs:         ds.Procs(),
 		N:             ds.N(),
@@ -272,6 +359,7 @@ func (s *Server) persistOne(id string) {
 		ExpiresUnixMS: expires.UnixMilli(),
 		SavedUnixMS:   now.UnixMilli(),
 		Options:       s.optionsFP,
+		Tenant:        tenant,
 	}, shards)
 	s.countPersist(now, err)
 	if err == nil {
@@ -355,15 +443,20 @@ func (s *Server) drainSnapshots() {
 		now := s.now()
 		metas := make([]snapshot.Meta, 0, len(s.datasets))
 		for id, e := range s.datasets {
+			if e.kind == parselclient.KeyKindString {
+				continue // serve-only: nothing on disk to refresh
+			}
 			metas = append(metas, snapshot.Meta{
 				ID:            id,
-				Procs:         e.ds.Procs(),
-				N:             e.ds.N(),
+				KeyType:       e.kind,
+				Procs:         e.procs,
+				N:             e.n,
 				Bytes:         e.bytes,
 				Gen:           e.gen,
 				ExpiresUnixMS: e.expires.UnixMilli(),
 				SavedUnixMS:   now.UnixMilli(),
 				Options:       s.optionsFP,
+				Tenant:        e.tenant,
 			})
 			e.persistedExpires = e.expires
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"strings"
 
 	"parsel/parselclient"
 )
@@ -113,19 +114,62 @@ func parseErrf(code, format string, args ...any) *ParseError {
 	return &ParseError{Code: code, Msg: fmt.Sprintf(format, args...)}
 }
 
-// ParseRequest decodes and validates one query body for an endpoint. It
-// never panics on any input; every failure is a *ParseError carrying a
-// stable wire code. Validation here is structural (required fields,
-// configured limits, non-finite numbers); population-dependent checks
-// (rank within [1, n]) stay in the engine, whose typed errors the
-// handler maps to wire codes the same way.
-func ParseRequest(ep Endpoint, body []byte, lim Limits) (*parselclient.Request, error) {
+// sniffKeyKind resolves a request's key kind before the typed parse:
+// the body's "key_kind" field, the X-Parsel-Kind header (uploads), or
+// the int64 default when neither is present. The two sources must
+// agree when both are given. A malformed body sniffs as the default —
+// the typed parse reports the JSON error with full context.
+func sniffKeyKind(body []byte, header string) (string, error) {
+	var probe struct {
+		KeyKind string `json:"key_kind"`
+	}
+	if len(body) > 0 {
+		_ = json.Unmarshal(body, &probe)
+	}
+	kind := probe.KeyKind
+	if header != "" {
+		h := strings.ToLower(strings.TrimSpace(header))
+		if kind != "" && kind != h {
+			return "", parseErrf(parselclient.CodeBadKind,
+				"key_kind %q disagrees with %s header %q", kind, parselclient.KindHeader, header)
+		}
+		kind = h
+	}
+	switch kind {
+	case "":
+		return parselclient.KeyKindInt64, nil
+	case parselclient.KeyKindInt64, parselclient.KeyKindFloat64, parselclient.KeyKindString:
+		return kind, nil
+	default:
+		return "", parseErrf(parselclient.CodeBadKind,
+			"unknown key kind %q (want int64, float64 or string)", kind)
+	}
+}
+
+// checkKeyKind validates an optional "key_kind" wire field: empty
+// (the int64 default) or one of the registry's kinds.
+func checkKeyKind(kind string) error {
+	switch kind {
+	case "", parselclient.KeyKindInt64, parselclient.KeyKindFloat64, parselclient.KeyKindString:
+		return nil
+	}
+	return parseErrf(parselclient.CodeBadKind,
+		"unknown key kind %q (want int64, float64 or string)", kind)
+}
+
+// ParseRequestOf decodes and validates one query body for an endpoint
+// under key kind K. It never panics on any input; every failure is a
+// *ParseError carrying a stable wire code. Validation here is
+// structural (required fields, configured limits, non-finite numbers);
+// population-dependent checks (rank within [1, n]) stay in the engine,
+// whose typed errors the handler maps to wire codes the same way.
+func ParseRequestOf[K parselclient.Key](ep Endpoint, body []byte, lim Limits) (*parselclient.RequestOf[K], error) {
 	lim = lim.withDefaults()
 	if int64(len(body)) > lim.MaxBodyBytes {
 		return nil, parseErrf(parselclient.CodeTooLarge,
 			"body is %d bytes, limit %d", len(body), lim.MaxBodyBytes)
 	}
-	var req parselclient.Request
+	var req parselclient.RequestOf[K]
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, parseErrf(parselclient.CodeBadJSON, "decode request: %v", err)
 	}
@@ -145,6 +189,11 @@ func ParseRequest(ep Endpoint, body []byte, lim Limits) (*parselclient.Request, 
 		return nil, err
 	}
 	return &req, nil
+}
+
+// ParseRequest is ParseRequestOf for the historical int64 wire.
+func ParseRequest(ep Endpoint, body []byte, lim Limits) (*parselclient.Request, error) {
+	return ParseRequestOf[int64](ep, body, lim)
 }
 
 // checkTimeout bounds timeout_ms so the millisecond->Duration
@@ -220,16 +269,16 @@ func checkParams(ep Endpoint, p queryParams, lim Limits) error {
 	return nil
 }
 
-// ParseDatasetUpload decodes and validates a PUT /v1/datasets/{id}
-// body. Like ParseRequest it never panics and reports every failure as
-// a *ParseError with a stable wire code.
-func ParseDatasetUpload(body []byte, lim Limits) (*parselclient.DatasetUpload, error) {
+// ParseDatasetUploadOf decodes and validates a PUT /v1/datasets/{id}
+// body under key kind K. Like ParseRequestOf it never panics and
+// reports every failure as a *ParseError with a stable wire code.
+func ParseDatasetUploadOf[K parselclient.Key](body []byte, lim Limits) (*parselclient.DatasetUploadOf[K], error) {
 	lim = lim.withDefaults()
 	if int64(len(body)) > lim.MaxBodyBytes {
 		return nil, parseErrf(parselclient.CodeTooLarge,
 			"body is %d bytes, limit %d", len(body), lim.MaxBodyBytes)
 	}
-	var up parselclient.DatasetUpload
+	var up parselclient.DatasetUploadOf[K]
 	if err := json.Unmarshal(body, &up); err != nil {
 		return nil, parseErrf(parselclient.CodeBadJSON, "decode upload: %v", err)
 	}
@@ -241,6 +290,12 @@ func ParseDatasetUpload(body []byte, lim Limits) (*parselclient.DatasetUpload, e
 			"%d shards, limit %d simulated processors", len(up.Shards), lim.MaxProcs)
 	}
 	return &up, nil
+}
+
+// ParseDatasetUpload is ParseDatasetUploadOf for the historical int64
+// wire.
+func ParseDatasetUpload(body []byte, lim Limits) (*parselclient.DatasetUpload, error) {
+	return ParseDatasetUploadOf[int64](body, lim)
 }
 
 // ParseDatasetQuery decodes and validates a POST /v1/datasets/{id}/query
@@ -262,6 +317,9 @@ func ParseDatasetQuery(body []byte, lim Limits) (*parselclient.DatasetQuery, End
 	if !ok {
 		return nil, 0, parseErrf(parselclient.CodeBadKind,
 			"unknown query kind %q (want select, median, quantile, quantiles, ranks, topk, bottomk or summary)", q.Kind)
+	}
+	if err := checkKeyKind(q.KeyKind); err != nil {
+		return nil, 0, err
 	}
 	if err := checkTimeout(q.TimeoutMS); err != nil {
 		return nil, 0, err
@@ -316,6 +374,10 @@ func ParseDatasetQueryMany(body []byte, lim Limits) ([]parselclient.DatasetQuery
 			return nil, nil, 0, parseErrf(parselclient.CodeBadKind,
 				"queries[%d]: unknown query kind %q (want select, median, quantile, quantiles, ranks, topk, bottomk or summary)", i, q.Kind)
 		}
+		if err := checkKeyKind(q.KeyKind); err != nil {
+			pe := err.(*ParseError)
+			return nil, nil, 0, parseErrf(pe.Code, "queries[%d]: %s", i, pe.Msg)
+		}
 		if err := checkParams(ep, queryParams{
 			rank: q.Rank, ranks: q.Ranks, q: q.Q, qs: q.Qs, k: q.K,
 		}, lim); err != nil {
@@ -331,10 +393,16 @@ func ParseDatasetQueryMany(body []byte, lim Limits) ([]parselclient.DatasetQuery
 const maxDatasetIDLen = 128
 
 // checkDatasetID validates a dataset id from the URL: 1..128 characters
-// out of [A-Za-z0-9._-].
+// out of [A-Za-z0-9._-], not beginning with a dot — "." and ".." are
+// path navigation, and a leading dot would produce hidden-file snapshot
+// names.
 func checkDatasetID(id string) error {
 	if id == "" {
 		return parseErrf(parselclient.CodeBadDatasetID, "empty dataset id")
+	}
+	if id[0] == '.' {
+		return parseErrf(parselclient.CodeBadDatasetID,
+			"dataset id %q begins with a dot", id)
 	}
 	if len(id) > maxDatasetIDLen {
 		return parseErrf(parselclient.CodeBadDatasetID,

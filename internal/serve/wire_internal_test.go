@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"parsel/parselclient"
+)
+
+// TestCheckDatasetID exercises the id validator directly, in
+// particular the literal "." and ".." segments that net/http's ServeMux
+// path-cleans into redirects before any handler runs — the validator
+// must still refuse them for callers that bypass the mux (snapshot
+// recovery, RestoreDataset).
+func TestCheckDatasetID(t *testing.T) {
+	bad := []string{
+		"", ".", "..", "...", ".hidden", ".foo.bar",
+		"has space", "sla/sh", "semi;colon", "café",
+		strings.Repeat("x", 129),
+	}
+	for _, id := range bad {
+		err := checkDatasetID(id)
+		if err == nil {
+			t.Errorf("checkDatasetID(%q) = nil, want error", id)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) || pe.Code != parselclient.CodeBadDatasetID {
+			t.Errorf("checkDatasetID(%q) = %v, want code %q", id, err, parselclient.CodeBadDatasetID)
+		}
+	}
+	good := []string{
+		"a", "A-1", "weekly.2026-08-08", "x..y", "trailing.", "under_score",
+		strings.Repeat("x", 128),
+	}
+	for _, id := range good {
+		if err := checkDatasetID(id); err != nil {
+			t.Errorf("checkDatasetID(%q) = %v, want nil", id, err)
+		}
+	}
+}
+
+// TestCheckKeyKind pins the registry's kind vocabulary: the empty
+// default plus the three served kinds, everything else refused with
+// bad_kind.
+func TestCheckKeyKind(t *testing.T) {
+	for _, k := range []string{"", "int64", "float64", "string"} {
+		if err := checkKeyKind(k); err != nil {
+			t.Errorf("checkKeyKind(%q) = %v, want nil", k, err)
+		}
+	}
+	for _, k := range []string{"Int64", "uint8", "decimal", "float32", " int64"} {
+		err := checkKeyKind(k)
+		var pe *ParseError
+		if err == nil || !errors.As(err, &pe) || pe.Code != parselclient.CodeBadKind {
+			t.Errorf("checkKeyKind(%q) = %v, want code %q", k, err, parselclient.CodeBadKind)
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 )
 
 // Typed decode failures. Every Decode error matches exactly one of
@@ -64,10 +65,17 @@ const (
 	magic = "PSELSNAP"
 	// Version is the current format version Encode writes.
 	Version = 1
-	// KeyTypeInt64 is the only key type this package currently
-	// encodes; the header field exists so future key types extend the
-	// format instead of aliasing it.
-	KeyTypeInt64 = "int64"
+	// KeyTypeInt64 and KeyTypeFloat64 are the fixed-width key types
+	// this package encodes; both use the same 8-byte flat data section
+	// (float64 keys are stored as their IEEE-754 bit patterns), so the
+	// header's key-type field is what keeps a float64 daemon from
+	// silently misreading an int64 snapshot and vice versa.
+	KeyTypeInt64   = "int64"
+	KeyTypeFloat64 = "float64"
+	// KeyTypeString names the daemon's variable-width key kind. It is
+	// never encoded — string datasets are serve-only — and exists so
+	// refusals can name the kind in the ErrKeyType they carry.
+	KeyTypeString = "string"
 
 	// maxHeaderLen bounds the header section so a corrupt length field
 	// cannot drive a huge allocation before the CRC is checked.
@@ -80,9 +88,57 @@ const (
 // castagnoli is the CRC-32C table shared by every section checksum.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// FixedKey is the set of key types with a fixed 8-byte encoding — the
+// kinds the snapshot format can hold. Strings are deliberately absent:
+// string datasets are serve-only.
+type FixedKey interface {
+	int64 | float64
+}
+
+// KeyTypeFor returns the header key-type name for K.
+func KeyTypeFor[K FixedKey]() string {
+	var z K
+	if _, ok := any(z).(float64); ok {
+		return KeyTypeFloat64
+	}
+	return KeyTypeInt64
+}
+
+// appendKeyBits appends the 8-byte little-endian encodings of keys:
+// int64 as its two's-complement bits, float64 as its IEEE-754 bits.
+func appendKeyBits[K FixedKey](buf []byte, keys []K) []byte {
+	switch ks := any(keys).(type) {
+	case []int64:
+		for _, k := range ks {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+		}
+	case []float64:
+		for _, k := range ks {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(k))
+		}
+	}
+	return buf
+}
+
+// decodeKeyBits fills dst from len(dst) consecutive 8-byte encodings in
+// src, the inverse of appendKeyBits.
+func decodeKeyBits[K FixedKey](dst []K, src []byte) {
+	switch ds := any(dst).(type) {
+	case []int64:
+		for i := range ds {
+			ds[i] = int64(binary.LittleEndian.Uint64(src[8*i:]))
+		}
+	case []float64:
+		for i := range ds {
+			ds[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+		}
+	}
+}
+
 // Header describes one snapshot independent of its key data.
 type Header struct {
-	// KeyType names the element type of the shards (KeyTypeInt64).
+	// KeyType names the element type of the shards (KeyTypeInt64 or
+	// KeyTypeFloat64).
 	KeyType string
 	// Options fingerprints the pool configuration the snapshot was
 	// taken under (informational; see the package comment).
@@ -98,15 +154,16 @@ type Header struct {
 // incrementally over fixed-size chunks, so a near-budget dataset is
 // never materialized a second time in memory on its way to disk. The
 // caller's slices are only read. Header.KeyType, Procs and N are
-// derived from the arguments; only Options is taken from h.
-func WriteTo(w io.Writer, h Header, shards [][]int64) (int64, error) {
+// derived from the arguments (the key type from K); only Options is
+// taken from h.
+func WriteTo[K FixedKey](w io.Writer, h Header, shards [][]K) (int64, error) {
 	var n int64
 	for _, sh := range shards {
 		n += int64(len(sh))
 	}
 
 	hdr := make([]byte, 0, 64)
-	hdr = appendString(hdr, KeyTypeInt64)
+	hdr = appendString(hdr, KeyTypeFor[K]())
 	hdr = appendString(hdr, h.Options)
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(shards)))
 	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(n))
@@ -135,10 +192,7 @@ func WriteTo(w io.Writer, h Header, shards [][]int64) (int64, error) {
 	for _, sh := range shards {
 		for off := 0; off < len(sh); off += chunkKeys {
 			end := min(off+chunkKeys, len(sh))
-			buf = buf[:0]
-			for _, k := range sh[off:end] {
-				buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
-			}
+			buf = appendKeyBits(buf[:0], sh[off:end])
 			sum = crc32.Update(sum, castagnoli, buf)
 			bw.Write(buf)
 		}
@@ -153,7 +207,7 @@ func WriteTo(w io.Writer, h Header, shards [][]int64) (int64, error) {
 
 // Encode is WriteTo into a fresh byte slice, for tests and small
 // snapshots.
-func Encode(h Header, shards [][]int64) []byte {
+func Encode[K FixedKey](h Header, shards [][]K) []byte {
 	var buf bytes.Buffer
 	WriteTo(&buf, h, shards) // a bytes.Buffer write cannot fail
 	return buf.Bytes()
@@ -162,12 +216,12 @@ func Encode(h Header, shards [][]int64) []byte {
 // EncodedSize is the exact byte length WriteTo will produce for the
 // same arguments — the Content-Length of a streaming upload, known
 // before a byte is encoded.
-func EncodedSize(h Header, shards [][]int64) int64 {
+func EncodedSize[K FixedKey](h Header, shards [][]K) int64 {
 	var n int64
 	for _, sh := range shards {
 		n += int64(len(sh))
 	}
-	hdr := int64(2+len(KeyTypeInt64)) + int64(2+len(h.Options)) + 4 + 8
+	hdr := int64(2+len(KeyTypeFor[K]())) + int64(2+len(h.Options)) + 4 + 8
 	const sectionOverhead = 4 + 4  // uint32 length + uint32 CRC
 	return int64(len(magic)) + 4 + // magic + version
 		sectionOverhead + hdr + // header section
@@ -377,9 +431,9 @@ func NewStreamDecoder(r io.Reader, maxBytes int64) (*StreamDecoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	if h.KeyType != KeyTypeInt64 {
-		return nil, fmt.Errorf("%w: snapshot holds %q keys, reader decodes %q",
-			ErrKeyType, h.KeyType, KeyTypeInt64)
+	if h.KeyType != KeyTypeInt64 && h.KeyType != KeyTypeFloat64 {
+		return nil, fmt.Errorf("%w: snapshot holds %q keys, reader decodes %q or %q",
+			ErrKeyType, h.KeyType, KeyTypeInt64, KeyTypeFloat64)
 	}
 	if h.Procs < 1 || h.Procs > maxProcs {
 		return nil, fmt.Errorf("%w: header claims %d processors", ErrCorrupt, h.Procs)
@@ -424,13 +478,26 @@ func (d *StreamDecoder) section32(name string, maxLen, wantLen int64) ([]byte, e
 	return payload, nil
 }
 
-// ReadData streams the extents and data sections, verifying the
+// ReadData is ReadDataAs for int64 snapshots, the historical decode
+// path; a stream holding another key type is refused with ErrKeyType.
+func (d *StreamDecoder) ReadData() ([][]int64, error) {
+	return ReadDataAs[int64](d)
+}
+
+// ReadDataAs streams the extents and data sections, verifying the
 // per-section CRCs incrementally (fixed-size chunks, never a second
 // copy of the population) and requiring a clean end of stream. The
-// returned shards are sliced out of a single contiguous backing array —
-// exactly the layout parsel.Pool.RestoreDataset adopts without
-// copying. Call it once, after NewStreamDecoder.
-func (d *StreamDecoder) ReadData() ([][]int64, error) {
+// stream's key type must match K or the read is refused with
+// ErrKeyType before anything is allocated. The returned shards are
+// sliced out of a single contiguous backing array — exactly the layout
+// parsel.Pool.RestoreDataset adopts without copying. Call it once,
+// after NewStreamDecoder. (A package-level function because Go methods
+// cannot take type parameters.)
+func ReadDataAs[K FixedKey](d *StreamDecoder) ([][]K, error) {
+	if want := KeyTypeFor[K](); d.h.KeyType != want {
+		return nil, fmt.Errorf("%w: snapshot holds %q keys, reader decodes %q",
+			ErrKeyType, d.h.KeyType, want)
+	}
 	ext, err := d.section32("extents", 8*int64(maxProcs), int64(8*d.h.Procs))
 	if err != nil {
 		return nil, err
@@ -460,21 +527,20 @@ func (d *StreamDecoder) ReadData() ([][]int64, error) {
 		return nil, fmt.Errorf("%w: data section claims %d bytes, header needs %d",
 			ErrCorrupt, claimed, want)
 	}
-	backing := make([]int64, d.h.N)
+	backing := make([]K, d.h.N)
 	const chunkKeys = 8192
 	buf := make([]byte, min(want, 8*chunkKeys))
 	sum := uint32(0)
-	key := 0
+	key := int64(0)
 	for off := int64(0); off < want; {
 		chunk := min(int64(len(buf)), want-off)
 		if err := d.sr.read("data", buf[:chunk]); err != nil {
 			return nil, err
 		}
 		sum = crc32.Update(sum, castagnoli, buf[:chunk])
-		for i := int64(0); i < chunk; i += 8 {
-			backing[key] = int64(binary.LittleEndian.Uint64(buf[i:]))
-			key++
-		}
+		keys := chunk / 8
+		decodeKeyBits(backing[key:key+keys], buf[:chunk])
+		key += keys
 		off += chunk
 	}
 	stored, err := d.sr.u32("data CRC")
@@ -495,7 +561,7 @@ func (d *StreamDecoder) ReadData() ([][]int64, error) {
 		return nil, fmt.Errorf("snapshot: read trailer: %w", err)
 	}
 
-	shards := make([][]int64, d.h.Procs)
+	shards := make([][]K, d.h.Procs)
 	off := int64(0)
 	for i, l := range lens {
 		end := off + l
@@ -505,19 +571,26 @@ func (d *StreamDecoder) ReadData() ([][]int64, error) {
 	return shards, nil
 }
 
-// Decode parses one snapshot held fully in memory — NewStreamDecoder +
-// ReadData over the byte slice. On success the returned shards are
+// Decode parses one int64 snapshot held fully in memory; DecodeAs is
+// the kind-generic form.
+func Decode(data []byte) (Header, [][]int64, error) {
+	return DecodeAs[int64](data)
+}
+
+// DecodeAs parses one snapshot held fully in memory — NewStreamDecoder
+// + ReadDataAs over the byte slice. On success the returned shards are
 // freshly allocated out of a single contiguous backing array — exactly
 // the layout parsel.Pool.RestoreDataset adopts without copying — and
 // the header describes them (Procs == len(shards), N == total
-// population). On any corruption the error matches one of the typed
-// failures and no shards are returned.
-func Decode(data []byte) (Header, [][]int64, error) {
+// population). On any corruption — including a key-type mismatch with
+// K — the error matches one of the typed failures and no shards are
+// returned.
+func DecodeAs[K FixedKey](data []byte) (Header, [][]K, error) {
 	d, err := NewStreamDecoder(bytes.NewReader(data), int64(len(data)))
 	if err != nil {
 		return Header{}, nil, err
 	}
-	shards, err := d.ReadData()
+	shards, err := ReadDataAs[K](d)
 	if err != nil {
 		return Header{}, nil, err
 	}

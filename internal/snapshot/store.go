@@ -55,6 +55,13 @@ type Meta struct {
 	SavedUnixMS int64 `json:"saved_unix_ms"`
 	// Options fingerprints the pool configuration at persist time.
 	Options string `json:"options"`
+	// KeyType names the dataset's key kind (KeyTypeInt64 or
+	// KeyTypeFloat64); manifests written before the field existed imply
+	// KeyTypeInt64, which Open fills in.
+	KeyType string `json:"key_type,omitempty"`
+	// Tenant names the tenant the dataset's resident bytes are charged
+	// to; empty when the daemon runs without tenants.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // manifestFile is the JSON schema of the store's manifest.
@@ -120,6 +127,9 @@ func Open(dir string) (*Store, []string, error) {
 				fmt.Sprintf("dropped manifest entry with unsafe id/file %q/%q", m.ID, m.File))
 			continue
 		}
+		if m.KeyType == "" {
+			m.KeyType = KeyTypeInt64
+		}
 		st.entries[m.ID] = m
 	}
 
@@ -147,9 +157,12 @@ func Open(dir string) (*Store, []string, error) {
 
 // safeID reports whether id is usable as a file-name stem: the same
 // [A-Za-z0-9._-] alphabet the daemon enforces on the wire, re-checked
-// here so the store never trusts its caller with path construction.
+// here so the store never trusts its caller with path construction. A
+// leading dot is refused outright — it covers "." and "..", and keeps
+// snapshot files from masquerading as dotfiles (".foo.snap") or
+// colliding with the store's own temp-file prefix.
 func safeID(id string) bool {
-	if id == "" || len(id) > 255-len(snapSuffix) {
+	if id == "" || len(id) > 255-len(snapSuffix) || id[0] == '.' {
 		return false
 	}
 	for i := 0; i < len(id); i++ {
@@ -161,18 +174,25 @@ func safeID(id string) bool {
 			return false
 		}
 	}
-	return id != "." && id != ".."
+	return true
 }
 
-// Save persists one dataset: its snapshot file (skipped when the
+// Save is SaveAs for int64 datasets, the historical persist path.
+func (st *Store) Save(meta Meta, shards [][]int64) error {
+	return SaveAs(st, meta, shards)
+}
+
+// SaveAs persists one dataset: its snapshot file (skipped when the
 // on-disk generation already matches, so TTL refreshes don't rewrite
 // the data) and the manifest. A Save older than the manifest's
 // generation is a no-op — a slow background persist can never regress
-// a newer state.
-func (st *Store) Save(meta Meta, shards [][]int64) error {
+// a newer state. Meta.KeyType is stamped from K. (A package-level
+// function because Go methods cannot take type parameters.)
+func SaveAs[K FixedKey](st *Store, meta Meta, shards [][]K) error {
 	if !safeID(meta.ID) {
 		return fmt.Errorf("snapshot: unsafe dataset id %q", meta.ID)
 	}
+	meta.KeyType = KeyTypeFor[K]()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	prev, exists := st.entries[meta.ID]
@@ -180,7 +200,7 @@ func (st *Store) Save(meta Meta, shards [][]int64) error {
 		return nil
 	}
 	meta.File = meta.ID + snapSuffix
-	if exists && prev.Gen == meta.Gen {
+	if exists && prev.Gen == meta.Gen && prev.KeyType == meta.KeyType {
 		// Same data already on disk: metadata-only refresh.
 		meta.DiskBytes = prev.DiskBytes
 	} else {
@@ -243,6 +263,7 @@ func (st *Store) RefreshMeta(metas []Meta) error {
 		}
 		m.File = prev.File
 		m.DiskBytes = prev.DiskBytes
+		m.KeyType = prev.KeyType
 		st.entries[m.ID] = m
 		changed = true
 	}
@@ -252,23 +273,34 @@ func (st *Store) RefreshMeta(metas []Meta) error {
 	return st.writeManifestLocked()
 }
 
-// Load reads and decodes one dataset's snapshot through the same
+// Load is LoadAs for int64 datasets, the historical restore path.
+func (st *Store) Load(id string) (Header, [][]int64, Meta, error) {
+	return LoadAs[int64](st, id)
+}
+
+// LoadAs reads and decodes one dataset's snapshot through the same
 // streaming decoder the daemon's binary uploads use (the file is never
 // materialized whole — the data section streams straight into the
 // contiguous backing RestoreDataset adopts). A missing file returns an
 // fs.ErrNotExist-matching error and drops the manifest entry (it
-// referenced nothing). A corrupt, truncated or version-skewed file is
-// quarantined — renamed to <file>.quarantined so it never poisons
-// another startup — its entry dropped, and the typed decode error
-// returned; I/O faults are reported without quarantining (the file may
-// be fine).
-func (st *Store) Load(id string) (Header, [][]int64, Meta, error) {
+// referenced nothing). An entry whose manifest key type differs from K
+// is refused with ErrKeyType without touching the file — it is the
+// reader that is mismatched, not the snapshot. A corrupt, truncated or
+// version-skewed file is quarantined — renamed to <file>.quarantined
+// so it never poisons another startup — its entry dropped, and the
+// typed decode error returned; I/O faults are reported without
+// quarantining (the file may be fine).
+func LoadAs[K FixedKey](st *Store, id string) (Header, [][]K, Meta, error) {
 	st.mu.Lock()
 	meta, ok := st.entries[id]
 	st.mu.Unlock()
 	if !ok {
 		return Header{}, nil, Meta{}, fmt.Errorf("snapshot: no manifest entry for %q: %w",
 			id, fs.ErrNotExist)
+	}
+	if want := KeyTypeFor[K](); meta.KeyType != want {
+		return Header{}, nil, Meta{}, fmt.Errorf("%w: snapshot %q holds %q keys, reader decodes %q",
+			ErrKeyType, id, meta.KeyType, want)
 	}
 	f, err := os.Open(filepath.Join(st.dir, meta.File))
 	if err != nil {
@@ -282,10 +314,10 @@ func (st *Store) Load(id string) (Header, [][]int64, Meta, error) {
 	if err != nil {
 		return Header{}, nil, Meta{}, fmt.Errorf("snapshot: stat %s: %w", meta.File, err)
 	}
-	var shards [][]int64
+	var shards [][]K
 	dec, err := NewStreamDecoder(bufio.NewReaderSize(f, 1<<16), fi.Size())
 	if err == nil {
-		shards, err = dec.ReadData()
+		shards, err = ReadDataAs[K](dec)
 	}
 	if err != nil {
 		if IsDecodeError(err) {

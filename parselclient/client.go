@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand/v2"
 	"net/http"
 	"net/url"
@@ -25,6 +26,14 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// Token, when non-empty, is sent as a bearer token in the
+	// Authorization header of every request — the static per-tenant
+	// credential of a daemon running with -tenants. Requests without it
+	// (or with a token matching no tenant) are refused with 401
+	// unknown_tenant by such a daemon. Configure before the first call;
+	// it must not be mutated concurrently with calls.
+	Token string
 
 	// QueryTimeout, when positive, is sent as timeout_ms on every query:
 	// the server-side bound on waiting for a free simulated machine.
@@ -106,6 +115,20 @@ var ErrDatasetNotFound = errors.New("parselclient: dataset not found")
 // "resident_budget").
 var ErrResidentBudget = errors.New("parselclient: resident-bytes budget exceeded")
 
+// ErrUnknownTenant reports that the daemon requires tenant
+// authentication and the request carried no bearer token, or one that
+// matches no configured tenant (HTTP 401, code "unknown_tenant").
+var ErrUnknownTenant = errors.New("parselclient: unknown tenant token")
+
+// ErrTenantBudget reports that an upload was refused because it would
+// exceed the calling tenant's resident-bytes budget or dataset quota
+// (HTTP 413, code "tenant_budget").
+var ErrTenantBudget = errors.New("parselclient: tenant budget exceeded")
+
+// ErrKindMismatch reports that a request's key kind was unknown or
+// disagreed with the dataset it addressed (HTTP 400, code "bad_kind").
+var ErrKindMismatch = errors.New("parselclient: key kind mismatch")
+
 // Is maps wire codes back onto the library's typed errors, so callers
 // can handle daemon responses exactly like in-process Pool errors:
 // errors.Is(err, parsel.ErrPoolTimeout) is true for a 429 pool_timeout,
@@ -132,6 +155,12 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == CodeDatasetNotFound
 	case ErrResidentBudget:
 		return e.Code == CodeResidentBudget
+	case ErrUnknownTenant:
+		return e.Code == CodeUnknownTenant
+	case ErrTenantBudget:
+		return e.Code == CodeTenantBudget
+	case ErrKindMismatch:
+		return e.Code == CodeBadKind
 	}
 	return false
 }
@@ -164,26 +193,61 @@ func (c *Client) timeoutMS(ctx context.Context) int64 {
 	return min(ms, maxTimeoutMS)
 }
 
+// keyKindField returns the key_kind value a K-kinded request carries:
+// empty for int64 (keeping the historical wire byte-identical), the
+// kind name otherwise.
+func keyKindField[K Key]() string {
+	if kind := KeyKindOf[K](); kind != KeyKindInt64 {
+		return kind
+	}
+	return ""
+}
+
+// KindClient is a typed view of a Client for one key kind: the same
+// connection, retry policy, token and binary negotiation, with the
+// query surface typed over K. Build one with Keyed; the zero value is
+// not usable. Methods are safe for concurrent use (they share the
+// underlying Client's synchronization).
+type KindClient[K Key] struct {
+	c *Client
+}
+
+// Keyed returns the K-kinded query surface of c: non-int64 requests
+// stamp "key_kind" into their bodies and decode kind-typed responses.
+// Keyed[int64](c) behaves exactly like c's own methods.
+func Keyed[K Key](c *Client) KindClient[K] {
+	return KindClient[K]{c: c}
+}
+
+// Client returns the underlying untyped client.
+func (kc KindClient[K]) Client() *Client { return kc.c }
+
 // post sends one query and decodes the response or the structured
 // error. A nil context means no deadline, mirroring the Pool methods.
 // The body is rebuilt per retry attempt so timeout_ms always reflects
 // the attempt's remaining budget, not the first attempt's.
-func (c *Client) post(ctx context.Context, path string, req Request) (*Response, error) {
+func (kc KindClient[K]) post(ctx context.Context, path string, req RequestOf[K]) (*ResponseOf[K], error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	req.KeyKind = keyKindField[K]()
 	body := func(actx context.Context) (io.Reader, int64, string, error) {
 		r := req
 		if r.TimeoutMS == 0 {
-			r.TimeoutMS = c.timeoutMS(actx)
+			r.TimeoutMS = kc.c.timeoutMS(actx)
 		}
 		return marshalBody(r)
 	}
-	var resp Response
-	if err := c.do(ctx, http.MethodPost, path, body, c.Binary, &resp); err != nil {
+	var resp ResponseOf[K]
+	if err := kc.c.do(ctx, http.MethodPost, path, body, kc.c.Binary, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// post is KindClient.post for the historical int64 surface.
+func (c *Client) post(ctx context.Context, path string, req Request) (*Response, error) {
+	return Keyed[int64](c).post(ctx, path, req)
 }
 
 // marshalBody encodes one JSON request body for a single attempt.
@@ -216,20 +280,20 @@ func decodeError(status int, data []byte) error {
 }
 
 // scalar runs a single-value query.
-func (c *Client) scalar(ctx context.Context, path string, req Request) (parsel.Result[int64], error) {
-	resp, err := c.post(ctx, path, req)
+func (kc KindClient[K]) scalar(ctx context.Context, path string, req RequestOf[K]) (parsel.Result[K], error) {
+	resp, err := kc.post(ctx, path, req)
 	if err != nil {
-		return parsel.Result[int64]{}, err
+		return parsel.Result[K]{}, err
 	}
 	if resp.Value == nil {
-		return parsel.Result[int64]{}, fmt.Errorf("parselclient: %s: response carries no value", path)
+		return parsel.Result[K]{}, fmt.Errorf("parselclient: %s: response carries no value", path)
 	}
-	return parsel.Result[int64]{Value: *resp.Value, Report: resp.Report.Report()}, nil
+	return parsel.Result[K]{Value: *resp.Value, Report: resp.Report.Report()}, nil
 }
 
 // multi runs a multi-value query.
-func (c *Client) multi(ctx context.Context, path string, req Request) ([]int64, parsel.Report, error) {
-	resp, err := c.post(ctx, path, req)
+func (kc KindClient[K]) multi(ctx context.Context, path string, req RequestOf[K]) ([]K, parsel.Report, error) {
+	resp, err := kc.post(ctx, path, req)
 	if err != nil {
 		return nil, parsel.Report{}, err
 	}
@@ -238,79 +302,137 @@ func (c *Client) multi(ctx context.Context, path string, req Request) ([]int64, 
 
 // Select returns the element of 1-based rank among all elements of
 // shards, like parsel.Pool.Select but over the wire.
+func (kc KindClient[K]) Select(ctx context.Context, shards [][]K, rank int64) (parsel.Result[K], error) {
+	return kc.scalar(ctx, "/v1/select", RequestOf[K]{Shards: shards, Rank: &rank})
+}
+
+// Median returns the element of rank ceil(n/2).
+func (kc KindClient[K]) Median(ctx context.Context, shards [][]K) (parsel.Result[K], error) {
+	return kc.scalar(ctx, "/v1/median", RequestOf[K]{Shards: shards})
+}
+
+// Quantile returns the element of rank ceil(q*n) for q in (0,1], and
+// the minimum for q = 0.
+func (kc KindClient[K]) Quantile(ctx context.Context, shards [][]K, q float64) (parsel.Result[K], error) {
+	return kc.scalar(ctx, "/v1/quantile", RequestOf[K]{Shards: shards, Q: &q})
+}
+
+// Quantiles returns the elements at several quantiles in one collective
+// run; results align with qs.
+func (kc KindClient[K]) Quantiles(ctx context.Context, shards [][]K, qs []float64) ([]K, parsel.Report, error) {
+	return kc.multi(ctx, "/v1/quantiles", RequestOf[K]{Shards: shards, Qs: qs})
+}
+
+// SelectRanks returns the elements at several 1-based ranks in one
+// collective run; results align with ranks.
+func (kc KindClient[K]) SelectRanks(ctx context.Context, shards [][]K, ranks []int64) ([]K, parsel.Report, error) {
+	return kc.multi(ctx, "/v1/ranks", RequestOf[K]{Shards: shards, Ranks: ranks})
+}
+
+// TopK returns the k largest elements in descending order.
+func (kc KindClient[K]) TopK(ctx context.Context, shards [][]K, k int) ([]K, parsel.Report, error) {
+	return kc.multi(ctx, "/v1/topk", RequestOf[K]{Shards: shards, K: &k})
+}
+
+// BottomK returns the k smallest elements in ascending order.
+func (kc KindClient[K]) BottomK(ctx context.Context, shards [][]K, k int) ([]K, parsel.Report, error) {
+	return kc.multi(ctx, "/v1/bottomk", RequestOf[K]{Shards: shards, K: &k})
+}
+
+// Summary computes the five-number summary in one multi-rank run.
+func (kc KindClient[K]) Summary(ctx context.Context, shards [][]K) (parsel.FiveNumber[K], parsel.Report, error) {
+	resp, err := kc.post(ctx, "/v1/summary", RequestOf[K]{Shards: shards})
+	if err != nil {
+		return parsel.FiveNumber[K]{}, parsel.Report{}, err
+	}
+	if resp.Summary == nil {
+		return parsel.FiveNumber[K]{}, parsel.Report{}, errors.New("parselclient: summary response carries no summary")
+	}
+	s := *resp.Summary
+	return parsel.FiveNumber[K]{Min: s.Min, Q1: s.Q1, Median: s.Median, Q3: s.Q3, Max: s.Max},
+		resp.Report.Report(), nil
+}
+
+// Dataset addresses one resident dataset on the daemon by id, typed
+// over K. The handle is stateless (no network traffic until a method
+// call), so it may be built once and shared across goroutines.
+func (kc KindClient[K]) Dataset(id string) *RemoteDatasetOf[K] {
+	return &RemoteDatasetOf[K]{c: kc.c, id: id}
+}
+
+// Select returns the element of 1-based rank among all elements of
+// shards, like parsel.Pool.Select but over the wire.
 func (c *Client) Select(ctx context.Context, shards [][]int64, rank int64) (parsel.Result[int64], error) {
-	return c.scalar(ctx, "/v1/select", Request{Shards: shards, Rank: &rank})
+	return Keyed[int64](c).Select(ctx, shards, rank)
 }
 
 // Median returns the element of rank ceil(n/2).
 func (c *Client) Median(ctx context.Context, shards [][]int64) (parsel.Result[int64], error) {
-	return c.scalar(ctx, "/v1/median", Request{Shards: shards})
+	return Keyed[int64](c).Median(ctx, shards)
 }
 
 // Quantile returns the element of rank ceil(q*n) for q in (0,1], and
 // the minimum for q = 0.
 func (c *Client) Quantile(ctx context.Context, shards [][]int64, q float64) (parsel.Result[int64], error) {
-	return c.scalar(ctx, "/v1/quantile", Request{Shards: shards, Q: &q})
+	return Keyed[int64](c).Quantile(ctx, shards, q)
 }
 
 // Quantiles returns the elements at several quantiles in one collective
 // run; results align with qs.
 func (c *Client) Quantiles(ctx context.Context, shards [][]int64, qs []float64) ([]int64, parsel.Report, error) {
-	return c.multi(ctx, "/v1/quantiles", Request{Shards: shards, Qs: qs})
+	return Keyed[int64](c).Quantiles(ctx, shards, qs)
 }
 
 // SelectRanks returns the elements at several 1-based ranks in one
 // collective run; results align with ranks.
 func (c *Client) SelectRanks(ctx context.Context, shards [][]int64, ranks []int64) ([]int64, parsel.Report, error) {
-	return c.multi(ctx, "/v1/ranks", Request{Shards: shards, Ranks: ranks})
+	return Keyed[int64](c).SelectRanks(ctx, shards, ranks)
 }
 
 // TopK returns the k largest elements in descending order.
 func (c *Client) TopK(ctx context.Context, shards [][]int64, k int) ([]int64, parsel.Report, error) {
-	return c.multi(ctx, "/v1/topk", Request{Shards: shards, K: &k})
+	return Keyed[int64](c).TopK(ctx, shards, k)
 }
 
 // BottomK returns the k smallest elements in ascending order.
 func (c *Client) BottomK(ctx context.Context, shards [][]int64, k int) ([]int64, parsel.Report, error) {
-	return c.multi(ctx, "/v1/bottomk", Request{Shards: shards, K: &k})
+	return Keyed[int64](c).BottomK(ctx, shards, k)
 }
 
 // Summary computes the five-number summary in one multi-rank run.
 func (c *Client) Summary(ctx context.Context, shards [][]int64) (parsel.FiveNumber[int64], parsel.Report, error) {
-	resp, err := c.post(ctx, "/v1/summary", Request{Shards: shards})
-	if err != nil {
-		return parsel.FiveNumber[int64]{}, parsel.Report{}, err
-	}
-	if resp.Summary == nil {
-		return parsel.FiveNumber[int64]{}, parsel.Report{}, errors.New("parselclient: summary response carries no summary")
-	}
-	s := *resp.Summary
-	return parsel.FiveNumber[int64]{Min: s.Min, Q1: s.Q1, Median: s.Median, Q3: s.Q3, Max: s.Max},
-		resp.Report.Report(), nil
+	return Keyed[int64](c).Summary(ctx, shards)
 }
 
 // Dataset addresses one resident dataset on the daemon by id. The
 // handle is stateless (no network traffic until a method call), so it
 // may be built once and shared across goroutines.
 func (c *Client) Dataset(id string) *RemoteDataset {
-	return &RemoteDataset{c: c, id: id}
+	return Keyed[int64](c).Dataset(id)
 }
 
-// RemoteDataset mirrors parsel.Dataset over the wire: upload the shards
-// once, then run any query of the daemon's surface against the resident
-// state — the query bodies carry no keys. Results, including every
-// simulated metric, are bit-identical to posting the same shards with
-// each query. Methods are safe for concurrent use.
-type RemoteDataset struct {
+// RemoteDatasetOf mirrors parsel.Dataset over the wire, typed over the
+// key kind: upload the shards once, then run any query of the daemon's
+// surface against the resident state — the query bodies carry no keys.
+// Results, including every simulated metric, are bit-identical to
+// posting the same shards with each query. Non-int64 handles stamp
+// "key_kind" into uploads and queries, so addressing a dataset of
+// another kind fails with bad_kind instead of silently mistyping keys.
+// Methods are safe for concurrent use.
+type RemoteDatasetOf[K Key] struct {
 	c  *Client
 	id string
 }
 
+// RemoteDataset is the int64 instantiation of RemoteDatasetOf — the
+// historical client surface, unchanged.
+type RemoteDataset = RemoteDatasetOf[int64]
+
 // ID returns the dataset id the handle addresses.
-func (d *RemoteDataset) ID() string { return d.id }
+func (d *RemoteDatasetOf[K]) ID() string { return d.id }
 
 // path builds the dataset's URL path, escaping the id.
-func (d *RemoteDataset) path(suffix string) string {
+func (d *RemoteDatasetOf[K]) path(suffix string) string {
 	return "/v1/datasets/" + url.PathEscape(d.id) + suffix
 }
 
@@ -373,6 +495,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body bodyFunc
 	if acceptFrame {
 		hreq.Header.Set("Accept", ContentTypeFrame)
 	}
+	if c.Token != "" {
+		hreq.Header.Set("Authorization", "Bearer "+c.Token)
+	}
 	stampDeadline(hreq, actx)
 	hres, err := c.hc.Do(hreq)
 	if err != nil {
@@ -415,7 +540,9 @@ func isFrameContentType(ct string) bool {
 	if i := strings.IndexByte(ct, ';'); i >= 0 {
 		ct = ct[:i]
 	}
-	return strings.TrimSpace(ct) == ContentTypeFrame
+	// Media types are case-insensitive (RFC 9110 §8.3.1): a proxy may
+	// legally rewrite the casing, so match with EqualFold.
+	return strings.EqualFold(strings.TrimSpace(ct), ContentTypeFrame)
 }
 
 // decodeFrameInto decodes a binary result frame into the response
@@ -453,31 +580,80 @@ func decodeFrameInto(data []byte, out any) error {
 			}
 		}
 		return nil
+	case *ResponseOf[float64]:
+		// Frame values are a bit container: float64 results travel as
+		// their IEEE-754 bits and convert back losslessly here.
+		if len(entries) != 1 {
+			return fmt.Errorf("parselclient: frame carries %d results, want 1", len(entries))
+		}
+		if err := json.Unmarshal(entries[0].Meta, v); err != nil {
+			return fmt.Errorf("parselclient: decode frame meta: %w", err)
+		}
+		if entries[0].Values != nil {
+			v.Values = float64sFromBits(entries[0].Values)
+		}
+		return nil
+	case *QueryManyResponseOf[float64]:
+		v.Results = make([]QueryManyResultOf[float64], len(entries))
+		for i := range entries {
+			if err := json.Unmarshal(entries[i].Meta, &v.Results[i]); err != nil {
+				return fmt.Errorf("parselclient: decode frame meta %d: %w", i, err)
+			}
+			if entries[i].Values != nil {
+				v.Results[i].Values = float64sFromBits(entries[i].Values)
+			}
+		}
+		return nil
 	default:
 		return fmt.Errorf("parselclient: unexpected binary frame for %T", out)
+	}
+}
+
+// float64sFromBits reinterprets a frame's bit-container values as the
+// float64 keys they encode.
+func float64sFromBits(bits []int64) []float64 {
+	vals := make([]float64, len(bits))
+	for i, b := range bits {
+		vals[i] = math.Float64frombits(uint64(b))
+	}
+	return vals
+}
+
+// frameUploadBody builds the streaming binary body for a fixed-width
+// upload: the snapshot encoding flows through a pipe, never
+// materialized as one request buffer, with Content-Length declared up
+// front. Each retry attempt opens a fresh pipe, so the streaming body
+// replays as safely as a buffered one. The encoded header carries the
+// key type, which the daemon treats as authoritative for the kind.
+func frameUploadBody[K snapshot.FixedKey](shards [][]K) bodyFunc {
+	return func(context.Context) (io.Reader, int64, string, error) {
+		pr, pw := io.Pipe()
+		go func() {
+			_, err := snapshot.WriteTo(pw, snapshot.Header{}, shards)
+			pw.CloseWithError(err)
+		}()
+		return pr, snapshot.EncodedSize(snapshot.Header{}, shards), ContentTypeFrame, nil
 	}
 }
 
 // Upload ships the shards into resident per-processor storage on the
 // daemon (PUT), replacing any dataset already under this id. This is
 // the only time the keys cross the wire. With Client.Binary set the
-// shards stream as the snapshot binary format — encoded on the fly
-// through a pipe, never materialized as one request buffer — with
-// Content-Length declared up front; each retry attempt opens a fresh
-// pipe, so the streaming body replays as safely as a buffered one.
-func (d *RemoteDataset) Upload(ctx context.Context, shards [][]int64) (DatasetInfo, error) {
+// fixed-width kinds (int64, float64) stream as the snapshot binary
+// format; string shards have no frame encoding and always marshal as
+// JSON.
+func (d *RemoteDatasetOf[K]) Upload(ctx context.Context, shards [][]K) (DatasetInfo, error) {
 	var body bodyFunc
 	if d.c.Binary {
-		body = func(context.Context) (io.Reader, int64, string, error) {
-			pr, pw := io.Pipe()
-			go func() {
-				_, err := snapshot.WriteTo(pw, snapshot.Header{}, shards)
-				pw.CloseWithError(err)
-			}()
-			return pr, snapshot.EncodedSize(snapshot.Header{}, shards), ContentTypeFrame, nil
+		switch sh := any(shards).(type) {
+		case [][]int64:
+			body = frameUploadBody(sh)
+		case [][]float64:
+			body = frameUploadBody(sh)
 		}
-	} else {
-		data, err := json.Marshal(DatasetUpload{Shards: shards})
+	}
+	if body == nil {
+		data, err := json.Marshal(DatasetUploadOf[K]{KeyKind: keyKindField[K](), Shards: shards})
 		if err != nil {
 			return DatasetInfo{}, fmt.Errorf("parselclient: encode: %w", err)
 		}
@@ -491,7 +667,7 @@ func (d *RemoteDataset) Upload(ctx context.Context, shards [][]int64) (DatasetIn
 }
 
 // Info fetches the dataset's description without touching its TTL.
-func (d *RemoteDataset) Info(ctx context.Context) (DatasetInfo, error) {
+func (d *RemoteDatasetOf[K]) Info(ctx context.Context) (DatasetInfo, error) {
 	var info DatasetInfo
 	if err := d.c.doJSON(ctx, http.MethodGet, d.path(""), nil, &info); err != nil {
 		return DatasetInfo{}, err
@@ -502,7 +678,7 @@ func (d *RemoteDataset) Info(ctx context.Context) (DatasetInfo, error) {
 // Delete removes the dataset, freeing its resident-bytes budget
 // immediately; queries in flight complete, later ones get
 // ErrDatasetNotFound.
-func (d *RemoteDataset) Delete(ctx context.Context) (DatasetInfo, error) {
+func (d *RemoteDatasetOf[K]) Delete(ctx context.Context) (DatasetInfo, error) {
 	var info DatasetInfo
 	if err := d.c.doJSON(ctx, http.MethodDelete, d.path(""), nil, &info); err != nil {
 		return DatasetInfo{}, err
@@ -512,10 +688,13 @@ func (d *RemoteDataset) Delete(ctx context.Context) (DatasetInfo, error) {
 
 // query posts one DatasetQuery, defaulting timeout_ms like post does —
 // recomputed per retry attempt from the attempt's remaining budget.
-func (d *RemoteDataset) query(ctx context.Context, q DatasetQuery) (*Response, error) {
+// Non-int64 handles stamp key_kind so a kind mismatch with the resident
+// dataset surfaces as bad_kind instead of mistyped keys.
+func (d *RemoteDatasetOf[K]) query(ctx context.Context, q DatasetQuery) (*ResponseOf[K], error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	q.KeyKind = keyKindField[K]()
 	body := func(actx context.Context) (io.Reader, int64, string, error) {
 		r := q
 		if r.TimeoutMS == 0 {
@@ -523,7 +702,7 @@ func (d *RemoteDataset) query(ctx context.Context, q DatasetQuery) (*Response, e
 		}
 		return marshalBody(r)
 	}
-	var resp Response
+	var resp ResponseOf[K]
 	if err := d.c.do(ctx, http.MethodPost, d.path("/query"), body, d.c.Binary, &resp); err != nil {
 		return nil, err
 	}
@@ -537,14 +716,23 @@ func (d *RemoteDataset) query(ctx context.Context, q DatasetQuery) (*Response, e
 // deadline, recomputed per retry attempt; per-item TimeoutMS must stay
 // zero. With Client.Binary set the results come back as one binary
 // frame.
-func (d *RemoteDataset) QueryMany(ctx context.Context, queries []DatasetQuery) ([]QueryManyResult, error) {
+func (d *RemoteDatasetOf[K]) QueryMany(ctx context.Context, queries []DatasetQuery) ([]QueryManyResultOf[K], error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	kind := keyKindField[K]()
 	body := func(actx context.Context) (io.Reader, int64, string, error) {
-		return marshalBody(DatasetQueryMany{Queries: queries, TimeoutMS: d.c.timeoutMS(actx)})
+		qs := queries
+		if kind != "" {
+			qs = make([]DatasetQuery, len(queries))
+			for i, q := range queries {
+				q.KeyKind = kind
+				qs[i] = q
+			}
+		}
+		return marshalBody(DatasetQueryMany{Queries: qs, TimeoutMS: d.c.timeoutMS(actx)})
 	}
-	var resp QueryManyResponse
+	var resp QueryManyResponseOf[K]
 	if err := d.c.do(ctx, http.MethodPost, d.path("/querymany"), body, d.c.Binary, &resp); err != nil {
 		return nil, err
 	}
@@ -558,7 +746,7 @@ func (d *RemoteDataset) QueryMany(ctx context.Context, queries []DatasetQuery) (
 // a single query returning this code would produce — so errors.Is
 // against the library's typed errors (parsel.ErrRankRange,
 // parsel.ErrPoolTimeout, ...) works identically for batch items.
-func (r *QueryManyResult) Err() error {
+func (r *QueryManyResultOf[K]) Err() error {
 	if r.Error == nil {
 		return nil
 	}
@@ -588,19 +776,19 @@ func statusForCode(code string) int {
 }
 
 // scalar runs a single-value dataset query.
-func (d *RemoteDataset) scalar(ctx context.Context, q DatasetQuery) (parsel.Result[int64], error) {
+func (d *RemoteDatasetOf[K]) scalar(ctx context.Context, q DatasetQuery) (parsel.Result[K], error) {
 	resp, err := d.query(ctx, q)
 	if err != nil {
-		return parsel.Result[int64]{}, err
+		return parsel.Result[K]{}, err
 	}
 	if resp.Value == nil {
-		return parsel.Result[int64]{}, fmt.Errorf("parselclient: dataset %s: response carries no value", q.Kind)
+		return parsel.Result[K]{}, fmt.Errorf("parselclient: dataset %s: response carries no value", q.Kind)
 	}
-	return parsel.Result[int64]{Value: *resp.Value, Report: resp.Report.Report()}, nil
+	return parsel.Result[K]{Value: *resp.Value, Report: resp.Report.Report()}, nil
 }
 
 // multi runs a multi-value dataset query.
-func (d *RemoteDataset) multi(ctx context.Context, q DatasetQuery) ([]int64, parsel.Report, error) {
+func (d *RemoteDatasetOf[K]) multi(ctx context.Context, q DatasetQuery) ([]K, parsel.Report, error) {
 	resp, err := d.query(ctx, q)
 	if err != nil {
 		return nil, parsel.Report{}, err
@@ -610,54 +798,54 @@ func (d *RemoteDataset) multi(ctx context.Context, q DatasetQuery) ([]int64, par
 
 // Select returns the element of 1-based rank among the resident
 // population.
-func (d *RemoteDataset) Select(ctx context.Context, rank int64) (parsel.Result[int64], error) {
+func (d *RemoteDatasetOf[K]) Select(ctx context.Context, rank int64) (parsel.Result[K], error) {
 	return d.scalar(ctx, DatasetQuery{Kind: KindSelect, Rank: &rank})
 }
 
 // Median returns the element of rank ceil(n/2).
-func (d *RemoteDataset) Median(ctx context.Context) (parsel.Result[int64], error) {
+func (d *RemoteDatasetOf[K]) Median(ctx context.Context) (parsel.Result[K], error) {
 	return d.scalar(ctx, DatasetQuery{Kind: KindMedian})
 }
 
 // Quantile returns the element of rank ceil(q*n) for q in (0,1], and
 // the minimum for q = 0.
-func (d *RemoteDataset) Quantile(ctx context.Context, q float64) (parsel.Result[int64], error) {
+func (d *RemoteDatasetOf[K]) Quantile(ctx context.Context, q float64) (parsel.Result[K], error) {
 	return d.scalar(ctx, DatasetQuery{Kind: KindQuantile, Q: &q})
 }
 
 // Quantiles returns the elements at several quantiles in one collective
 // run; results align with qs.
-func (d *RemoteDataset) Quantiles(ctx context.Context, qs []float64) ([]int64, parsel.Report, error) {
+func (d *RemoteDatasetOf[K]) Quantiles(ctx context.Context, qs []float64) ([]K, parsel.Report, error) {
 	return d.multi(ctx, DatasetQuery{Kind: KindQuantiles, Qs: qs})
 }
 
 // SelectRanks returns the elements at several 1-based ranks in one
 // collective run; results align with ranks.
-func (d *RemoteDataset) SelectRanks(ctx context.Context, ranks []int64) ([]int64, parsel.Report, error) {
+func (d *RemoteDatasetOf[K]) SelectRanks(ctx context.Context, ranks []int64) ([]K, parsel.Report, error) {
 	return d.multi(ctx, DatasetQuery{Kind: KindRanks, Ranks: ranks})
 }
 
 // TopK returns the k largest resident elements in descending order.
-func (d *RemoteDataset) TopK(ctx context.Context, k int) ([]int64, parsel.Report, error) {
+func (d *RemoteDatasetOf[K]) TopK(ctx context.Context, k int) ([]K, parsel.Report, error) {
 	return d.multi(ctx, DatasetQuery{Kind: KindTopK, K: &k})
 }
 
 // BottomK returns the k smallest resident elements in ascending order.
-func (d *RemoteDataset) BottomK(ctx context.Context, k int) ([]int64, parsel.Report, error) {
+func (d *RemoteDatasetOf[K]) BottomK(ctx context.Context, k int) ([]K, parsel.Report, error) {
 	return d.multi(ctx, DatasetQuery{Kind: KindBottomK, K: &k})
 }
 
 // Summary computes the five-number summary in one multi-rank run.
-func (d *RemoteDataset) Summary(ctx context.Context) (parsel.FiveNumber[int64], parsel.Report, error) {
+func (d *RemoteDatasetOf[K]) Summary(ctx context.Context) (parsel.FiveNumber[K], parsel.Report, error) {
 	resp, err := d.query(ctx, DatasetQuery{Kind: KindSummary})
 	if err != nil {
-		return parsel.FiveNumber[int64]{}, parsel.Report{}, err
+		return parsel.FiveNumber[K]{}, parsel.Report{}, err
 	}
 	if resp.Summary == nil {
-		return parsel.FiveNumber[int64]{}, parsel.Report{}, errors.New("parselclient: summary response carries no summary")
+		return parsel.FiveNumber[K]{}, parsel.Report{}, errors.New("parselclient: summary response carries no summary")
 	}
 	s := *resp.Summary
-	return parsel.FiveNumber[int64]{Min: s.Min, Q1: s.Q1, Median: s.Median, Q3: s.Q3, Max: s.Max},
+	return parsel.FiveNumber[K]{Min: s.Min, Q1: s.Q1, Median: s.Median, Q3: s.Q3, Max: s.Max},
 		resp.Report.Report(), nil
 }
 
@@ -683,6 +871,9 @@ func (c *Client) Healthz(ctx context.Context) (HealthStatus, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
 	if err != nil {
 		return HealthStatus{}, err
+	}
+	if c.Token != "" {
+		hreq.Header.Set("Authorization", "Bearer "+c.Token)
 	}
 	hres, err := c.hc.Do(hreq)
 	if err != nil {

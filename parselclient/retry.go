@@ -282,19 +282,25 @@ func stampDeadline(hreq *http.Request, ctx context.Context) {
 	hreq.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
 }
 
-// parseRetryAfter reads a Retry-After hint in whole seconds (the only
-// form the daemon and injectors emit); absent or unparsable hints are
-// zero.
+// parseRetryAfter reads a Retry-After hint in either RFC 9110 form:
+// delta-seconds (what the daemon emits) or an HTTP-date (what proxies
+// and CDNs in front of it emit). A date in the past clamps to zero, as
+// does anything unparsable or absent.
 func parseRetryAfter(h http.Header) time.Duration {
 	v := h.Get("Retry-After")
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.ParseInt(v, 10, 32)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.ParseInt(v, 10, 32); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if at, err := http.ParseTime(v); err == nil {
+		return max(time.Until(at), 0)
+	}
+	return 0
 }
 
 // doJSON runs one logical operation whose body (if any) is static

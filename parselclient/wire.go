@@ -56,6 +56,43 @@ package parselclient
 
 import "parsel"
 
+// Key is the set of key kinds the daemon serves: one kind-dispatched
+// pool per kind behind a single process. int64 is the historical
+// default — requests that carry no "key_kind" field and no
+// X-Parsel-Kind header are int64 requests, so pre-multi-kind clients
+// keep working unchanged.
+type Key interface {
+	int64 | float64 | string
+}
+
+// Key kind names carried in the wire's "key_kind" fields and the
+// X-Parsel-Kind header.
+const (
+	KeyKindInt64   = "int64"
+	KeyKindFloat64 = "float64"
+	KeyKindString  = "string"
+)
+
+// KindHeader is the request header naming the key kind of an upload
+// body (JSON or binary frame). The JSON "key_kind" body field is
+// equivalent; when both are present they must agree. Binary frame
+// uploads name their kind authoritatively in the frame header itself —
+// the HTTP header is then a cross-check.
+const KindHeader = "X-Parsel-Kind"
+
+// KeyKindOf returns the wire name of key kind K.
+func KeyKindOf[K Key]() string {
+	var z K
+	switch any(z).(type) {
+	case float64:
+		return KeyKindFloat64
+	case string:
+		return KeyKindString
+	default:
+		return KeyKindInt64
+	}
+}
+
 // Content types of the two wire encodings. JSON is the default and is
 // always supported; the binary frame encoding is negotiated per
 // request — Content-Type on a dataset upload selects the snapshot
@@ -74,13 +111,17 @@ const (
 	ContentTypeFrame = "application/x-parsel-frame"
 )
 
-// Request is the JSON body of every query endpoint. Pointer fields
-// distinguish "absent" from a meaningful zero (rank 0 is invalid, but
-// q=0 and k=0 are not).
-type Request struct {
+// RequestOf is the JSON body of every query endpoint, generic over the
+// key kind. Pointer fields distinguish "absent" from a meaningful zero
+// (rank 0 is invalid, but q=0 and k=0 are not).
+type RequestOf[K Key] struct {
+	// KeyKind names the key kind of Shards (one of the KeyKind
+	// constants). Empty means int64, so int64 requests are
+	// byte-identical to the pre-multi-kind wire.
+	KeyKind string `json:"key_kind,omitempty"`
 	// Shards is the sharded population, one slice of keys per simulated
 	// processor.
-	Shards [][]int64 `json:"shards"`
+	Shards [][]K `json:"shards"`
 	// Rank is the 1-based target rank (select).
 	Rank *int64 `json:"rank,omitempty"`
 	// Ranks are the 1-based target ranks (ranks).
@@ -95,6 +136,10 @@ type Request struct {
 	// milliseconds. 0 means the server's default admission timeout.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
+
+// Request is the int64 instantiation of RequestOf — the historical
+// wire type, unchanged on the wire.
+type Request = RequestOf[int64]
 
 // Report mirrors parsel.Report on the wire.
 type Report struct {
@@ -136,40 +181,61 @@ func (r Report) Report() parsel.Report {
 	}
 }
 
-// Summary is the five-number summary on the wire.
-type Summary struct {
-	Min    int64 `json:"min"`
-	Q1     int64 `json:"q1"`
-	Median int64 `json:"median"`
-	Q3     int64 `json:"q3"`
-	Max    int64 `json:"max"`
+// SummaryOf is the five-number summary on the wire, generic over the
+// key kind.
+type SummaryOf[K Key] struct {
+	Min    K `json:"min"`
+	Q1     K `json:"q1"`
+	Median K `json:"median"`
+	Q3     K `json:"q3"`
+	Max    K `json:"max"`
 }
 
-// Response is the 200 body of every query endpoint.
-type Response struct {
+// Summary is the int64 instantiation of SummaryOf.
+type Summary = SummaryOf[int64]
+
+// ResponseOf is the 200 body of every query endpoint, generic over the
+// key kind.
+type ResponseOf[K Key] struct {
+	// KeyKind names the key kind of the result values; empty means
+	// int64, so int64 responses are byte-identical to the
+	// pre-multi-kind wire.
+	KeyKind string `json:"key_kind,omitempty"`
 	// Value is the selected element (select, median, quantile).
-	Value *int64 `json:"value,omitempty"`
+	Value *K `json:"value,omitempty"`
 	// Values are the selected elements aligned with the request
 	// (quantiles, ranks) or ordered by rank (topk, bottomk). A k=0
 	// result is an empty array, not null (omitzero keeps it on the
 	// wire).
-	Values []int64 `json:"values,omitzero"`
+	Values []K `json:"values,omitzero"`
 	// Summary is the five-number summary (summary).
-	Summary *Summary `json:"summary,omitempty"`
+	Summary *SummaryOf[K] `json:"summary,omitempty"`
 	// Report is the simulated-machine report of the run.
 	Report Report `json:"report"`
 }
 
-// DatasetUpload is the JSON body of PUT /v1/datasets/{id}: the one
+// Response is the int64 instantiation of ResponseOf — the historical
+// wire type, unchanged on the wire.
+type Response = ResponseOf[int64]
+
+// DatasetUploadOf is the JSON body of PUT /v1/datasets/{id}: the one
 // time the keys cross the wire. The daemon copies the shards into
 // resident per-processor storage (snapshot-isolated, pinned to the
 // machine shape len(shards)) and every later query against the dataset
 // carries parameters only.
-type DatasetUpload struct {
+type DatasetUploadOf[K Key] struct {
+	// KeyKind names the key kind of Shards (one of the KeyKind
+	// constants); empty means int64. The X-Parsel-Kind request header
+	// is equivalent; when both are present they must agree or the
+	// upload is refused with bad_kind.
+	KeyKind string `json:"key_kind,omitempty"`
 	// Shards is the sharded population, one slice of keys per simulated
 	// processor, exactly as the query endpoints take it.
-	Shards [][]int64 `json:"shards"`
+	Shards [][]K `json:"shards"`
 }
+
+// DatasetUpload is the int64 instantiation of DatasetUploadOf.
+type DatasetUpload = DatasetUploadOf[int64]
 
 // Query kinds accepted by POST /v1/datasets/{id}/query; each mirrors
 // the shard-carrying endpoint of the same name.
@@ -191,6 +257,12 @@ const (
 type DatasetQuery struct {
 	// Kind picks the query (one of the Kind constants).
 	Kind string `json:"kind"`
+	// KeyKind optionally names the key kind the caller believes the
+	// dataset holds (one of the KeyKind constants). The dataset itself
+	// is authoritative — the field exists as a cross-check: a mismatch
+	// is refused with bad_kind instead of silently answering with keys
+	// of another type. Empty skips the check.
+	KeyKind string `json:"key_kind,omitempty"`
 	// Rank is the 1-based target rank (select).
 	Rank *int64 `json:"rank,omitempty"`
 	// Ranks are the 1-based target ranks (ranks).
@@ -222,27 +294,40 @@ type DatasetQueryMany struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// QueryManyResult is one item's outcome in a QueryManyResponse: either
-// the embedded Response fields (success) or Error (failure), never
-// both.
-type QueryManyResult struct {
-	Response
+// QueryManyResultOf is one item's outcome in a QueryManyResponseOf:
+// either the embedded response fields (success) or Error (failure),
+// never both.
+type QueryManyResultOf[K Key] struct {
+	ResponseOf[K]
 	// Error is the item's failure, carrying the same stable wire codes
 	// single queries map onto HTTP statuses; nil on success.
 	Error *ErrorDetail `json:"error,omitempty"`
 }
 
-// QueryManyResponse is the 200 body of POST /v1/datasets/{id}/querymany;
-// Results align with the request's Queries.
-type QueryManyResponse struct {
-	Results []QueryManyResult `json:"results"`
+// QueryManyResult is the int64 instantiation of QueryManyResultOf.
+type QueryManyResult = QueryManyResultOf[int64]
+
+// QueryManyResponseOf is the 200 body of POST
+// /v1/datasets/{id}/querymany; Results align with the request's
+// Queries.
+type QueryManyResponseOf[K Key] struct {
+	Results []QueryManyResultOf[K] `json:"results"`
 }
+
+// QueryManyResponse is the int64 instantiation of QueryManyResponseOf.
+type QueryManyResponse = QueryManyResponseOf[int64]
 
 // DatasetInfo describes one resident dataset: the 200 body of upload,
 // info and delete requests on /v1/datasets/{id}.
 type DatasetInfo struct {
 	// ID is the caller-chosen dataset identifier.
 	ID string `json:"id"`
+	// KeyKind names the dataset's key kind (one of the KeyKind
+	// constants); empty means int64.
+	KeyKind string `json:"key_kind,omitempty"`
+	// Tenant names the tenant the dataset's resident bytes are charged
+	// to; empty when the daemon runs without tenants.
+	Tenant string `json:"tenant,omitempty"`
 	// Procs is the machine shape: one simulated processor per shard.
 	Procs int `json:"procs"`
 	// N is the resident population size.
@@ -304,8 +389,19 @@ const (
 	// without evicting live data (413).
 	CodeResidentBudget = "resident_budget"
 	// CodeBadKind: a dataset query's kind is not one of the Kind
-	// constants (400).
+	// constants, a request's key_kind is not one of the KeyKind
+	// constants, or the key kind disagrees with the dataset it
+	// addresses (400).
 	CodeBadKind = "bad_kind"
+	// CodeUnknownTenant: the daemon runs with tenants configured and
+	// the request carries no Authorization bearer token, or one that
+	// matches no tenant (401).
+	CodeUnknownTenant = "unknown_tenant"
+	// CodeTenantBudget: admitting the upload would exceed the calling
+	// tenant's resident-bytes budget or dataset quota; rejected in
+	// constant time, without evicting live data (413). The global
+	// resident budget still answers CodeResidentBudget.
+	CodeTenantBudget = "tenant_budget"
 	// CodeBadDatasetID: the dataset id in the URL is empty, too long, or
 	// carries characters outside [A-Za-z0-9._-] (400).
 	CodeBadDatasetID = "bad_dataset_id"
@@ -394,6 +490,27 @@ type DatasetStats struct {
 	Queries int64 `json:"queries"`
 }
 
+// TenantStats is one tenant's block in Stats.Tenants: the tenant's
+// share of the resident-dataset ledger plus its configured limits.
+type TenantStats struct {
+	// Datasets is the tenant's resident dataset count (a gauge).
+	Datasets int64 `json:"datasets"`
+	// ResidentBytes is the tenant's resident size (a gauge), never
+	// above MaxResidentBytes.
+	ResidentBytes int64 `json:"resident_bytes"`
+	// MaxResidentBytes is the tenant's resident-bytes budget; 0 means
+	// no per-tenant byte limit (the global budget still applies).
+	MaxResidentBytes int64 `json:"max_resident_bytes,omitempty"`
+	// MaxDatasets is the tenant's dataset quota; 0 means no per-tenant
+	// count limit.
+	MaxDatasets int `json:"max_datasets,omitempty"`
+	// Requests counts the tenant's authenticated requests.
+	Requests int64 `json:"requests"`
+	// Rejected counts the tenant's uploads refused for its budget or
+	// quota (413 tenant_budget).
+	Rejected int64 `json:"rejected"`
+}
+
 // SnapshotStats describes the daemon's dataset persistence: disabled
 // (all zero, Enabled false) unless parseld runs with -snapshot-dir.
 type SnapshotStats struct {
@@ -476,4 +593,7 @@ type Stats struct {
 	Datasets  DatasetStats  `json:"datasets"`
 	Snapshots SnapshotStats `json:"snapshots"`
 	Latency   Histogram     `json:"latency"`
+	// Tenants maps tenant name to its ledger block; absent when the
+	// daemon runs without tenants.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
