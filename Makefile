@@ -10,10 +10,12 @@
 #                  dataset stress)
 #   make e2e     - the daemon end-to-end suite alone (httptest + parselclient,
 #                  incl. the kill-and-restart snapshot harness, the multi-kind
-#                  catalogues, the tenant admission/ledger suite and the chaos
+#                  catalogues, the tenant admission/ledger suite, the chaos
 #                  suite: differential replay through seeded fault injection,
-#                  panic recovery, deadline propagation), uncached, for quick
-#                  iteration on the serving layer
+#                  panic recovery, deadline propagation, and the multi-node
+#                  cluster harness: routed catalogue replay with one of three
+#                  nodes killed), uncached, for quick iteration on the
+#                  serving layer
 #   make fuzz    - short fuzz smoke: the 128-bit quantile-rank arithmetic, the
 #                  daemon's HTTP request decoder, the snapshot decoder and the
 #                  binary result-frame decoder
@@ -25,7 +27,7 @@ GO ?= go
 # Core packages the coverage gate measures: the engine, the wire client
 # and every internal package — commands and examples are thin mains and
 # excluded.
-COVER_PKGS = .,./parselclient,./internal/...
+COVER_PKGS = .,./parselclient,./parselclient/cluster,./internal/...
 COVER_MIN ?= 85
 
 .PHONY: ci vet build test race e2e fuzz cover
@@ -51,7 +53,7 @@ race:
 	$(GO) test -race ./...
 
 e2e:
-	$(GO) test -count=1 -run 'TestDaemon|TestDataset|TestSnapshot|TestTenant' ./internal/serve .
+	$(GO) test -count=1 -run 'TestDaemon|TestDataset|TestSnapshot|TestTenant|TestCluster' ./internal/serve .
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzQuantileRank -fuzztime=5s .
@@ -61,7 +63,7 @@ fuzz:
 
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out -coverpkg=$(COVER_PKGS) \
-		. ./parselclient ./internal/...
+		. ./parselclient ./parselclient/cluster ./internal/...
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
 	awk -v t=$$total -v min=$(COVER_MIN) 'BEGIN { \
 		if (t+0 < min+0) { printf "coverage %.1f%% is below the %s%% threshold\n", t, min; exit 1 } \

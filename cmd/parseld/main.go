@@ -199,16 +199,25 @@ func main() {
 	}
 
 	var tenantCfg []serve.Tenant
+	var tenantSource func() ([]serve.Tenant, error)
 	if *tenants != "" {
-		raw, err := os.ReadFile(*tenants)
-		if err != nil {
+		tenantSource = func() ([]serve.Tenant, error) {
+			raw, err := os.ReadFile(*tenants)
+			if err != nil {
+				return nil, err
+			}
+			var cfg []serve.Tenant
+			if err := json.Unmarshal(raw, &cfg); err != nil {
+				return nil, fmt.Errorf("decode %s: %w", *tenants, err)
+			}
+			if len(cfg) == 0 {
+				return nil, fmt.Errorf("%s lists no tenants", *tenants)
+			}
+			return cfg, nil
+		}
+		var err error
+		if tenantCfg, err = tenantSource(); err != nil {
 			fail("tenants: %v", err)
-		}
-		if err := json.Unmarshal(raw, &tenantCfg); err != nil {
-			fail("tenants: decode %s: %v", *tenants, err)
-		}
-		if len(tenantCfg) == 0 {
-			fail("tenants: %s lists no tenants", *tenants)
 		}
 	}
 
@@ -228,6 +237,7 @@ func main() {
 		MaxDatasets:      *dsMax,
 		SnapshotDir:      *snapDir,
 		Tenants:          tenantCfg,
+		TenantSource:     tenantSource,
 	})
 	if err != nil {
 		fail("serve: %v", err)
@@ -259,6 +269,33 @@ func main() {
 	go func() { errCh <- hs.ListenAndServe() }()
 	log.Printf("parseld listening on %s (alg=%s bal=%s topo=%s machines=%d queue=%d)",
 		*addr, *alg, *bal, *topo, *machines, *queue)
+
+	// SIGHUP rereads -tenants and swaps the tenant configuration in
+	// place — token rotation and budget changes without a restart; the
+	// authenticated POST /v1/admin/tenants/reload endpoint does the
+	// same over the wire. Surviving tenants (matched by name) keep
+	// their ledgers. Without -tenants the signal is acknowledged and
+	// ignored (tenancy cannot be toggled at runtime).
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if tenantSource == nil {
+				log.Printf("SIGHUP: no -tenants file to reload")
+				continue
+			}
+			cfg, err := tenantSource()
+			if err != nil {
+				log.Printf("SIGHUP: tenants: %v (keeping the previous configuration)", err)
+				continue
+			}
+			if err := srv.ReloadTenants(cfg); err != nil {
+				log.Printf("SIGHUP: tenants: %v (keeping the previous configuration)", err)
+				continue
+			}
+			log.Printf("SIGHUP: tenant configuration reloaded (%d tenants)", len(cfg))
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -23,6 +23,8 @@
 //	selectbench -http -dataset -binary -clients 32 -perf BENCH_PR7.json
 //	selectbench -http -dataset -binary -clients 32 -kind float64  # float64 rows at parity with int64
 //	selectbench -http -dataset -binary -clients 32 -kind float64 -perf BENCH_PR8.json
+//	selectbench -cluster -nodes 3 -clients 32                     # routed 3-node fleet, healthy and one-down
+//	selectbench -cluster -nodes 3 -clients 32 -perf BENCH_PR9.json
 package main
 
 import (
@@ -46,6 +48,7 @@ import (
 	"parsel/internal/harness"
 	"parsel/internal/serve"
 	"parsel/parselclient"
+	"parsel/parselclient/cluster"
 )
 
 // perfResult is one benchmark row of the -perf snapshot.
@@ -233,7 +236,7 @@ func runLoopbackBench(clients int, faultRate float64, prep func(ctx context.Cont
 		})
 		hc = &http.Client{Transport: in.Transport(http.DefaultTransport)}
 	}
-	client := parselclient.New("http://"+ln.Addr().String(), hc)
+	client := parselclient.New("http://"+ln.Addr().String(), parselclient.WithHTTPClient(hc))
 	if faultRate > 0 {
 		client.Retry = parselclient.RetryPolicy{
 			MaxAttempts: 16,
@@ -380,6 +383,135 @@ func runHTTPDatasetClientsFloat64(clients int) (perfResult, error) {
 	})
 }
 
+// runClusterBench measures the routed serving path on an in-process
+// fleet: nodes daemons on loopback listeners, the cluster router
+// placing the standard dataset at 2 replicas (the replica filled by
+// node-to-node snapshot shipping, not a second client upload), and
+// clients goroutines querying through the router. Two rows come back:
+// the healthy fleet, and the same fleet with the dataset's primary
+// killed mid-life — the degraded row includes the one-time failover
+// blip (the first query that discovers the dead node and switches
+// replicas), so it prices both the steady-state detour and the
+// discovery.
+func runClusterBench(clients, nodes int) (healthy, degraded perfResult, err error) {
+	shards := perfShards()
+	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
+	machines := clients
+	if machines > 8 {
+		machines = 8
+	}
+	type benchNode struct {
+		pool *parsel.Pool[int64]
+		hs   *http.Server
+		url  string
+	}
+	var fleet []*benchNode
+	defer func() {
+		for _, n := range fleet {
+			n.hs.Close()
+			n.pool.Close()
+		}
+	}()
+	var urls []string
+	for i := 0; i < nodes; i++ {
+		pool, perr := parsel.NewPool[int64](opts, parsel.PoolOptions{MaxMachines: machines})
+		if perr != nil {
+			return healthy, degraded, perr
+		}
+		srv, serr := serve.New(serve.Options{Pool: pool, QueueDepth: 4 * clients})
+		if serr != nil {
+			pool.Close()
+			return healthy, degraded, serr
+		}
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			pool.Close()
+			return healthy, degraded, lerr
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		n := &benchNode{pool: pool, hs: hs, url: "http://" + ln.Addr().String()}
+		fleet = append(fleet, n)
+		urls = append(urls, n.url)
+	}
+	router, err := cluster.New(cluster.Config{
+		Nodes: urls, Replicas: 2, RecoveryInterval: time.Hour,
+	})
+	if err != nil {
+		return healthy, degraded, err
+	}
+	ctx := context.Background()
+	ds := cluster.DatasetOf[int64](router, "bench")
+	if _, err = ds.Upload(ctx, shards); err != nil {
+		return healthy, degraded, err
+	}
+	if st := router.Stats(); st.Shipped != 1 || st.Reuploads != 0 {
+		return healthy, degraded, fmt.Errorf("replication took %d ships and %d reuploads, want 1 and 0", st.Shipped, st.Reuploads)
+	}
+
+	run := func(warm int) (perfResult, error) {
+		for i := 0; i < warm; i++ {
+			if _, err := ds.Median(ctx); err != nil {
+				return perfResult{}, err
+			}
+		}
+		queries := clients * 8
+		if queries < 64 {
+			queries = 64
+		}
+		var next, failed atomic.Int64
+		var sim atomic.Value
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if next.Add(1) > int64(queries) {
+						return
+					}
+					res, err := ds.Median(ctx)
+					if err != nil {
+						failed.Add(1)
+						return
+					}
+					sim.Store(res.SimSeconds)
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if n := failed.Load(); n > 0 {
+			return perfResult{}, fmt.Errorf("%d routed queries failed", n)
+		}
+		simSec, _ := sim.Load().(float64)
+		return perfResult{
+			NsPerOp:    elapsed.Nanoseconds() / int64(queries),
+			SimSeconds: simSec,
+			QPS:        float64(queries) / elapsed.Seconds(),
+			Clients:    clients,
+		}, nil
+	}
+
+	// Warm every replica's pool and connection path before timing.
+	if healthy, err = run(machines); err != nil {
+		return healthy, degraded, err
+	}
+
+	// Kill the primary — listener torn down mid-life, no drain — and
+	// measure again without warming, so the failover discovery is paid
+	// inside the timed window.
+	primary := router.Place("bench")[0]
+	for _, n := range fleet {
+		if n.url == primary {
+			n.hs.Close()
+		}
+	}
+	degraded, err = run(0)
+	return healthy, degraded, err
+}
+
 // runUploadBench measures dataset-upload throughput over loopback: how
 // fast the standard 256k workload lands resident, in raw dataset
 // megabytes per second (8 bytes/key — the same numerator for both
@@ -416,7 +548,7 @@ func runUploadBenchAs[K parselclient.Key](binary bool, shards [][]K) (perfResult
 	hs := &http.Server{Handler: srv}
 	go hs.Serve(ln)
 	defer hs.Close()
-	client := parselclient.New("http://"+ln.Addr().String(), nil)
+	client := parselclient.New("http://" + ln.Addr().String())
 	client.Binary = binary
 	rd := parselclient.Keyed[K](client).Dataset("bench")
 	ctx := context.Background()
@@ -503,7 +635,7 @@ func runRestore() (cold, warm perfResult, err error) {
 		}
 		hs := &http.Server{Handler: srv}
 		go hs.Serve(ln)
-		rd := parselclient.New("http://"+ln.Addr().String(), nil).Dataset("bench")
+		rd := parselclient.New("http://" + ln.Addr().String()).Dataset("bench")
 		start := time.Now()
 		if _, err := rd.Upload(context.Background(), shards); err != nil {
 			hs.Close()
@@ -554,7 +686,7 @@ func runRestore() (cold, warm perfResult, err error) {
 // binary-framed resident-dataset row; with f64Mode the float64_* rows
 // pricing the kind-dispatched float64 path at parity with int64) —
 // and writes the JSON snapshot to path.
-func runPerf(path string, clients int, httpMode, datasetMode, restoreMode, binaryMode, f64Mode bool, faultRates []float64) error {
+func runPerf(path string, clients int, httpMode, datasetMode, restoreMode, binaryMode, f64Mode bool, faultRates []float64, clusterNodes int) error {
 	shards := perfShards()
 	opts := parsel.Options{Algorithm: parsel.FastRandomized, Balancer: parsel.ModifiedOMLB}
 	var n int64
@@ -651,6 +783,15 @@ func runPerf(path string, clients int, httpMode, datasetMode, restoreMode, binar
 		}
 	}
 
+	if clusterNodes > 0 && clients > 0 {
+		chealthy, cdown, err := runClusterBench(clients, clusterNodes)
+		if err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		results[fmt.Sprintf("cluster_%dnodes_%dclients", clusterNodes, clients)] = chealthy
+		results[fmt.Sprintf("cluster_%dnodes_%dclients_1down", clusterNodes, clients)] = cdown
+	}
+
 	if restoreMode {
 		cold, warmres, err := runRestore()
 		if err != nil {
@@ -709,19 +850,21 @@ func runPerf(path string, clients int, httpMode, datasetMode, restoreMode, binar
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list) or \"all\"")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		quick   = flag.Bool("quick", false, "shrink problem sizes for a fast smoke run")
-		seeds   = flag.Int("seeds", 5, "trials averaged per random data point")
-		csv     = flag.Bool("csv", false, "emit comma-separated rows instead of aligned text")
-		perf    = flag.String("perf", "", "write a host-performance JSON snapshot to this path and exit")
-		clients = flag.Int("clients", 0, "measure pooled concurrent throughput with this many client goroutines (alone: print; with -perf: append to the snapshot)")
-		httpB   = flag.Bool("http", false, "with -clients: also measure daemon (HTTP) round-trip throughput through an in-process parseld on loopback")
-		dataset = flag.Bool("dataset", false, "with -http -clients: also measure resident-dataset round trips (upload once, query many — bodies carry no keys)")
-		restore = flag.Bool("restore", false, "measure cold-upload vs snapshot-restore time for the standard dataset (alone: print; with -perf: add the restore_* rows)")
-		faultsF = flag.String("faults", "", "with -http -dataset -clients: comma-separated fault-injection rates (fractions, e.g. 0,0.05,0.20); measures resident-dataset throughput with a retrying client riding each fault stream")
-		binary  = flag.Bool("binary", false, "with -http: measure upload throughput for both encodings (upload_json vs upload_binary, MB/s); with -dataset -clients additionally resident-dataset round trips over binary frames")
-		kindF   = flag.String("kind", "", `measure an additional key kind at parity with int64 (only "float64" is supported): with -http -dataset -clients a float64 resident-dataset row, with -binary float64 upload rows`)
+		exp      = flag.String("exp", "", "experiment id (see -list) or \"all\"")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		quick    = flag.Bool("quick", false, "shrink problem sizes for a fast smoke run")
+		seeds    = flag.Int("seeds", 5, "trials averaged per random data point")
+		csv      = flag.Bool("csv", false, "emit comma-separated rows instead of aligned text")
+		perf     = flag.String("perf", "", "write a host-performance JSON snapshot to this path and exit")
+		clients  = flag.Int("clients", 0, "measure pooled concurrent throughput with this many client goroutines (alone: print; with -perf: append to the snapshot)")
+		httpB    = flag.Bool("http", false, "with -clients: also measure daemon (HTTP) round-trip throughput through an in-process parseld on loopback")
+		dataset  = flag.Bool("dataset", false, "with -http -clients: also measure resident-dataset round trips (upload once, query many — bodies carry no keys)")
+		restore  = flag.Bool("restore", false, "measure cold-upload vs snapshot-restore time for the standard dataset (alone: print; with -perf: add the restore_* rows)")
+		faultsF  = flag.String("faults", "", "with -http -dataset -clients: comma-separated fault-injection rates (fractions, e.g. 0,0.05,0.20); measures resident-dataset throughput with a retrying client riding each fault stream")
+		binary   = flag.Bool("binary", false, "with -http: measure upload throughput for both encodings (upload_json vs upload_binary, MB/s); with -dataset -clients additionally resident-dataset round trips over binary frames")
+		kindF    = flag.String("kind", "", `measure an additional key kind at parity with int64 (only "float64" is supported): with -http -dataset -clients a float64 resident-dataset row, with -binary float64 upload rows`)
+		clusterB = flag.Bool("cluster", false, "with -clients: measure routed-fleet throughput through the client-side cluster router (see -nodes), healthy and with the primary killed")
+		nodesF   = flag.Int("nodes", 3, "with -cluster: fleet size — in-process daemons on loopback listeners")
 	)
 	flag.Parse()
 
@@ -751,9 +894,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "selectbench: -faults measures the resident path under injection; pass -http -dataset -clients N with it")
 		os.Exit(2)
 	}
+	if *clusterB && *clients == 0 {
+		fmt.Fprintln(os.Stderr, "selectbench: -cluster measures routed throughput; pass -clients N with it")
+		os.Exit(2)
+	}
+	if *clusterB && *nodesF < 2 {
+		fmt.Fprintln(os.Stderr, "selectbench: -cluster needs -nodes of at least 2 (one to kill, one to keep answering)")
+		os.Exit(2)
+	}
+	clusterNodes := 0
+	if *clusterB {
+		clusterNodes = *nodesF
+	}
 
 	if *perf != "" {
-		if err := runPerf(*perf, *clients, *httpB, *dataset, *restore, *binary, *kindF == "float64", faultRates); err != nil {
+		if err := runPerf(*perf, *clients, *httpB, *dataset, *restore, *binary, *kindF == "float64", faultRates, clusterNodes); err != nil {
 			fmt.Fprintf(os.Stderr, "selectbench: perf: %v\n", err)
 			os.Exit(1)
 		}
@@ -861,6 +1016,17 @@ func main() {
 						*clients, rate*100, fr.QPS, float64(fr.NsPerOp)/1e6)
 				}
 			}
+		}
+		if clusterNodes > 0 {
+			chealthy, cdown, err := runClusterBench(*clients, clusterNodes)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "selectbench: cluster: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("cluster %d nodes, %d clients:          %.1f queries/s (%.3f ms/query)\n",
+				clusterNodes, *clients, chealthy.QPS, float64(chealthy.NsPerOp)/1e6)
+			fmt.Printf("cluster %d nodes, %d clients, 1 down:  %.1f queries/s (%.3f ms/query, incl. failover blip)\n",
+				clusterNodes, *clients, cdown.QPS, float64(cdown.NsPerOp)/1e6)
 		}
 		return
 	}

@@ -91,7 +91,7 @@ func TestDaemonDeadlinePropagation(t *testing.T) {
 	// The retrying client stamps the header from its context deadline;
 	// while the machine is held, the whole operation resolves to the
 	// typed pool timeout rather than hanging into the server default.
-	client := parselclient.New(ts.URL, ts.Client())
+	client := parselclient.New(ts.URL, parselclient.WithHTTPClient(ts.Client()))
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	_, err = client.Median(ctx, [][]int64{{3, 1}, {2}})
 	cancel()

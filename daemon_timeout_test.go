@@ -33,7 +33,7 @@ func TestDaemonPoolTimeoutTyped(t *testing.T) {
 	}
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
-	client := parselclient.New(ts.URL, ts.Client())
+	client := parselclient.New(ts.URL, parselclient.WithHTTPClient(ts.Client()))
 	shards := workload.Generate(workload.Random, 4000, 4, 9)
 	ctx := context.Background()
 

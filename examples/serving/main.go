@@ -146,7 +146,7 @@ func main() {
 	go hs.Serve(ln)
 	defer hs.Close()
 
-	client := parselclient.New("http://"+ln.Addr().String(), nil)
+	client := parselclient.New("http://" + ln.Addr().String())
 	ctx := context.Background()
 	vals, rep, err := client.Quantiles(ctx, shards, []float64{0.5, 0.95, 0.99})
 	if err != nil {
@@ -162,7 +162,7 @@ func main() {
 
 	// Deadlines are first-class on the wire: a query that cannot get a
 	// machine in time comes back as the library's typed ErrPoolTimeout.
-	hurried := parselclient.New("http://"+ln.Addr().String(), nil)
+	hurried := parselclient.New("http://" + ln.Addr().String())
 	hurried.QueryTimeout = time.Nanosecond // absurd on purpose; rounds up to 1ms
 	busy := make(chan struct{})
 	go func() { // occupy all machines briefly

@@ -22,7 +22,7 @@ import (
 // binaryClient builds a second client on the same daemon with the
 // binary frame encoding switched on.
 func binaryClient(d *daemon) *parselclient.Client {
-	c := parselclient.New(d.ts.URL, d.ts.Client())
+	c := parselclient.New(d.ts.URL, parselclient.WithHTTPClient(d.ts.Client()))
 	c.Binary = true
 	return c
 }
@@ -211,7 +211,7 @@ func TestDaemonQueryManyValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	check := func(name string, queries []parselclient.DatasetQuery, wantCode string) {
+	check := func(name string, queries []parselclient.DatasetQuery, wantCode parselclient.Code) {
 		t.Helper()
 		_, err := rd.QueryMany(ctx, queries)
 		var api *parselclient.APIError
@@ -265,7 +265,7 @@ func TestDaemonFrameUploadErrors(t *testing.T) {
 		}
 		return res
 	}
-	wantCode := func(res *http.Response, status int, code string) {
+	wantCode := func(res *http.Response, status int, code parselclient.Code) {
 		t.Helper()
 		defer res.Body.Close()
 		data, _ := io.ReadAll(res.Body)

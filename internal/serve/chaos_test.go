@@ -43,7 +43,7 @@ func chaosPolicy(seed uint64) parselclient.RetryPolicy {
 // transport.
 func chaosClient(d *daemon, in *faults.Injector) *parselclient.Client {
 	hc := &http.Client{Transport: in.Transport(d.ts.Client().Transport)}
-	c := parselclient.New(d.ts.URL, hc)
+	c := parselclient.New(d.ts.URL, parselclient.WithHTTPClient(hc))
 	c.Retry = chaosPolicy(99)
 	return c
 }
@@ -155,7 +155,7 @@ func TestDaemonChaosServerMiddleware(t *testing.T) {
 	d := newDaemon(t, parsel.Options{}, parsel.PoolOptions{MaxMachines: 2},
 		serve.Options{Middleware: in.Middleware()})
 	defer d.close()
-	c := parselclient.New(d.ts.URL, d.ts.Client())
+	c := parselclient.New(d.ts.URL, parselclient.WithHTTPClient(d.ts.Client()))
 	c.Retry = chaosPolicy(5)
 	ctx := context.Background()
 
@@ -218,7 +218,7 @@ func TestDaemonPanicRecovery(t *testing.T) {
 
 	// A retrying client heals the same fault invisibly.
 	fired.Store(false)
-	rc := parselclient.New(d.ts.URL, d.ts.Client())
+	rc := parselclient.New(d.ts.URL, parselclient.WithHTTPClient(d.ts.Client()))
 	rc.Retry = chaosPolicy(3)
 	if res, err := rc.Median(ctx, shards); err != nil || res.Value != 3 {
 		t.Errorf("retrying client surfaced the recovered panic: %v %v", res.Value, err)

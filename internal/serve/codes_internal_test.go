@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+
+	"parsel"
+	"parsel/parselclient"
+)
+
+// TestErrorStatusAgreement pins the server half of the shared-code
+// contract: every engine error maps onto a (status, code) pair whose
+// code is published in parselclient.Codes(), and the pairs themselves
+// are stable — the client's typed-error round-trip test pins the same
+// pairs from the other end of the wire.
+func TestErrorStatusAgreement(t *testing.T) {
+	published := make(map[parselclient.Code]bool)
+	for _, c := range parselclient.Codes() {
+		published[c] = true
+	}
+	cases := []struct {
+		err    error
+		status int
+		code   parselclient.Code
+	}{
+		{parsel.ErrPoolTimeout, http.StatusTooManyRequests, parselclient.CodePoolTimeout},
+		{parsel.ErrPoolClosed, http.StatusServiceUnavailable, parselclient.CodeShuttingDown},
+		{parsel.ErrDatasetClosed, http.StatusNotFound, parselclient.CodeDatasetNotFound},
+		{parsel.ErrRankRange, http.StatusBadRequest, parselclient.CodeRankRange},
+		{parsel.ErrBadQuantile, http.StatusBadRequest, parselclient.CodeBadQuantile},
+		{parsel.ErrNoData, http.StatusBadRequest, parselclient.CodeNoData},
+		{parsel.ErrNoShards, http.StatusBadRequest, parselclient.CodeNoShards},
+		{errors.New("surprise"), http.StatusInternalServerError, parselclient.CodeInternal},
+	}
+	for _, tc := range cases {
+		status, code := errorStatus(tc.err)
+		if status != tc.status || code != tc.code {
+			t.Errorf("errorStatus(%v) = (%d, %s), want (%d, %s)",
+				tc.err, status, code, tc.status, tc.code)
+		}
+		if !published[code] {
+			t.Errorf("errorStatus(%v) emits code %q that parselclient.Codes() does not publish", tc.err, code)
+		}
+	}
+}

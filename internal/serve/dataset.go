@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -175,6 +176,14 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.handleDatasetQueryMany(w, r, id)
+	case "snapshot":
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed, parselclient.CodeMethodNotAllowed,
+				"dataset snapshots are GET requests")
+			return
+		}
+		s.handleDatasetSnapshot(w, r, id)
 	default:
 		writeError(w, http.StatusNotFound, parselclient.CodeNotFound,
 			fmt.Sprintf("no dataset operation %q", op))
@@ -598,6 +607,93 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request, id 
 	s.srv.OK++
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, info)
+}
+
+// handleDatasetSnapshot serves GET /v1/datasets/{id}/snapshot: the
+// resident dataset streamed out as the snapshot binary format — the
+// exact bytes a frame upload of the same shards would carry, CRCs
+// included — so a cluster router can replicate a dataset it did not
+// upload (Dataset.View on this node, RestoreDataset on the receiver;
+// the keys are never materialized a second time on either end). The
+// export is TTL-neutral like Info: replication traffic must not keep
+// an otherwise-idle dataset alive. String datasets have no snapshot
+// encoding and answer 400 bad_kind — routers pin them to their
+// primary or re-upload (the documented string-key caveat).
+func (s *Server) handleDatasetSnapshot(w http.ResponseWriter, r *http.Request, id string) {
+	if s.refuseIfDraining(w) {
+		return
+	}
+	release, ok := s.admitOrReject(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	// View runs under dsMu: an entry found in the registry cannot be
+	// closed while the lock is held (sweeps, deletes and replacement
+	// all remove it under this lock first), so the shard views stay
+	// valid; they remain readable after release even if the dataset is
+	// deleted mid-stream, like queries in flight.
+	s.dsMu.Lock()
+	now := s.now()
+	s.sweepLocked(now)
+	e, ok := s.datasets[id]
+	var i64 [][]int64
+	var f64 [][]float64
+	var kind string
+	var verr error
+	if ok {
+		kind = e.kind
+		switch ds := e.ds.(type) {
+		case *parsel.Dataset[int64]:
+			i64, verr = ds.View()
+		case *parsel.Dataset[float64]:
+			f64, verr = ds.View()
+		}
+		if verr == nil && (i64 != nil || f64 != nil) {
+			s.dstats.Exports++
+		}
+	} else {
+		s.dstats.NotFound++
+	}
+	s.dsMu.Unlock()
+	if !ok {
+		s.countError(http.StatusNotFound, parselclient.CodeDatasetNotFound)
+		writeError(w, http.StatusNotFound, parselclient.CodeDatasetNotFound,
+			fmt.Sprintf("no resident dataset %q", id))
+		return
+	}
+	if kind == parselclient.KeyKindString {
+		s.writeRequestError(w, parseErrf(parselclient.CodeBadKind,
+			"string datasets have no snapshot encoding; re-upload to replicate"))
+		return
+	}
+	if verr != nil {
+		s.writeQueryError(w, verr)
+		return
+	}
+	s.mu.Lock()
+	s.srv.OK++
+	s.mu.Unlock()
+	if f64 != nil {
+		writeSnapshotOf(s, w, kind, f64)
+		return
+	}
+	writeSnapshotOf(s, w, kind, i64)
+}
+
+// writeSnapshotOf streams one kind-typed snapshot export: exact
+// Content-Length up front (EncodedSize), then the incremental
+// CRC-chunked encoding — the dataset is never buffered whole.
+func writeSnapshotOf[K snapshot.FixedKey](s *Server, w http.ResponseWriter, kind string, shards [][]K) {
+	h := snapshot.Header{Options: s.optionsFP}
+	w.Header().Set("Content-Type", parselclient.ContentTypeFrame)
+	w.Header().Set("Content-Length", strconv.FormatInt(snapshot.EncodedSize(h, shards), 10))
+	if kind != parselclient.KeyKindInt64 {
+		w.Header().Set(parselclient.KindHeader, kind)
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = snapshot.WriteTo(w, h, shards)
 }
 
 // handleDatasetQuery serves POST /v1/datasets/{id}/query: the

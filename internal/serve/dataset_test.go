@@ -356,7 +356,7 @@ func TestDatasetHandlerValidation(t *testing.T) {
 	putCases := []struct {
 		name, path, body string
 		status           int
-		code             string
+		code             parselclient.Code
 	}{
 		{"bad id char", "/v1/datasets/no%20spaces", "{}", 400, parselclient.CodeBadDatasetID},
 		{"id too long", "/v1/datasets/" + strings.Repeat("x", 200), "{}", 400, parselclient.CodeBadDatasetID},
@@ -380,7 +380,7 @@ func TestDatasetHandlerValidation(t *testing.T) {
 	queryCases := []struct {
 		name, body string
 		status     int
-		code       string
+		code       parselclient.Code
 	}{
 		{"bad json", "{", 400, parselclient.CodeBadJSON},
 		{"missing kind", "{}", 400, parselclient.CodeMissingField},

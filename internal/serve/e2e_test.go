@@ -63,7 +63,7 @@ func newDaemon(t *testing.T, opts parsel.Options, po parsel.PoolOptions, so serv
 	}
 	ts := httptest.NewServer(srv)
 	return &daemon{
-		client: parselclient.New(ts.URL, ts.Client()),
+		client: parselclient.New(ts.URL, parselclient.WithHTTPClient(ts.Client())),
 		server: srv,
 		pool:   pool,
 		ts:     ts,

@@ -11,7 +11,7 @@ import (
 )
 
 // knownCodes is the closed set of wire codes ParseRequest may emit.
-var knownCodes = map[string]bool{
+var knownCodes = map[parselclient.Code]bool{
 	parselclient.CodeBadJSON:       true,
 	parselclient.CodeMissingField:  true,
 	parselclient.CodeLimitExceeded: true,

@@ -43,7 +43,7 @@ func TestDaemonRequestValidation(t *testing.T) {
 		path   string
 		body   string
 		status int
-		code   string
+		code   parselclient.Code
 	}{
 		{"bad json", "/v1/select", `{`, 400, parselclient.CodeBadJSON},
 		{"json array body", "/v1/select", `[]`, 400, parselclient.CodeBadJSON},

@@ -111,7 +111,7 @@ func TestDatasetKindDispatchValidation(t *testing.T) {
 		body    string
 		headers map[string]string
 		status  int
-		code    string
+		code    parselclient.Code
 	}{
 		{
 			name: "upload unknown key_kind", method: "PUT",
@@ -667,15 +667,15 @@ func TestTenantAdmission(t *testing.T) {
 	if _, err := d.client.Healthz(ctx); err != nil {
 		t.Fatalf("tokenless healthz: %v", err)
 	}
-	wrong := parselclient.New(d.ts.URL, d.ts.Client())
+	wrong := parselclient.New(d.ts.URL, parselclient.WithHTTPClient(d.ts.Client()))
 	wrong.Token = "tok-nobody"
 	if _, err := wrong.Median(ctx, [][]int64{{1}}); !errors.Is(err, parselclient.ErrUnknownTenant) {
 		t.Fatalf("bad-token query: %v, want ErrUnknownTenant", err)
 	}
 
-	acme := parselclient.New(d.ts.URL, d.ts.Client())
+	acme := parselclient.New(d.ts.URL, parselclient.WithHTTPClient(d.ts.Client()))
 	acme.Token = "tok-acme"
-	globex := parselclient.New(d.ts.URL, d.ts.Client())
+	globex := parselclient.New(d.ts.URL, parselclient.WithHTTPClient(d.ts.Client()))
 	globex.Token = "tok-globex"
 
 	med, err := acme.Median(ctx, [][]int64{{4, 9, 6}})
@@ -764,8 +764,8 @@ func TestTenantLedgerReconcileStorm(t *testing.T) {
 	ctx := context.Background()
 
 	clients := []*parselclient.Client{
-		parselclient.New(d.ts.URL, d.ts.Client()),
-		parselclient.New(d.ts.URL, d.ts.Client()),
+		parselclient.New(d.ts.URL, parselclient.WithHTTPClient(d.ts.Client())),
+		parselclient.New(d.ts.URL, parselclient.WithHTTPClient(d.ts.Client())),
 	}
 	clients[0].Token = "tok1"
 	clients[1].Token = "tok2"

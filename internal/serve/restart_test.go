@@ -39,15 +39,42 @@ type dsQueryRecord struct {
 // dsID maps a shape name onto a wire-safe dataset id.
 func dsID(name string) string { return "wd-" + strings.ReplaceAll(name, "/", "-") }
 
+// datasetSurface is the int64 dataset query surface the catalogue
+// replay drives. Both the single-node *parselclient.RemoteDataset and
+// the router's *cluster.Dataset[int64] satisfy it, so the same
+// bit-identity harness pins the restart contract and the cluster
+// failover contract.
+type datasetSurface interface {
+	Upload(ctx context.Context, shards [][]int64) (parselclient.DatasetInfo, error)
+	Select(ctx context.Context, rank int64) (parsel.Result[int64], error)
+	Median(ctx context.Context) (parsel.Result[int64], error)
+	Quantile(ctx context.Context, q float64) (parsel.Result[int64], error)
+	Quantiles(ctx context.Context, qs []float64) ([]int64, parsel.Report, error)
+	SelectRanks(ctx context.Context, ranks []int64) ([]int64, parsel.Report, error)
+	TopK(ctx context.Context, k int) ([]int64, parsel.Report, error)
+	BottomK(ctx context.Context, k int) ([]int64, parsel.Report, error)
+	Summary(ctx context.Context) (parsel.FiveNumber[int64], parsel.Report, error)
+}
+
 // runDatasetCatalogue uploads (when upload is true) every workload
-// shape of the differential catalogue as a resident dataset and runs
-// the full query surface against it, returning the records.
+// shape of the differential catalogue as a resident dataset on one
+// daemon and runs the full query surface against it.
 func runDatasetCatalogue(t *testing.T, d *daemon, shapes []e2eShape, upload bool) []dsQueryRecord {
+	t.Helper()
+	return runCatalogueOn(t, func(name string) datasetSurface {
+		return d.client.Dataset(dsID(name))
+	}, shapes, upload)
+}
+
+// runCatalogueOn runs the differential catalogue against whatever
+// dataset surface the provider hands back per shape, returning the
+// records for bit-identity comparison.
+func runCatalogueOn(t *testing.T, surface func(name string) datasetSurface, shapes []e2eShape, upload bool) []dsQueryRecord {
 	t.Helper()
 	ctx := context.Background()
 	var records []dsQueryRecord
 	for _, shape := range shapes {
-		rd := d.client.Dataset(dsID(shape.name))
+		rd := surface(shape.name)
 		if upload {
 			if _, err := rd.Upload(ctx, shape.shards); err != nil {
 				t.Fatalf("%s: upload: %v", shape.name, err)

@@ -128,6 +128,13 @@ type Options struct {
 	// recovery warnings, persist failures, recovered panics). Default
 	// log.Printf.
 	Logf func(format string, args ...any)
+	// TenantSource, when non-nil, powers POST /v1/admin/tenants/reload:
+	// the handler calls it for the fresh tenant list (cmd/parseld wires
+	// it to reread the -tenants file) and applies it via ReloadTenants.
+	// Nil leaves the endpoint unregistered (404). Only meaningful on a
+	// daemon started with Tenants; the endpoint authenticates like any
+	// other, so any configured tenant's token can trigger a reload.
+	TenantSource func() ([]Tenant, error)
 	// Middleware, when non-nil, wraps the routing handler — the hook
 	// chaos tests use to splice a fault injector
 	// (internal/faults.Injector.Middleware) into the daemon. It runs
@@ -171,10 +178,15 @@ type Server struct {
 	// ownedClose releases the kind pools New built itself (nil-valued
 	// Options fields); Close runs them.
 	ownedClose []func()
+	// tenancy is fixed at New: whether the daemon authenticates at all.
+	// Immutable, so the admission fast path reads it lock-free;
+	// ReloadTenants can swap the maps below but never toggle this.
+	tenancy bool
 	// tenants maps bearer token → ledger, tenantsByName maps tenant
 	// name → the same ledgers (snapshot recovery attributes restored
 	// datasets by name), and tenantNames orders the /v1/stats blocks.
-	// All are nil when tenancy is off.
+	// All are nil when tenancy is off; guarded by dsMu (ReloadTenants
+	// replaces them wholesale).
 	tenants       map[string]*tenantEntry
 	tenantsByName map[string]*tenantEntry
 	tenantNames   []string
@@ -288,30 +300,13 @@ func New(opts Options) (*Server, error) {
 		s.ownedClose = append(s.ownedClose, func() { p.Close() })
 	}
 	if len(opts.Tenants) > 0 {
-		s.tenants = make(map[string]*tenantEntry, len(opts.Tenants))
-		s.tenantsByName = make(map[string]*tenantEntry, len(opts.Tenants))
-		for _, t := range opts.Tenants {
-			if t.Name == "" || t.Token == "" {
-				s.Close()
-				return nil, fmt.Errorf("serve: tenant needs both a name and a token (got name %q)", t.Name)
-			}
-			if t.MaxResidentBytes < 0 || t.MaxDatasets < 0 {
-				s.Close()
-				return nil, fmt.Errorf("serve: tenant %q has a negative bound", t.Name)
-			}
-			if _, dup := s.tenants[t.Token]; dup {
-				s.Close()
-				return nil, fmt.Errorf("serve: duplicate tenant token")
-			}
-			if _, dup := s.tenantsByName[t.Name]; dup {
-				s.Close()
-				return nil, fmt.Errorf("serve: duplicate tenant name %q", t.Name)
-			}
-			te := &tenantEntry{cfg: t}
-			s.tenants[t.Token] = te
-			s.tenantsByName[t.Name] = te
-			s.tenantNames = append(s.tenantNames, t.Name)
+		byToken, byName, names, err := buildTenantMaps(opts.Tenants)
+		if err != nil {
+			s.Close()
+			return nil, err
 		}
+		s.tenancy = true
+		s.tenants, s.tenantsByName, s.tenantNames = byToken, byName, names
 	}
 	s.snapCond = sync.NewCond(&s.snapMu)
 	if opts.SnapshotDir != "" {
@@ -326,12 +321,79 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/datasets/", s.handleDatasets)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	if opts.TenantSource != nil {
+		s.mux.HandleFunc("/v1/admin/tenants/reload", s.handleTenantReload)
+	}
 	s.handler = http.Handler(http.HandlerFunc(s.route))
 	if opts.Middleware != nil {
 		s.handler = opts.Middleware(s.handler)
 	}
 	s.handler = s.recoverPanics(s.handler)
 	return s, nil
+}
+
+// buildTenantMaps validates a tenant list and builds the lookup maps:
+// token → ledger, name → the same ledgers, and the stats ordering.
+// Shared between New and ReloadTenants so both enforce identical
+// rules.
+func buildTenantMaps(tenants []Tenant) (map[string]*tenantEntry, map[string]*tenantEntry, []string, error) {
+	byToken := make(map[string]*tenantEntry, len(tenants))
+	byName := make(map[string]*tenantEntry, len(tenants))
+	var names []string
+	for _, t := range tenants {
+		if t.Name == "" || t.Token == "" {
+			return nil, nil, nil, fmt.Errorf("serve: tenant needs both a name and a token (got name %q)", t.Name)
+		}
+		if t.MaxResidentBytes < 0 || t.MaxDatasets < 0 {
+			return nil, nil, nil, fmt.Errorf("serve: tenant %q has a negative bound", t.Name)
+		}
+		if _, dup := byToken[t.Token]; dup {
+			return nil, nil, nil, errors.New("serve: duplicate tenant token")
+		}
+		if _, dup := byName[t.Name]; dup {
+			return nil, nil, nil, fmt.Errorf("serve: duplicate tenant name %q", t.Name)
+		}
+		te := &tenantEntry{cfg: t}
+		byToken[t.Token] = te
+		byName[t.Name] = te
+		names = append(names, t.Name)
+	}
+	return byToken, byName, names, nil
+}
+
+// ReloadTenants swaps the tenant configuration without a restart —
+// rotated tokens take effect on the next request, adjusted budgets on
+// the next upload. The ledgers of tenants that survive the reload
+// (matched by name) carry over intact: their resident datasets stay
+// attributed and counted. A tenant that disappears keeps its resident
+// datasets until TTL or deletion, but its token stops authenticating
+// immediately. Tenancy itself cannot be toggled at runtime: a daemon
+// started without tenants stays unauthenticated (the admission fast
+// path is lock-free on that invariant), and a tenanted daemon refuses
+// an empty reload rather than silently opening up.
+func (s *Server) ReloadTenants(tenants []Tenant) error {
+	if !s.tenancy {
+		return errors.New("serve: daemon runs without tenants; start with Options.Tenants to enable tenancy")
+	}
+	if len(tenants) == 0 {
+		return errors.New("serve: refusing to reload an empty tenant list (it would lock every caller out)")
+	}
+	byToken, byName, names, err := buildTenantMaps(tenants)
+	if err != nil {
+		return err
+	}
+	s.dsMu.Lock()
+	defer s.dsMu.Unlock()
+	for name, te := range byName {
+		if old, ok := s.tenantsByName[name]; ok {
+			te.bytes = old.bytes
+			te.datasets = old.datasets
+			te.requests = old.requests
+			te.rejected = old.rejected
+		}
+	}
+	s.tenants, s.tenantsByName, s.tenantNames = byToken, byName, names
+	return nil
 }
 
 // SetNowForTest replaces the clock the dataset TTL sweep reads, so
@@ -353,7 +415,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	if _, ok := endpoints[r.URL.Path]; !ok &&
 		!strings.HasPrefix(r.URL.Path, "/v1/datasets/") &&
-		r.URL.Path != "/v1/stats" && r.URL.Path != "/healthz" {
+		r.URL.Path != "/v1/stats" && r.URL.Path != "/healthz" &&
+		!(r.URL.Path == "/v1/admin/tenants/reload" && s.opts.TenantSource != nil) {
 		writeError(w, http.StatusNotFound, parselclient.CodeNotFound,
 			fmt.Sprintf("no endpoint %q", r.URL.Path))
 		return
@@ -379,24 +442,26 @@ func tenantOf(r *http.Request) string {
 // tenant. On success the tenant's name rides the request context; any
 // other outcome is a 401 unknown_tenant, already written here.
 func (s *Server) authenticate(w http.ResponseWriter, r *http.Request) (*http.Request, bool) {
-	if s.tenants == nil || r.URL.Path == "/healthz" {
+	if !s.tenancy || r.URL.Path == "/healthz" {
 		return r, true
 	}
 	auth := r.Header.Get("Authorization")
 	scheme, token, _ := strings.Cut(auth, " ")
 	var te *tenantEntry
+	s.dsMu.Lock()
 	if strings.EqualFold(scheme, "Bearer") {
 		te = s.tenants[strings.TrimSpace(token)]
 	}
+	if te != nil {
+		te.requests++
+	}
+	s.dsMu.Unlock()
 	if te == nil {
 		s.countError(http.StatusUnauthorized, parselclient.CodeUnknownTenant)
 		writeError(w, http.StatusUnauthorized, parselclient.CodeUnknownTenant,
 			"this daemon requires a bearer token naming a configured tenant")
 		return r, false
 	}
-	s.dsMu.Lock()
-	te.requests++
-	s.dsMu.Unlock()
 	ctx := context.WithValue(r.Context(), tenantCtxKey{}, te.cfg.Name)
 	return r.WithContext(ctx), true
 }
@@ -901,7 +966,7 @@ func multiResponse[K parselclient.Key](vals []K, rep parsel.Report) *parselclien
 // errorStatus maps engine/pool errors onto HTTP status + wire code. The
 // daemon's contract: a typed library error crosses the wire with a
 // stable code the client maps back to the same typed error.
-func errorStatus(err error) (int, string) {
+func errorStatus(err error) (int, parselclient.Code) {
 	switch {
 	case errors.Is(err, parsel.ErrPoolTimeout):
 		return http.StatusTooManyRequests, parselclient.CodePoolTimeout
@@ -949,7 +1014,7 @@ func (s *Server) writeRequestError(w http.ResponseWriter, err error) {
 }
 
 // countError attributes a failure to the stats counters.
-func (s *Server) countError(status int, code string) {
+func (s *Server) countError(status int, code parselclient.Code) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
@@ -985,6 +1050,35 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleTenantReload serves POST /v1/admin/tenants/reload: reread the
+// tenant configuration through Options.TenantSource and swap it in via
+// ReloadTenants — token rotation and budget changes without a restart
+// (the HTTP twin of cmd/parseld's SIGHUP). Failures are the daemon's
+// own configuration being unreadable or invalid, never the request's,
+// so they answer 500 internal with the detail.
+func (s *Server) handleTenantReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, parselclient.CodeMethodNotAllowed,
+			"tenant reload is a POST request")
+		return
+	}
+	tenants, err := s.opts.TenantSource()
+	if err != nil {
+		s.countError(http.StatusInternalServerError, parselclient.CodeInternal)
+		writeError(w, http.StatusInternalServerError, parselclient.CodeInternal,
+			fmt.Sprintf("read tenant source: %v", err))
+		return
+	}
+	if err := s.ReloadTenants(tenants); err != nil {
+		s.countError(http.StatusInternalServerError, parselclient.CodeInternal)
+		writeError(w, http.StatusInternalServerError, parselclient.CodeInternal, err.Error())
+		return
+	}
+	s.logf("serve: tenant configuration reloaded (%d tenants)", len(tenants))
+	writeJSON(w, http.StatusOK, parselclient.TenantReloadResult{Tenants: len(tenants)})
 }
 
 // handleHealth serves GET /healthz, the three-state health machine,
@@ -1023,7 +1117,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError writes the structured error body.
-func writeError(w http.ResponseWriter, status int, code, msg string) {
+func writeError(w http.ResponseWriter, status int, code parselclient.Code, msg string) {
 	writeJSON(w, status, parselclient.ErrorBody{
 		Error: parselclient.ErrorDetail{Code: code, Message: msg},
 	})

@@ -101,7 +101,7 @@ const maxTimeoutMS = 24 * 60 * 60 * 1000
 // wire error body verbatim.
 type ParseError struct {
 	// Code is the stable wire code (parselclient.Code*).
-	Code string
+	Code parselclient.Code
 	// Msg is the human-readable detail.
 	Msg string
 }
@@ -110,7 +110,7 @@ type ParseError struct {
 func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Msg) }
 
 // parseErrf builds a ParseError.
-func parseErrf(code, format string, args ...any) *ParseError {
+func parseErrf(code parselclient.Code, format string, args ...any) *ParseError {
 	return &ParseError{Code: code, Msg: fmt.Sprintf(format, args...)}
 }
 

@@ -63,6 +63,11 @@ type Client struct {
 	// calls.
 	Retry RetryPolicy
 
+	// MaxResponseBytes, when positive, caps how many response-body
+	// bytes an attempt will buffer (see ClientLimits.MaxResponseBytes).
+	// Configure before the first call.
+	MaxResponseBytes int64
+
 	// retryMu guards the jitter stream and the token-bucket retry
 	// budget; the counters are atomics on their own.
 	retryMu    sync.Mutex
@@ -72,14 +77,84 @@ type Client struct {
 	retryCount retryCounters
 }
 
-// New builds a client for the daemon at baseURL (e.g.
-// "http://127.0.0.1:7075"). The optional http.Client configures
-// transport details; nil means http.DefaultClient.
-func New(baseURL string, hc *http.Client) *Client {
-	if hc == nil {
-		hc = http.DefaultClient
+// Option configures a Client at construction. The same options
+// configure the cluster router (cluster.New), which builds one
+// per-node Client from them — token, binary negotiation and retry
+// policy carry through the ring unchanged.
+type Option func(*Client)
+
+// WithHTTPClient sets the underlying http.Client (transport, TLS,
+// connection pool). nil means http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// WithToken sets the bearer token sent with every request — the
+// static per-tenant credential of a daemon running with -tenants.
+func WithToken(token string) Option {
+	return func(c *Client) { c.Token = token }
+}
+
+// WithBinary switches the key-carrying paths to the binary frame
+// encoding (see Client.Binary).
+func WithBinary(on bool) Option {
+	return func(c *Client) { c.Binary = on }
+}
+
+// WithRetry sets the policy for transparent retries of transient
+// failures (see RetryPolicy).
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.Retry = p }
+}
+
+// ClientLimits bounds what the client sends and accepts; the zero
+// value means unbounded (QueryTimeout 0 = no server-side wait bound
+// beyond the context deadline, MaxResponseBytes 0 = read whole
+// responses).
+type ClientLimits struct {
+	// QueryTimeout is sent as timeout_ms on every query (see
+	// Client.QueryTimeout).
+	QueryTimeout time.Duration
+	// MaxResponseBytes caps how many response-body bytes the client
+	// will buffer per attempt; a larger response fails the call rather
+	// than ballooning memory. Applies to query/info responses, not to
+	// streamed snapshot exports (DatasetSnapshot hands back the raw
+	// stream).
+	MaxResponseBytes int64
+}
+
+// WithLimits sets the client-side limits (see ClientLimits).
+func WithLimits(l ClientLimits) Option {
+	return func(c *Client) {
+		c.QueryTimeout = l.QueryTimeout
+		c.MaxResponseBytes = l.MaxResponseBytes
+	}
+}
+
+// New builds a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:7075"), configured by the options:
+//
+//	c := parselclient.New(url,
+//		parselclient.WithToken(token),
+//		parselclient.WithBinary(true),
+//		parselclient.WithRetry(parselclient.RetryPolicy{MaxAttempts: 4}))
+//
+// With no options the client uses http.DefaultClient, no token, JSON
+// encoding and no retries. The exported fields (Token, Binary, Retry,
+// QueryTimeout) remain settable before the first call for callers that
+// predate the options.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		if o != nil { // tolerate a literal nil from pre-options callers
+			o(c)
+		}
+	}
+	return c
 }
 
 // APIError is a structured error response from the daemon.
@@ -87,7 +162,7 @@ type APIError struct {
 	// Status is the HTTP status code.
 	Status int
 	// Code is the stable wire code (see the Code constants).
-	Code string
+	Code Code
 	// Message is the human-readable detail.
 	Message string
 	// RetryAfter is the server's backoff hint from the Retry-After
@@ -504,9 +579,18 @@ func (c *Client) attempt(ctx context.Context, method, path string, body bodyFunc
 		return err, 0
 	}
 	defer hres.Body.Close()
-	data, err := io.ReadAll(hres.Body)
+	var rdBody io.Reader = hres.Body
+	if c.MaxResponseBytes > 0 {
+		rdBody = io.LimitReader(hres.Body, c.MaxResponseBytes+1)
+	}
+	data, err := io.ReadAll(rdBody)
 	if err != nil {
 		return fmt.Errorf("parselclient: read response: %w", err), 0
+	}
+	if c.MaxResponseBytes > 0 && int64(len(data)) > c.MaxResponseBytes {
+		// Oversize is a property of the response, not the attempt:
+		// resending cannot shrink it.
+		return &permanentError{fmt.Errorf("parselclient: response exceeds %d-byte limit", c.MaxResponseBytes)}, 0
 	}
 	if hres.StatusCode != http.StatusOK {
 		ra := parseRetryAfter(hres.Header)
@@ -756,7 +840,7 @@ func (r *QueryManyResultOf[K]) Err() error {
 // statusForCode maps a wire error code to the HTTP status a direct
 // query failing with it would carry — the inverse of the daemon's
 // status mapping, for errors that arrive inside a 200 batch response.
-func statusForCode(code string) int {
+func statusForCode(code Code) int {
 	switch code {
 	case CodeDatasetNotFound, CodeNotFound:
 		return http.StatusNotFound
@@ -859,6 +943,18 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	return st, nil
 }
 
+// ReloadTenants asks the daemon to reread its tenant configuration
+// (POST /v1/admin/tenants/reload) — token rotation and budget changes
+// without a restart. The endpoint exists only on a daemon started with
+// a tenant source (parseld -tenants); elsewhere it answers not_found.
+func (c *Client) ReloadTenants(ctx context.Context) (TenantReloadResult, error) {
+	var res TenantReloadResult
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/admin/tenants/reload", nil, &res); err != nil {
+		return TenantReloadResult{}, err
+	}
+	return res, nil
+}
+
 // Healthz probes /healthz and reports the daemon's health state —
 // HealthOK, HealthDegraded (serving, but e.g. snapshot persistence is
 // failing) or HealthDraining. The probe never retries: a health check
@@ -899,6 +995,81 @@ func (c *Client) Healthz(ctx context.Context) (HealthStatus, error) {
 		}
 		return HealthStatus{}, derr
 	}
+}
+
+// DatasetSnapshot opens the binary snapshot stream of a resident
+// fixed-width dataset (GET /v1/datasets/{id}/snapshot): the same
+// PSELSNAP frame an upload or a disk snapshot carries, CRC-guarded,
+// exported without materializing the keys server-side. The caller owns
+// the returned body and must Close it. The declared length is the
+// exact encoded size (the server computes it up front). String
+// datasets have no snapshot encoding and answer bad_kind. The probe is
+// a single attempt — the shipping paths built on it (ShipSnapshot)
+// retry whole transfers instead, so a half-read stream is never
+// resumed mid-frame.
+func (c *Client) DatasetSnapshot(ctx context.Context, id string) (io.ReadCloser, int64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	path := "/v1/datasets/" + url.PathEscape(id) + "/snapshot"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	if c.Token != "" {
+		hreq.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	stampDeadline(hreq, ctx)
+	hres, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, 0, err
+	}
+	if hres.StatusCode != http.StatusOK {
+		defer hres.Body.Close()
+		data, rerr := io.ReadAll(io.LimitReader(hres.Body, 1<<20))
+		if rerr != nil {
+			return nil, 0, fmt.Errorf("parselclient: read snapshot error: %w", rerr)
+		}
+		return nil, 0, decodeError(hres.StatusCode, data)
+	}
+	if !isFrameContentType(hres.Header.Get("Content-Type")) {
+		hres.Body.Close()
+		return nil, 0, fmt.Errorf("parselclient: snapshot response is %q, not a frame",
+			hres.Header.Get("Content-Type"))
+	}
+	return hres.Body, hres.ContentLength, nil
+}
+
+// ShipSnapshot replicates a resident fixed-width dataset from this
+// daemon to another: the source's snapshot stream becomes the
+// destination's frame upload, flowing end to end without the keys ever
+// materializing in the shipping process — zero-copy on both daemons
+// (Dataset.View on export, RestoreDataset on ingest). Each retry
+// attempt reopens the source stream, so a torn transfer replays whole;
+// CRCs on every section mean a corrupt hop is refused (bad_frame), not
+// absorbed. The destination ends up with a bit-identical replica under
+// the same id. Retries follow dst's RetryPolicy.
+func (c *Client) ShipSnapshot(ctx context.Context, id string, dst *Client) (DatasetInfo, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	body := func(actx context.Context) (io.Reader, int64, string, error) {
+		rc, length, err := c.DatasetSnapshot(actx, id)
+		if err != nil {
+			// A source failure is not the destination's transient fault:
+			// it surfaces immediately (the retry loop treats body-build
+			// errors as permanent). Callers wanting source-side failover
+			// retry the whole ship against another holder.
+			return nil, 0, "", err
+		}
+		return rc, length, ContentTypeFrame, nil
+	}
+	var info DatasetInfo
+	path := "/v1/datasets/" + url.PathEscape(id)
+	if err := dst.do(ctx, http.MethodPut, path, body, false, &info); err != nil {
+		return DatasetInfo{}, err
+	}
+	return info, nil
 }
 
 // Health probes /healthz; nil means the daemon is accepting queries

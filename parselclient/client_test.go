@@ -16,7 +16,7 @@ import (
 // context whose deadline already passed must yield the 1ms floor, never
 // 0 — on the wire 0 means "no timeout", the opposite of a spent budget.
 func TestTimeoutMSExpiredDeadline(t *testing.T) {
-	c := New("http://unused", nil)
+	c := New("http://unused")
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
 	if got := c.timeoutMS(ctx); got != 1 {
@@ -91,7 +91,7 @@ func TestRetryRecomputesTimeoutMS(t *testing.T) {
 	h := &timeoutEcho{n: 1}
 	ts := httptest.NewServer(h)
 	defer ts.Close()
-	c := New(ts.URL, ts.Client())
+	c := New(ts.URL, WithHTTPClient(ts.Client()))
 	c.Retry = RetryPolicy{
 		MaxAttempts: 3,
 		Sleep: func(ctx context.Context, d time.Duration) error {

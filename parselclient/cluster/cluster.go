@@ -1,0 +1,594 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"parsel"
+	"parsel/parselclient"
+)
+
+// defaultRecovery is how long a node marked down stays out of rotation
+// before the router optimistically tries it again. Long enough that a
+// crashed node is not hammered on every query, short enough that a
+// bounced daemon rejoins within a breath.
+const defaultRecovery = 5 * time.Second
+
+// Config describes the fleet a Router places datasets on.
+type Config struct {
+	// Nodes are the daemons' base URLs (e.g. "http://10.0.0.1:7075").
+	// The URL strings are the ring's hash keys: every client must use
+	// the same spellings, and renaming a node moves its share of the
+	// ring.
+	Nodes []string
+
+	// Replicas is how many nodes hold each dataset (clamped to
+	// len(Nodes); 0 means 2). With R replicas, queries survive R-1 node
+	// failures without re-uploading anything.
+	Replicas int
+
+	// VirtualNodes is the number of ring points per node (0 means 64).
+	// All clients of one fleet must agree on it.
+	VirtualNodes int
+
+	// RecoveryInterval is how long a failed node stays out of query
+	// rotation before being retried (0 means 5s).
+	RecoveryInterval time.Duration
+
+	// Logf, when set, receives one line per routing event worth a
+	// human's attention: nodes marked down or recovered, replication
+	// shortfalls, rebalance moves.
+	Logf func(format string, args ...any)
+
+	now func() time.Time // test hook; nil means time.Now
+}
+
+// Stats counts the router's traffic-shaping decisions since New.
+type Stats struct {
+	// Shipped counts node-to-node snapshot transfers (replication fills
+	// and rebalance moves). The client never touched those keys.
+	Shipped int64
+	// Reuploads counts replica fills that re-sent client-held shards
+	// over the wire — only string datasets, which have no snapshot
+	// encoding.
+	Reuploads int64
+	// Failovers counts queries answered by a replica other than the
+	// first one tried.
+	Failovers int64
+	// ReplicaShortfalls counts uploads that returned success with fewer
+	// live copies than Config.Replicas (some replica was down; a later
+	// Rebalance repairs it).
+	ReplicaShortfalls int64
+	// Down lists nodes currently out of query rotation, sorted.
+	Down []string
+}
+
+// Router places datasets on a fleet of parseld nodes by consistent
+// hashing and routes every dataset operation to the right replicas. It
+// is safe for concurrent use. The Router holds no dataset bytes and no
+// authority — any number of Routers (in any number of processes) serve
+// the same fleet correctly as long as they share the Config.
+type Router struct {
+	cfg  Config
+	ring *Ring
+
+	mu      sync.Mutex
+	clients map[string]*parselclient.Client
+	downAt  map[string]time.Time // node -> when marked down
+	reg     map[string]string    // placed dataset id -> key kind
+	opts    []parselclient.Option
+
+	shipped    int64
+	reuploads  int64
+	failovers  int64
+	shortfalls int64
+}
+
+// New builds a Router over cfg.Nodes, constructing one
+// parselclient.Client per node from opts — the same option values
+// (token, binary, retry policy, limits) a single-node caller would
+// pass to parselclient.New, applied uniformly across the fleet.
+func New(cfg Config, opts ...parselclient.Option) (*Router, error) {
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas < 0 {
+		return nil, fmt.Errorf("cluster: negative replicas %d", cfg.Replicas)
+	}
+	if cfg.Replicas > len(cfg.Nodes) {
+		cfg.Replicas = len(cfg.Nodes)
+	}
+	if cfg.RecoveryInterval <= 0 {
+		cfg.RecoveryInterval = defaultRecovery
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	ring, err := NewRing(cfg.Nodes, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:     cfg,
+		ring:    ring,
+		clients: make(map[string]*parselclient.Client, len(cfg.Nodes)),
+		downAt:  make(map[string]time.Time),
+		reg:     make(map[string]string),
+		opts:    opts,
+	}
+	for _, n := range ring.Nodes() {
+		r.clients[n] = parselclient.New(n, opts...)
+	}
+	return r, nil
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Place returns the replica set for a dataset id in preference order
+// (primary first). Exposed so operators can answer "where does this
+// dataset live?" without a coordinator to ask.
+func (r *Router) Place(id string) []string {
+	return r.ring.Place(id, r.cfg.Replicas)
+}
+
+// Client returns the per-node client for a node named in Config.Nodes,
+// or nil for an unknown node. Useful for node-scoped operations (stats,
+// health) outside the router's routing.
+func (r *Router) Client(node string) *parselclient.Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clients[node]
+}
+
+// alive reports whether a node is in query rotation. A node marked
+// down re-enters rotation after RecoveryInterval — optimistically, so
+// a recovered daemon starts taking traffic without an explicit probe;
+// if it is still dead the next failure marks it right back down.
+func (r *Router) alive(node string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	at, down := r.downAt[node]
+	return !down || r.cfg.now().Sub(at) >= r.cfg.RecoveryInterval
+}
+
+func (r *Router) markDown(node string, err error) {
+	r.mu.Lock()
+	_, was := r.downAt[node]
+	r.downAt[node] = r.cfg.now()
+	r.mu.Unlock()
+	if !was {
+		r.logf("cluster: node %s out of rotation: %v", node, err)
+	}
+}
+
+func (r *Router) markUp(node string) {
+	r.mu.Lock()
+	_, was := r.downAt[node]
+	delete(r.downAt, node)
+	r.mu.Unlock()
+	if was {
+		r.logf("cluster: node %s back in rotation", node)
+	}
+}
+
+// ProbeHealth checks every node's /healthz and updates the rotation
+// view: draining or unreachable nodes leave rotation, healthy (or
+// degraded — still answering queries) nodes rejoin. Returns each
+// node's verdict, nil meaning in rotation. Callers run it on a ticker;
+// between probes the router learns the same facts passively from
+// request failures.
+func (r *Router) ProbeHealth(ctx context.Context) map[string]error {
+	verdicts := make(map[string]error, len(r.clients))
+	var wg sync.WaitGroup
+	var vmu sync.Mutex
+	for node, c := range r.snapshotClients() {
+		wg.Add(1)
+		go func(node string, c *parselclient.Client) {
+			defer wg.Done()
+			hs, err := c.Healthz(ctx)
+			if err == nil && hs.Status == parselclient.HealthDraining {
+				err = fmt.Errorf("cluster: node draining: %s", hs.Reason)
+			}
+			if err != nil {
+				r.markDown(node, err)
+			} else {
+				r.markUp(node)
+			}
+			vmu.Lock()
+			verdicts[node] = err
+			vmu.Unlock()
+		}(node, c)
+	}
+	wg.Wait()
+	return verdicts
+}
+
+func (r *Router) snapshotClients() map[string]*parselclient.Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := make(map[string]*parselclient.Client, len(r.clients))
+	for k, v := range r.clients {
+		m[k] = v
+	}
+	return m
+}
+
+// Stats returns a snapshot of the router's counters and rotation view.
+func (r *Router) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{
+		Shipped:           r.shipped,
+		Reuploads:         r.reuploads,
+		Failovers:         r.failovers,
+		ReplicaShortfalls: r.shortfalls,
+	}
+	now := r.cfg.now()
+	for n, at := range r.downAt {
+		if now.Sub(at) < r.cfg.RecoveryInterval {
+			s.Down = append(s.Down, n)
+		}
+	}
+	sort.Strings(s.Down)
+	return s
+}
+
+// Datasets lists the dataset ids this Router has placed (uploaded or
+// observed via Rebalance input), with their key kinds. It is this
+// Router's memory, not cluster truth — another Router's uploads are
+// invisible until registered via Track.
+func (r *Router) Datasets() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := make(map[string]string, len(r.reg))
+	for k, v := range r.reg {
+		m[k] = v
+	}
+	return m
+}
+
+// Track registers a dataset id and key kind (a KeyKind constant) this
+// Router did not upload itself, so Rebalance and Delete cover it.
+func (r *Router) Track(id, kind string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reg[id] = kind
+}
+
+func (r *Router) untrack(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.reg, id)
+}
+
+// failoverable decides whether an error from one replica justifies
+// trying the next: transient faults by the retry classifier (transport
+// errors, overload, shutdown), plus dataset-not-found — a replica that
+// lost its copy (restarted before re-replication) is wrong to trust,
+// but another replica may well still hold the data.
+func failoverable(err error) bool {
+	return parselclient.Retryable(err) || errors.Is(err, parselclient.ErrDatasetNotFound)
+}
+
+// failover runs op against the dataset's replicas in placement order
+// until one succeeds. Nodes out of rotation are deferred, not skipped:
+// if every in-rotation replica fails, the out-of-rotation ones get one
+// try each before the call fails — availability beats the health
+// view's freshness. Deterministic errors (bad rank, kind mismatch …)
+// return immediately: every replica would say the same thing, because
+// the query outcome is a pure function of the dataset and the query.
+//
+// Retry amplification stays bounded: each per-node client applies its
+// own RetryPolicy budget, and the failover loop visits each replica at
+// most once per call.
+func failover[T any](ctx context.Context, r *Router, id string, op func(c *parselclient.Client) (T, error)) (T, error) {
+	var zero T
+	replicas := r.Place(id)
+	tried := make(map[string]bool, len(replicas))
+	var lastErr error
+	for pass := 0; pass < 2; pass++ {
+		for _, node := range replicas {
+			if tried[node] || (pass == 0 && !r.alive(node)) {
+				continue
+			}
+			tried[node] = true
+			c := r.Client(node)
+			if c == nil {
+				continue
+			}
+			v, err := op(c)
+			if err == nil {
+				r.markUp(node)
+				if len(tried) > 1 {
+					r.mu.Lock()
+					r.failovers++
+					r.mu.Unlock()
+				}
+				return v, nil
+			}
+			lastErr = err
+			if !failoverable(err) {
+				return zero, err
+			}
+			if parselclient.Retryable(err) {
+				r.markDown(node, err)
+			}
+		}
+	}
+	if lastErr == nil {
+		return zero, fmt.Errorf("cluster: no replicas for dataset %q", id)
+	}
+	return zero, lastErr
+}
+
+// KindRouter is the typed view of a Router for key kind K, mirroring
+// parselclient.KindClient.
+type KindRouter[K parselclient.Key] struct {
+	r *Router
+}
+
+// Keyed returns the typed view of the router for key kind K:
+//
+//	ds := cluster.Keyed[float64](router).Dataset("latencies")
+func Keyed[K parselclient.Key](r *Router) KindRouter[K] {
+	return KindRouter[K]{r: r}
+}
+
+// Dataset returns a handle on the dataset with the given id, placed
+// and replicated by the router.
+func (kr KindRouter[K]) Dataset(id string) *Dataset[K] {
+	return &Dataset[K]{r: kr.r, id: id}
+}
+
+// DatasetOf is shorthand for Keyed[K](r).Dataset(id).
+func DatasetOf[K parselclient.Key](r *Router, id string) *Dataset[K] {
+	return &Dataset[K]{r: r, id: id}
+}
+
+// Dataset is a replicated resident dataset addressed through the ring.
+// Its query surface matches parselclient.RemoteDatasetOf; every query
+// fails over across replicas.
+type Dataset[K parselclient.Key] struct {
+	r  *Router
+	id string
+}
+
+// ID returns the dataset id.
+func (d *Dataset[K]) ID() string { return d.id }
+
+// remote returns the single-node handle for this dataset on c.
+func (d *Dataset[K]) remote(c *parselclient.Client) *parselclient.RemoteDatasetOf[K] {
+	return parselclient.Keyed[K](c).Dataset(d.id)
+}
+
+// Upload makes the dataset resident on its replica set. The shards
+// travel the client wire once, to the first live replica in placement
+// order; the remaining replicas are filled node-to-node by snapshot
+// shipping (int64/float64) or, for string keys — which have no
+// snapshot encoding — by re-sending the shards to each replica.
+//
+// A replica that is down at upload time is skipped and counted in
+// Stats.ReplicaShortfalls; Rebalance repairs the shortfall once the
+// node returns. The call fails only if no replica accepted the upload.
+func (d *Dataset[K]) Upload(ctx context.Context, shards [][]K) (parselclient.DatasetInfo, error) {
+	replicas := d.r.Place(d.id)
+	kind := parselclient.KeyKindOf[K]()
+
+	// Land the shards on the first replica that will take them.
+	var info parselclient.DatasetInfo
+	var primary string
+	var lastErr error
+	tried := make(map[string]bool, len(replicas))
+	for pass := 0; pass < 2 && primary == ""; pass++ {
+		for _, node := range replicas {
+			if tried[node] || (pass == 0 && !d.r.alive(node)) {
+				continue
+			}
+			tried[node] = true
+			i, err := d.remote(d.r.Client(node)).Upload(ctx, shards)
+			if err == nil {
+				d.r.markUp(node)
+				info, primary = i, node
+				break
+			}
+			lastErr = err
+			if !failoverable(err) {
+				return parselclient.DatasetInfo{}, err
+			}
+			d.r.markDown(node, err)
+		}
+	}
+	if primary == "" {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("cluster: no replicas for dataset %q", d.id)
+		}
+		return parselclient.DatasetInfo{}, lastErr
+	}
+
+	// Fill the other replicas.
+	live := 1
+	for _, node := range replicas {
+		if node == primary {
+			continue
+		}
+		if !d.r.alive(node) {
+			continue
+		}
+		var err error
+		if kind == parselclient.KeyKindString {
+			_, err = d.remote(d.r.Client(node)).Upload(ctx, shards)
+			if err == nil {
+				d.r.bump(&d.r.reuploads)
+			}
+		} else {
+			_, err = d.r.Client(primary).ShipSnapshot(ctx, d.id, d.r.Client(node))
+			if err == nil {
+				d.r.bump(&d.r.shipped)
+			}
+		}
+		if err != nil {
+			d.r.markDown(node, err)
+			d.r.logf("cluster: replicate %q to %s: %v", d.id, node, err)
+			continue
+		}
+		d.r.markUp(node)
+		live++
+	}
+	if live < len(replicas) {
+		d.r.bump(&d.r.shortfalls)
+	}
+	d.r.Track(d.id, kind)
+	return info, nil
+}
+
+func (r *Router) bump(counter *int64) {
+	r.mu.Lock()
+	*counter++
+	r.mu.Unlock()
+}
+
+// Info fetches the dataset's description from the first replica that
+// answers.
+func (d *Dataset[K]) Info(ctx context.Context) (parselclient.DatasetInfo, error) {
+	return failover(ctx, d.r, d.id, func(c *parselclient.Client) (parselclient.DatasetInfo, error) {
+		return d.remote(c).Info(ctx)
+	})
+}
+
+// Delete removes the dataset from every replica. Replicas that no
+// longer hold a copy are fine (not-found is success for a delete); the
+// call fails only if some copy may remain — a replica that was
+// unreachable stays suspect.
+func (d *Dataset[K]) Delete(ctx context.Context) (parselclient.DatasetInfo, error) {
+	var info parselclient.DatasetInfo
+	var got bool
+	var firstErr error
+	for _, node := range d.r.Place(d.id) {
+		i, err := d.remote(d.r.Client(node)).Delete(ctx)
+		switch {
+		case err == nil:
+			if !got {
+				info, got = i, true
+			}
+		case errors.Is(err, parselclient.ErrDatasetNotFound):
+			// already gone — that is what we wanted
+		default:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: delete %q on %s: %w", d.id, node, err)
+			}
+			if parselclient.Retryable(err) {
+				d.r.markDown(node, err)
+			}
+		}
+	}
+	if firstErr != nil {
+		return parselclient.DatasetInfo{}, firstErr
+	}
+	d.r.untrack(d.id)
+	if !got {
+		return parselclient.DatasetInfo{}, parselclient.ErrDatasetNotFound
+	}
+	return info, nil
+}
+
+// multiResult bundles the two non-error returns of multi-value queries
+// through the generic failover helper.
+type multiResult[K parselclient.Key] struct {
+	keys   []K
+	report parsel.Report
+}
+
+func (d *Dataset[K]) scalar(ctx context.Context, op func(rd *parselclient.RemoteDatasetOf[K]) (parsel.Result[K], error)) (parsel.Result[K], error) {
+	return failover(ctx, d.r, d.id, func(c *parselclient.Client) (parsel.Result[K], error) {
+		return op(d.remote(c))
+	})
+}
+
+func (d *Dataset[K]) multi(ctx context.Context, op func(rd *parselclient.RemoteDatasetOf[K]) ([]K, parsel.Report, error)) ([]K, parsel.Report, error) {
+	res, err := failover(ctx, d.r, d.id, func(c *parselclient.Client) (multiResult[K], error) {
+		keys, rep, err := op(d.remote(c))
+		return multiResult[K]{keys: keys, report: rep}, err
+	})
+	return res.keys, res.report, err
+}
+
+// Select returns the key of the given rank (1-based) from the resident
+// dataset.
+func (d *Dataset[K]) Select(ctx context.Context, rank int64) (parsel.Result[K], error) {
+	return d.scalar(ctx, func(rd *parselclient.RemoteDatasetOf[K]) (parsel.Result[K], error) {
+		return rd.Select(ctx, rank)
+	})
+}
+
+// Median returns the lower median.
+func (d *Dataset[K]) Median(ctx context.Context) (parsel.Result[K], error) {
+	return d.scalar(ctx, func(rd *parselclient.RemoteDatasetOf[K]) (parsel.Result[K], error) {
+		return rd.Median(ctx)
+	})
+}
+
+// Quantile returns the key at quantile q in (0,1].
+func (d *Dataset[K]) Quantile(ctx context.Context, q float64) (parsel.Result[K], error) {
+	return d.scalar(ctx, func(rd *parselclient.RemoteDatasetOf[K]) (parsel.Result[K], error) {
+		return rd.Quantile(ctx, q)
+	})
+}
+
+// Quantiles returns the keys at each quantile.
+func (d *Dataset[K]) Quantiles(ctx context.Context, qs []float64) ([]K, parsel.Report, error) {
+	return d.multi(ctx, func(rd *parselclient.RemoteDatasetOf[K]) ([]K, parsel.Report, error) {
+		return rd.Quantiles(ctx, qs)
+	})
+}
+
+// SelectRanks returns the keys at each requested rank.
+func (d *Dataset[K]) SelectRanks(ctx context.Context, ranks []int64) ([]K, parsel.Report, error) {
+	return d.multi(ctx, func(rd *parselclient.RemoteDatasetOf[K]) ([]K, parsel.Report, error) {
+		return rd.SelectRanks(ctx, ranks)
+	})
+}
+
+// TopK returns the k largest keys in descending order.
+func (d *Dataset[K]) TopK(ctx context.Context, k int) ([]K, parsel.Report, error) {
+	return d.multi(ctx, func(rd *parselclient.RemoteDatasetOf[K]) ([]K, parsel.Report, error) {
+		return rd.TopK(ctx, k)
+	})
+}
+
+// BottomK returns the k smallest keys in ascending order.
+func (d *Dataset[K]) BottomK(ctx context.Context, k int) ([]K, parsel.Report, error) {
+	return d.multi(ctx, func(rd *parselclient.RemoteDatasetOf[K]) ([]K, parsel.Report, error) {
+		return rd.BottomK(ctx, k)
+	})
+}
+
+// Summary returns the five-number summary.
+func (d *Dataset[K]) Summary(ctx context.Context) (parsel.FiveNumber[K], parsel.Report, error) {
+	type sum struct {
+		five   parsel.FiveNumber[K]
+		report parsel.Report
+	}
+	res, err := failover(ctx, d.r, d.id, func(c *parselclient.Client) (sum, error) {
+		five, rep, err := d.remote(c).Summary(ctx)
+		return sum{five: five, report: rep}, err
+	})
+	return res.five, res.report, err
+}
+
+// QueryMany runs a batch of queries in one round trip against the
+// first replica that answers. Per-item failures ride inside the batch
+// result (they are deterministic); only whole-batch failures fail
+// over.
+func (d *Dataset[K]) QueryMany(ctx context.Context, queries []parselclient.DatasetQuery) ([]parselclient.QueryManyResultOf[K], error) {
+	return failover(ctx, d.r, d.id, func(c *parselclient.Client) ([]parselclient.QueryManyResultOf[K], error) {
+		return d.remote(c).QueryMany(ctx, queries)
+	})
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingHashStable pins the hash function itself: FNV-1a 64 plus the
+// splitmix64 finalizer, on known strings. If this ever moves, every
+// deployed client disagrees about placement — it is the one constant
+// the coordinator-free design hangs on.
+func TestRingHashStable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xf52a15e9a9b5e89b},
+		{"a", 0x2c0bdbf481420f8},
+		{"hello", 0x16fe05a1c75bcd0f},
+	}
+	for _, c := range cases {
+		if got := ringHash(c.in); got != c.want {
+			t.Errorf("ringHash(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRingDeterministicAcrossBuilds pins that two independently built
+// rings (fresh maps, fresh sorts — everything that could introduce
+// process-local order) place a large id population identically, and
+// that placement golden values hold for fixed inputs. The golden rows
+// are what a different process, machine or Go release must reproduce.
+func TestRingDeterministicAcrossBuilds(t *testing.T) {
+	nodes := []string{"http://n1:7075", "http://n2:7075", "http://n3:7075"}
+	r1, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		id := fmt.Sprintf("dataset-%d", i)
+		p1, p2 := r1.Place(id, 2), r2.Place(id, 2)
+		if len(p1) != 2 || p1[0] != p2[0] || p1[1] != p2[1] {
+			t.Fatalf("placement of %q differs between identical rings: %v vs %v", id, p1, p2)
+		}
+	}
+	golden := map[string][]string{
+		"alpha":   {"http://n2:7075", "http://n1:7075"},
+		"beta":    {"http://n1:7075", "http://n2:7075"},
+		"gamma":   {"http://n2:7075", "http://n3:7075"},
+		"metrics": {"http://n2:7075", "http://n1:7075"},
+	}
+	for id, want := range golden {
+		got := r1.Place(id, 2)
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("golden placement of %q = %v, want %v", id, got, want)
+		}
+	}
+}
+
+// TestRingBalance pins the distribution bound the vnode count buys: over
+// a large id population on a small fleet, no node's primary share may
+// drift past 2x even or below half of it.
+func TestRingBalance(t *testing.T) {
+	for _, nNodes := range []int{2, 3, 5, 8} {
+		nodes := make([]string, nNodes)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("http://node-%d:7075", i)
+		}
+		r, err := NewRing(nodes, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const ids = 20000
+		counts := make(map[string]int, nNodes)
+		for i := 0; i < ids; i++ {
+			counts[r.Place(fmt.Sprintf("id-%d", i), 1)[0]]++
+		}
+		even := ids / nNodes
+		for _, n := range nodes {
+			c := counts[n]
+			if c < even/2 || c > even*2 {
+				t.Errorf("%d nodes: %s owns %d of %d ids, outside [%d, %d]",
+					nNodes, n, c, ids, even/2, even*2)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement pins the consistent-hashing contract on a
+// membership change: adding a node moves roughly 1/n of primaries, all
+// of them onto the new node; every unmoved id keeps its primary.
+// Removing a node moves only the departed node's ids.
+func TestRingMinimalMovement(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1", "http://e:1"}
+	before, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := "http://f:1"
+	after, err := NewRing(append(append([]string{}, nodes...), joined), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ids = 20000
+	movedIn := 0
+	for i := 0; i < ids; i++ {
+		id := fmt.Sprintf("id-%d", i)
+		pb, pa := before.Place(id, 1)[0], after.Place(id, 1)[0]
+		if pb == pa {
+			continue
+		}
+		if pa != joined {
+			t.Fatalf("id %q moved %s -> %s, but only the joiner may gain ids", id, pb, pa)
+		}
+		movedIn++
+	}
+	// The joiner should take about 1/6 of the keyspace; allow generous
+	// slack for vnode variance but reject wholesale reshuffles.
+	if movedIn < ids/12 || movedIn > ids/3 {
+		t.Errorf("join moved %d of %d primaries, want about %d", movedIn, ids, ids/6)
+	}
+
+	// Symmetric check: removing e moves exactly e's ids.
+	removed := "http://e:1"
+	shrunk, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movedOut := 0
+	for i := 0; i < ids; i++ {
+		id := fmt.Sprintf("id-%d", i)
+		pb, pa := before.Place(id, 1)[0], shrunk.Place(id, 1)[0]
+		if pb == removed {
+			movedOut++
+			continue
+		}
+		if pa != pb {
+			t.Fatalf("id %q moved %s -> %s though its owner never left", id, pb, pa)
+		}
+	}
+	if movedOut == 0 {
+		t.Error("removed node owned zero ids — balance test should have caught this")
+	}
+}
+
+// TestRingReplicaSets pins replica-set mechanics: distinct nodes,
+// clamping past the fleet size, and stability of the full set across
+// calls.
+func TestRingReplicaSets(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("id-%d", i)
+		got := r.Place(id, 5) // more replicas than nodes: clamp to all 3
+		if len(got) != 3 {
+			t.Fatalf("Place(%q, 5) = %v, want all 3 nodes", id, got)
+		}
+		seen := map[string]bool{}
+		for _, n := range got {
+			if seen[n] {
+				t.Fatalf("Place(%q) repeats node %s", id, n)
+			}
+			seen[n] = true
+		}
+		// The 2-replica set is a prefix of the 3-replica walk.
+		two := r.Place(id, 2)
+		if two[0] != got[0] || two[1] != got[1] {
+			t.Fatalf("Place(%q, 2) = %v is not a prefix of %v", id, two, got)
+		}
+	}
+}
+
+// TestNewRingRejects pins construction validation.
+func TestNewRingRejects(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", ""}, 0); err == nil {
+		t.Error("empty node name accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", "http://a:1"}, 0); err == nil {
+		t.Error("duplicate node accepted")
+	}
+}

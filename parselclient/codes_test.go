@@ -1,0 +1,123 @@
+package parselclient
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+
+	"parsel"
+)
+
+// typedForCode is the full code -> typed-sentinel mapping APIError.Is
+// promises. Codes absent here have no typed sentinel (they are request
+// shape errors a caller matches by Code, not errors.Is).
+func typedForCode() map[Code]error {
+	return map[Code]error{
+		CodePoolTimeout:     parsel.ErrPoolTimeout,
+		CodeShuttingDown:    parsel.ErrPoolClosed,
+		CodeRankRange:       parsel.ErrRankRange,
+		CodeBadQuantile:     parsel.ErrBadQuantile,
+		CodeNoData:          parsel.ErrNoData,
+		CodeNoShards:        parsel.ErrNoShards,
+		CodeQueueFull:       ErrQueueFull,
+		CodeDatasetNotFound: ErrDatasetNotFound,
+		CodeResidentBudget:  ErrResidentBudget,
+		CodeUnknownTenant:   ErrUnknownTenant,
+		CodeTenantBudget:    ErrTenantBudget,
+		CodeBadKind:         ErrKindMismatch,
+	}
+}
+
+// TestCodesExhaustiveRoundTrip walks every published Code through the
+// full client decode path — wire body -> decodeError -> *APIError ->
+// errors.Is — and pins that each code maps onto exactly its typed
+// sentinel (or none), with no cross-talk between codes. Codes() is the
+// closed world: the test also pins that every typed sentinel's code is
+// published there, so a new code cannot ship without joining the
+// round-trip.
+func TestCodesExhaustiveRoundTrip(t *testing.T) {
+	typed := typedForCode()
+	codes := Codes()
+	if len(codes) != 21 {
+		t.Fatalf("Codes() published %d codes, want 21 — update this test alongside the constants", len(codes))
+	}
+	seen := make(map[Code]bool, len(codes))
+	for _, code := range codes {
+		if seen[code] {
+			t.Fatalf("Codes() lists %q twice", code)
+		}
+		seen[code] = true
+		if code == "" {
+			t.Fatal("Codes() lists an empty code")
+		}
+
+		// Synthesize the exact wire body a daemon writes for this code
+		// and decode it like a response.
+		status := statusForCode(code)
+		body, err := json.Marshal(ErrorBody{Error: ErrorDetail{Code: code, Message: "synthesized"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		derr := decodeError(status, body)
+		var ae *APIError
+		if !errors.As(derr, &ae) {
+			t.Fatalf("%s: decodeError returned %T (%v), want *APIError", code, derr, derr)
+		}
+		if ae.Code != code || ae.Status != status {
+			t.Errorf("%s: decoded (%s, %d), want (%s, %d)", code, ae.Code, ae.Status, code, status)
+		}
+
+		// The typed-error mapping, both directions: the code's own
+		// sentinel matches, every other code's sentinel does not.
+		for other, sentinel := range typed {
+			if got, want := errors.Is(ae, sentinel), other == code; got != want {
+				t.Errorf("errors.Is(%s, sentinel of %s) = %v, want %v", code, other, got, want)
+			}
+		}
+	}
+	for code := range typed {
+		if !seen[code] {
+			t.Errorf("typed sentinel maps code %q that Codes() does not publish", code)
+		}
+	}
+}
+
+// TestStatusForCodeStable pins the status each code decodes with, so a
+// server and an older client never disagree about retryability classes
+// (4xx vs 429 vs 5xx) for a published code.
+func TestStatusForCodeStable(t *testing.T) {
+	want := map[Code]int{
+		CodeBadJSON:          http.StatusBadRequest,
+		CodeMissingField:     http.StatusBadRequest,
+		CodeLimitExceeded:    http.StatusBadRequest,
+		CodeTooLarge:         http.StatusRequestEntityTooLarge,
+		CodeQueueFull:        http.StatusTooManyRequests,
+		CodePoolTimeout:      http.StatusTooManyRequests,
+		CodeShuttingDown:     http.StatusServiceUnavailable,
+		CodeRankRange:        http.StatusBadRequest,
+		CodeBadQuantile:      http.StatusBadRequest,
+		CodeNoData:           http.StatusBadRequest,
+		CodeNoShards:         http.StatusBadRequest,
+		CodeDatasetNotFound:  http.StatusNotFound,
+		CodeResidentBudget:   http.StatusRequestEntityTooLarge,
+		CodeBadKind:          http.StatusBadRequest,
+		CodeUnknownTenant:    http.StatusBadRequest, // 401 comes from the wire status, not the fallback
+		CodeTenantBudget:     http.StatusBadRequest, // 413 likewise
+		CodeBadDatasetID:     http.StatusBadRequest,
+		CodeBadFrame:         http.StatusBadRequest,
+		CodeMethodNotAllowed: http.StatusMethodNotAllowed,
+		CodeNotFound:         http.StatusNotFound,
+		CodeInternal:         http.StatusInternalServerError,
+	}
+	for _, code := range Codes() {
+		w, ok := want[code]
+		if !ok {
+			t.Errorf("no pinned status for %s — update this test alongside the constants", code)
+			continue
+		}
+		if got := statusForCode(code); got != w {
+			t.Errorf("statusForCode(%s) = %d, want %d", code, got, w)
+		}
+	}
+}

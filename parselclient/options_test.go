@@ -1,0 +1,52 @@
+package parselclient
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestNewFunctionalOptions pins the redesigned constructor: every
+// option lands on its field, a literal nil option (what pre-options
+// call sites passed for "no custom http client") is tolerated, and the
+// exported fields remain settable afterwards for callers that predate
+// the options.
+func TestNewFunctionalOptions(t *testing.T) {
+	hc := &http.Client{}
+	c := New("http://example:7075/",
+		WithHTTPClient(hc),
+		WithToken("tok-acme"),
+		WithBinary(true),
+		WithRetry(RetryPolicy{MaxAttempts: 4}),
+		WithLimits(ClientLimits{QueryTimeout: 2 * time.Second, MaxResponseBytes: 1 << 20}),
+		nil,
+	)
+	if c.base != "http://example:7075" {
+		t.Errorf("base = %q, want trailing slash trimmed", c.base)
+	}
+	if c.hc != hc {
+		t.Error("WithHTTPClient did not land")
+	}
+	if c.Token != "tok-acme" || !c.Binary || c.Retry.MaxAttempts != 4 {
+		t.Errorf("options did not land: token=%q binary=%v retry=%+v", c.Token, c.Binary, c.Retry)
+	}
+	if c.QueryTimeout != 2*time.Second || c.MaxResponseBytes != 1<<20 {
+		t.Errorf("limits did not land: %v, %d", c.QueryTimeout, c.MaxResponseBytes)
+	}
+
+	// WithHTTPClient(nil) keeps the default rather than breaking every
+	// request.
+	d := New("http://x", WithHTTPClient(nil))
+	if d.hc != http.DefaultClient {
+		t.Error("WithHTTPClient(nil) replaced the default client")
+	}
+
+	// The pre-options surface: bare New plus field assignment.
+	e := New("http://y")
+	e.Token = "legacy"
+	e.Binary = true
+	e.Retry = RetryPolicy{MaxAttempts: 2}
+	if e.hc != http.DefaultClient || e.Token != "legacy" || !e.Binary {
+		t.Errorf("legacy field configuration broken: %+v", e)
+	}
+}

@@ -18,7 +18,7 @@ import (
 type failNTimes struct {
 	n          int64
 	status     int
-	code       string
+	code       Code
 	retryAfter string
 	body       string
 
@@ -46,7 +46,7 @@ func noSleep(context.Context, time.Duration) error { return nil }
 
 // retryClient builds a client against ts with the given policy.
 func retryClient(ts *httptest.Server, p RetryPolicy) *Client {
-	c := New(ts.URL, ts.Client())
+	c := New(ts.URL, WithHTTPClient(ts.Client()))
 	c.Retry = p
 	return c
 }

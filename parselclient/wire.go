@@ -343,10 +343,21 @@ type DatasetInfo struct {
 	Restored bool `json:"restored,omitempty"`
 }
 
+// Code is a stable machine-readable wire error code. Every non-2xx
+// response body names one; both halves of the wire share this single
+// type — the daemon's handlers write the constants below and the
+// client maps them back onto typed errors (see APIError.Is) — so the
+// two can never drift. Codes are stable across releases; matching on
+// them is the supported way to branch on failures.
+type Code string
+
+// String returns the code's wire spelling.
+func (c Code) String() string { return string(c) }
+
 // ErrorDetail is the machine-readable error payload.
 type ErrorDetail struct {
 	// Code is one of the Code constants — stable across releases.
-	Code string `json:"code"`
+	Code Code `json:"code"`
 	// Message is human-readable detail.
 	Message string `json:"message"`
 }
@@ -359,64 +370,78 @@ type ErrorBody struct {
 // Stable wire error codes.
 const (
 	// CodeBadJSON: the body is not valid JSON for the endpoint.
-	CodeBadJSON = "bad_json"
+	CodeBadJSON Code = "bad_json"
 	// CodeMissingField: a field the endpoint requires is absent.
-	CodeMissingField = "missing_field"
+	CodeMissingField Code = "missing_field"
 	// CodeLimitExceeded: the request exceeds a configured server limit
 	// (shard count, rank count, timeout).
-	CodeLimitExceeded = "limit_exceeded"
+	CodeLimitExceeded Code = "limit_exceeded"
 	// CodeTooLarge: the body exceeds the server's byte limit (HTTP 413).
-	CodeTooLarge = "too_large"
+	CodeTooLarge Code = "too_large"
 	// CodeQueueFull: the admission queue is full; retry later (429).
-	CodeQueueFull = "queue_full"
+	CodeQueueFull Code = "queue_full"
 	// CodePoolTimeout: every machine stayed busy past the deadline (429).
-	CodePoolTimeout = "pool_timeout"
+	CodePoolTimeout Code = "pool_timeout"
 	// CodeShuttingDown: the daemon is draining (503).
-	CodeShuttingDown = "shutting_down"
+	CodeShuttingDown Code = "shutting_down"
 	// CodeRankRange: a rank or k is outside [1, n] (400).
-	CodeRankRange = "rank_range"
+	CodeRankRange Code = "rank_range"
 	// CodeBadQuantile: a quantile is outside [0,1] or not a number (400).
-	CodeBadQuantile = "bad_quantile"
+	CodeBadQuantile Code = "bad_quantile"
 	// CodeNoData: the shards hold zero elements (400).
-	CodeNoData = "no_data"
+	CodeNoData Code = "no_data"
 	// CodeNoShards: the request carries no shards (400).
-	CodeNoShards = "no_shards"
+	CodeNoShards Code = "no_shards"
 	// CodeDatasetNotFound: no resident dataset has this id — never
 	// uploaded, deleted, or TTL-evicted (404).
-	CodeDatasetNotFound = "dataset_not_found"
+	CodeDatasetNotFound Code = "dataset_not_found"
 	// CodeResidentBudget: admitting the upload would exceed the daemon's
 	// resident-bytes budget or dataset count; rejected in constant time,
 	// without evicting live data (413).
-	CodeResidentBudget = "resident_budget"
+	CodeResidentBudget Code = "resident_budget"
 	// CodeBadKind: a dataset query's kind is not one of the Kind
 	// constants, a request's key_kind is not one of the KeyKind
 	// constants, or the key kind disagrees with the dataset it
 	// addresses (400).
-	CodeBadKind = "bad_kind"
+	CodeBadKind Code = "bad_kind"
 	// CodeUnknownTenant: the daemon runs with tenants configured and
 	// the request carries no Authorization bearer token, or one that
 	// matches no tenant (401).
-	CodeUnknownTenant = "unknown_tenant"
+	CodeUnknownTenant Code = "unknown_tenant"
 	// CodeTenantBudget: admitting the upload would exceed the calling
 	// tenant's resident-bytes budget or dataset quota; rejected in
 	// constant time, without evicting live data (413). The global
 	// resident budget still answers CodeResidentBudget.
-	CodeTenantBudget = "tenant_budget"
+	CodeTenantBudget Code = "tenant_budget"
 	// CodeBadDatasetID: the dataset id in the URL is empty, too long, or
 	// carries characters outside [A-Za-z0-9._-] (400).
-	CodeBadDatasetID = "bad_dataset_id"
+	CodeBadDatasetID Code = "bad_dataset_id"
 	// CodeBadFrame: a binary-framed upload body failed to decode —
 	// truncated, bit-flipped, version-skewed or not the frame format at
 	// all (400). Deterministic, never retried: resending the same bytes
 	// cannot change the verdict.
-	CodeBadFrame = "bad_frame"
+	CodeBadFrame Code = "bad_frame"
 	// CodeMethodNotAllowed: wrong HTTP method (405).
-	CodeMethodNotAllowed = "method_not_allowed"
+	CodeMethodNotAllowed Code = "method_not_allowed"
 	// CodeNotFound: unknown endpoint (404).
-	CodeNotFound = "not_found"
+	CodeNotFound Code = "not_found"
 	// CodeInternal: an unexpected server fault (500).
-	CodeInternal = "internal"
+	CodeInternal Code = "internal"
 )
+
+// Codes lists every stable wire code, for exhaustive handling (the
+// code↔typed-error round-trip test ranges over it; a code added
+// without updating the mappings fails there).
+func Codes() []Code {
+	return []Code{
+		CodeBadJSON, CodeMissingField, CodeLimitExceeded, CodeTooLarge,
+		CodeQueueFull, CodePoolTimeout, CodeShuttingDown, CodeRankRange,
+		CodeBadQuantile, CodeNoData, CodeNoShards, CodeDatasetNotFound,
+		CodeResidentBudget, CodeBadKind, CodeUnknownTenant, CodeTenantBudget,
+		CodeBadDatasetID, CodeBadFrame, CodeMethodNotAllowed, CodeNotFound,
+		CodeInternal,
+	}
+}
 
 // PoolStats mirrors parsel.PoolStats plus the pool's capacity.
 type PoolStats struct {
@@ -488,6 +513,16 @@ type DatasetStats struct {
 	NotFound int64 `json:"not_found"`
 	// Queries counts dataset-path queries served OK.
 	Queries int64 `json:"queries"`
+	// Exports counts snapshot-stream exports served OK (GET
+	// /v1/datasets/{id}/snapshot) — the replication traffic a cluster
+	// router generates when it ships datasets between nodes.
+	Exports int64 `json:"exports,omitempty"`
+}
+
+// TenantReloadResult answers POST /v1/admin/tenants/reload.
+type TenantReloadResult struct {
+	// Tenants is how many tenants the reloaded configuration holds.
+	Tenants int `json:"tenants"`
 }
 
 // TenantStats is one tenant's block in Stats.Tenants: the tenant's
