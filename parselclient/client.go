@@ -147,6 +147,11 @@ func WithLimits(l ClientLimits) Option {
 // encoding and no retries. The exported fields (Token, Binary, Retry,
 // QueryTimeout) remain settable before the first call for callers that
 // predate the options.
+//
+// Note for callers of the pre-options signature New(baseURL, hc):
+// passing a literal nil still compiles (a nil Option is tolerated),
+// but a non-nil *http.Client must move to WithHTTPClient — or use the
+// NewWithHTTPClient shim, which keeps the old shape.
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
 	for _, o := range opts {
@@ -155,6 +160,14 @@ func New(baseURL string, opts ...Option) *Client {
 		}
 	}
 	return c
+}
+
+// NewWithHTTPClient builds a client with an explicit *http.Client —
+// the exact shape of the pre-options constructor, kept so callers that
+// passed a transport do not break. nil means http.DefaultClient. New
+// code should prefer New(baseURL, WithHTTPClient(hc)).
+func NewWithHTTPClient(baseURL string, hc *http.Client) *Client {
+	return New(baseURL, WithHTTPClient(hc))
 }
 
 // APIError is a structured error response from the daemon.
@@ -1040,6 +1053,19 @@ func (c *Client) DatasetSnapshot(ctx context.Context, id string) (io.ReadCloser,
 	return hres.Body, hres.ContentLength, nil
 }
 
+// ShipSourceError wraps a ShipSnapshot failure that originated on the
+// source daemon's snapshot export rather than the destination's
+// ingest. errors.As lets a caller attribute the fault to the right
+// node — Err is the raw source-side cause, still classifiable with
+// Retryable — before deciding which end to fail over or mark down.
+type ShipSourceError struct{ Err error }
+
+func (e *ShipSourceError) Error() string {
+	return "parselclient: snapshot source: " + e.Err.Error()
+}
+
+func (e *ShipSourceError) Unwrap() error { return e.Err }
+
 // ShipSnapshot replicates a resident fixed-width dataset from this
 // daemon to another: the source's snapshot stream becomes the
 // destination's frame upload, flowing end to end without the keys ever
@@ -1058,9 +1084,10 @@ func (c *Client) ShipSnapshot(ctx context.Context, id string, dst *Client) (Data
 		if err != nil {
 			// A source failure is not the destination's transient fault:
 			// it surfaces immediately (the retry loop treats body-build
-			// errors as permanent). Callers wanting source-side failover
-			// retry the whole ship against another holder.
-			return nil, 0, "", err
+			// errors as permanent), wrapped in ShipSourceError so callers
+			// can blame the right node. Callers wanting source-side
+			// failover retry the whole ship against another holder.
+			return nil, 0, "", &ShipSourceError{Err: err}
 		}
 		return rc, length, ContentTypeFrame, nil
 	}

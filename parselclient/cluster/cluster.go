@@ -136,7 +136,20 @@ func (r *Router) logf(format string, args ...any) {
 // (primary first). Exposed so operators can answer "where does this
 // dataset live?" without a coordinator to ask.
 func (r *Router) Place(id string) []string {
-	return r.ring.Place(id, r.cfg.Replicas)
+	r.mu.Lock()
+	ring, replicas := r.ring, r.cfg.Replicas
+	r.mu.Unlock()
+	return ring.Place(id, replicas)
+}
+
+// nodes returns the current fleet's node list. The ring pointer is
+// read under the lock (SetNodes swaps it); the Ring itself is
+// immutable, so the walk needs no further guarding.
+func (r *Router) nodes() []string {
+	r.mu.Lock()
+	ring := r.ring
+	r.mu.Unlock()
+	return ring.Nodes()
 }
 
 // Client returns the per-node client for a node named in Config.Nodes,
@@ -166,6 +179,26 @@ func (r *Router) markDown(node string, err error) {
 	r.mu.Unlock()
 	if !was {
 		r.logf("cluster: node %s out of rotation: %v", node, err)
+	}
+}
+
+// markShipDown updates the health view after a failed snapshot ship,
+// attributing the fault to the side that produced it: a source-side
+// export failure (ShipSourceError) indicts src — the destination never
+// saw bytes — anything else reached dst. Either way only transient
+// faults take a node out of rotation; deterministic rejections (budget
+// exceeded, bad_kind) mean the node is healthy and just said no, and
+// pulling it from query rotation would cause needless failovers.
+func (r *Router) markShipDown(src, dst string, err error) {
+	var se *parselclient.ShipSourceError
+	if errors.As(err, &se) {
+		if parselclient.Retryable(se.Err) {
+			r.markDown(src, err)
+		}
+		return
+	}
+	if parselclient.Retryable(err) {
+		r.markDown(dst, err)
 	}
 }
 
@@ -393,7 +426,11 @@ func (d *Dataset[K]) Upload(ctx context.Context, shards [][]K) (parselclient.Dat
 				continue
 			}
 			tried[node] = true
-			i, err := d.remote(d.r.Client(node)).Upload(ctx, shards)
+			c := d.r.Client(node)
+			if c == nil { // node removed by a concurrent SetNodes
+				continue
+			}
+			i, err := d.remote(c).Upload(ctx, shards)
 			if err == nil {
 				d.r.markUp(node)
 				info, primary = i, node
@@ -422,20 +459,33 @@ func (d *Dataset[K]) Upload(ctx context.Context, shards [][]K) (parselclient.Dat
 		if !d.r.alive(node) {
 			continue
 		}
+		dst := d.r.Client(node)
+		if dst == nil { // node removed by a concurrent SetNodes
+			continue
+		}
 		var err error
 		if kind == parselclient.KeyKindString {
-			_, err = d.remote(d.r.Client(node)).Upload(ctx, shards)
+			_, err = d.remote(dst).Upload(ctx, shards)
 			if err == nil {
 				d.r.bump(&d.r.reuploads)
+			} else if parselclient.Retryable(err) {
+				d.r.markDown(node, err)
 			}
 		} else {
-			_, err = d.r.Client(primary).ShipSnapshot(ctx, d.id, d.r.Client(node))
+			src := d.r.Client(primary)
+			if src == nil {
+				// The primary left the fleet between landing and fill;
+				// the shortfall count below flags it for Rebalance.
+				break
+			}
+			_, err = src.ShipSnapshot(ctx, d.id, dst)
 			if err == nil {
 				d.r.bump(&d.r.shipped)
+			} else {
+				d.r.markShipDown(primary, node, err)
 			}
 		}
 		if err != nil {
-			d.r.markDown(node, err)
 			d.r.logf("cluster: replicate %q to %s: %v", d.id, node, err)
 			continue
 		}
@@ -463,16 +513,24 @@ func (d *Dataset[K]) Info(ctx context.Context) (parselclient.DatasetInfo, error)
 	})
 }
 
-// Delete removes the dataset from every replica. Replicas that no
-// longer hold a copy are fine (not-found is success for a delete); the
-// call fails only if some copy may remain — a replica that was
-// unreachable stays suspect.
+// Delete removes the dataset from every node that holds a copy. The
+// sweep covers the whole fleet, not just the current replica set:
+// after a SetNodes, copies can linger on ex-replicas until a Rebalance
+// surplus-drop, and delete means delete everywhere. Nodes without a
+// copy are fine (not-found is success for a delete); the call fails
+// only if some copy may remain — a node that was unreachable stays
+// suspect. Copies on nodes removed from the fleet entirely are out of
+// the router's reach; TTL cleans those.
 func (d *Dataset[K]) Delete(ctx context.Context) (parselclient.DatasetInfo, error) {
 	var info parselclient.DatasetInfo
 	var got bool
 	var firstErr error
-	for _, node := range d.r.Place(d.id) {
-		i, err := d.remote(d.r.Client(node)).Delete(ctx)
+	for _, node := range d.r.nodes() {
+		c := d.r.Client(node)
+		if c == nil { // node removed by a concurrent SetNodes
+			continue
+		}
+		i, err := d.remote(c).Delete(ctx)
 		switch {
 		case err == nil:
 			if !got {

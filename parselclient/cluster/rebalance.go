@@ -89,7 +89,7 @@ func (r *Router) Rebalance(ctx context.Context) (RebalanceReport, error) {
 	}
 	sort.Strings(ids)
 
-	allNodes := r.ring.Nodes()
+	allNodes := r.nodes()
 	for _, id := range ids {
 		rep.Datasets++
 		kind := tracked[id]
@@ -107,7 +107,11 @@ func (r *Router) Rebalance(ctx context.Context) (RebalanceReport, error) {
 			if !r.alive(node) {
 				continue
 			}
-			_, err := parselclient.Keyed[int64](r.Client(node)).Dataset(id).Info(ctx)
+			c := r.Client(node)
+			if c == nil { // node removed by a concurrent SetNodes
+				continue
+			}
+			_, err := parselclient.Keyed[int64](c).Dataset(id).Info(ctx)
 			switch {
 			case err == nil:
 				holders[node] = true
@@ -158,11 +162,21 @@ func (r *Router) Rebalance(ctx context.Context) (RebalanceReport, error) {
 			}
 			var shipErr error
 			shipped := false
+			dstC := r.Client(dst)
+			if dstC == nil { // placement raced a SetNodes; next pass recomputes
+				rep.Errors = append(rep.Errors, fmt.Sprintf("%s: ship to %s: node no longer in fleet", id, dst))
+				filled = false
+				continue
+			}
 			for _, src := range sources {
 				if src == dst {
 					continue
 				}
-				_, err := r.Client(src).ShipSnapshot(ctx, id, r.Client(dst))
+				srcC := r.Client(src)
+				if srcC == nil {
+					continue
+				}
+				_, err := srcC.ShipSnapshot(ctx, id, dstC)
 				if err == nil {
 					holders[dst] = true
 					shipped = true
@@ -172,9 +186,7 @@ func (r *Router) Rebalance(ctx context.Context) (RebalanceReport, error) {
 					break
 				}
 				shipErr = err
-				if parselclient.Retryable(err) {
-					r.markDown(src, err)
-				}
+				r.markShipDown(src, dst, err)
 			}
 			if !shipped {
 				rep.Errors = append(rep.Errors, fmt.Sprintf("%s: ship to %s: %v", id, dst, shipErr))
@@ -188,7 +200,11 @@ func (r *Router) Rebalance(ctx context.Context) (RebalanceReport, error) {
 			continue
 		}
 		for _, node := range surplus {
-			_, err := parselclient.Keyed[int64](r.Client(node)).Dataset(id).Delete(ctx)
+			c := r.Client(node)
+			if c == nil { // departed the fleet along with its surplus copy
+				continue
+			}
+			_, err := parselclient.Keyed[int64](c).Dataset(id).Delete(ctx)
 			if err != nil && !errors.Is(err, parselclient.ErrDatasetNotFound) {
 				rep.Errors = append(rep.Errors, fmt.Sprintf("%s: delete surplus on %s: %v", id, node, err))
 				continue

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"parsel/parselclient"
+)
+
+// TestRouterPlaceSetNodesConcurrent pins that routing reads (Place,
+// Client, alive, the node sweep Delete and Rebalance walk) are safe
+// against a concurrent SetNodes — the documented usage has queries in
+// flight across a membership change. Run under -race this catches any
+// unguarded read of the ring pointer or replica count.
+func TestRouterPlaceSetNodesConcurrent(t *testing.T) {
+	fleets := [][]string{
+		{"http://n1:7075", "http://n2:7075", "http://n3:7075"},
+		{"http://n1:7075", "http://n2:7075", "http://n3:7075", "http://n4:7075"},
+		{"http://n2:7075", "http://n3:7075"},
+	}
+	r, err := New(Config{Nodes: fleets[0], Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("ds-%d-%d", g, i%50)
+				replicas := r.Place(id)
+				if len(replicas) == 0 {
+					t.Error("Place returned no replicas")
+					return
+				}
+				for _, n := range r.nodes() {
+					r.alive(n)
+					r.Client(n) // may be nil mid-transition; that is the contract
+				}
+				r.Stats()
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		if err := r.SetNodes(fleets[i%len(fleets)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestMarkShipDownAttribution pins which node a failed snapshot ship
+// takes out of rotation: a transient source-side export failure
+// indicts the source, a transient destination failure the destination,
+// and deterministic rejections (budget, bad kind) mark nobody — a node
+// that said no is not a node that is down.
+func TestMarkShipDownAttribution(t *testing.T) {
+	transient := &parselclient.APIError{Status: 503, Code: parselclient.CodeShuttingDown, Message: "draining"}
+	deterministic := &parselclient.APIError{Status: 413, Code: parselclient.CodeResidentBudget, Message: "full"}
+	cases := []struct {
+		name     string
+		err      error
+		wantDown []string
+	}{
+		{"source transient", &parselclient.ShipSourceError{Err: transient}, []string{"src"}},
+		{"source deterministic", &parselclient.ShipSourceError{Err: deterministic}, nil},
+		{"dest transient", transient, []string{"dst"}},
+		{"dest deterministic", deterministic, nil},
+		{"dest transport", errors.New("connection refused"), []string{"dst"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r, err := New(Config{Nodes: []string{"src", "dst"}, Replicas: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.markShipDown("src", "dst", c.err)
+			down := r.Stats().Down
+			if len(down) != len(c.wantDown) {
+				t.Fatalf("down = %v, want %v", down, c.wantDown)
+			}
+			for i := range down {
+				if down[i] != c.wantDown[i] {
+					t.Fatalf("down = %v, want %v", down, c.wantDown)
+				}
+			}
+		})
+	}
+}
