@@ -19,6 +19,8 @@
 #   make fuzz    - short fuzz smoke: the 128-bit quantile-rank arithmetic, the
 #                  daemon's HTTP request decoder, the snapshot decoder and the
 #                  binary result-frame decoder
+#   make smoke   - metrics-scrape smoke: boot a daemon, run one query, pull
+#                  /metrics and strictly validate the exposition
 #   make cover   - coverage profile over the core packages (engine, client,
 #                  internal) with a hard threshold; writes cover.out
 
@@ -30,9 +32,9 @@ GO ?= go
 COVER_PKGS = .,./parselclient,./parselclient/cluster,./internal/...
 COVER_MIN ?= 85
 
-.PHONY: ci vet build test race e2e fuzz cover
+.PHONY: ci vet build test race e2e fuzz smoke cover
 
-ci: vet build test race e2e fuzz cover
+ci: vet build test race e2e fuzz smoke cover
 
 vet:
 	$(GO) vet ./...
@@ -53,13 +55,16 @@ race:
 	$(GO) test -race ./...
 
 e2e:
-	$(GO) test -count=1 -run 'TestDaemon|TestDataset|TestSnapshot|TestTenant|TestCluster' ./internal/serve .
+	$(GO) test -count=1 -run 'TestDaemon|TestDataset|TestSnapshot|TestTenant|TestCluster|TestObs' ./internal/serve .
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzQuantileRank -fuzztime=5s .
 	$(GO) test -run='^$$' -fuzz=FuzzParseRequest -fuzztime=5s ./internal/serve
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=5s ./internal/snapshot
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=5s ./internal/snapshot
+
+smoke:
+	$(GO) test -count=1 -run 'TestObsScrapeSmoke' ./internal/serve
 
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out -coverpkg=$(COVER_PKGS) \

@@ -73,8 +73,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -82,6 +83,7 @@ import (
 	"time"
 
 	"parsel"
+	"parsel/internal/obs"
 	"parsel/internal/serve"
 )
 
@@ -143,6 +145,9 @@ func main() {
 		readTO   = flag.Duration("read-timeout", 60*time.Second, "connection read deadline: a request's headers+body must arrive within this (bounds how long a stalled upload can hold an admission slot)")
 		writeTO  = flag.Duration("write-timeout", 3*time.Minute, "connection write deadline: a response must be fully written within this of the request being read (0 disables; must exceed -max-timeout or legitimate slow queries are cut off mid-response)")
 		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "how long an idle keep-alive connection is kept open")
+		logFmt   = flag.String("log-format", "text", "structured log format: text or json")
+		logLvl   = flag.String("log-level", "info", "log level: debug, info, warn or error (debug includes a per-request access line)")
+		pprofA   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled; keep it off the service port)")
 	)
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
@@ -158,6 +163,12 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFmt, *logLvl)
+	if err != nil {
+		fail("%v", err)
+	}
+	slog.SetDefault(logger)
 
 	a, ok := algNames[*alg]
 	if !ok {
@@ -178,7 +189,8 @@ func main() {
 		fail("need -queue >= 0")
 	}
 	if *writeTO > 0 && *writeTO <= *maxTO {
-		log.Printf("warning: -write-timeout %v <= -max-timeout %v; slow queries may be cut off mid-response", *writeTO, *maxTO)
+		logger.Warn("-write-timeout at or below -max-timeout; slow queries may be cut off mid-response",
+			"write_timeout", (*writeTO).String(), "max_timeout", (*maxTO).String())
 	}
 
 	opts := parsel.Options{
@@ -195,7 +207,7 @@ func main() {
 		if err := pool.Warm(*warmP, *warm); err != nil {
 			fail("warm: %v", err)
 		}
-		log.Printf("warmed %d machines for %d-shard queries", min(*warm, *machines), *warmP)
+		logger.Info("warmed machines", "machines", min(*warm, *machines), "procs", *warmP)
 	}
 
 	var tenantCfg []serve.Tenant
@@ -238,18 +250,40 @@ func main() {
 		SnapshotDir:      *snapDir,
 		Tenants:          tenantCfg,
 		TenantSource:     tenantSource,
+		Logger:           logger,
 	})
 	if err != nil {
 		fail("serve: %v", err)
 	}
 	defer srv.Close()
 	if len(tenantCfg) > 0 {
-		log.Printf("tenants: %d configured; requests require Authorization: Bearer <token>", len(tenantCfg))
+		logger.Info("tenants configured; requests require Authorization: Bearer <token>", "tenants", len(tenantCfg))
 	}
 	if *snapDir != "" {
 		ss := srv.Stats().Snapshots
-		log.Printf("snapshots: restored %d datasets from %s (%d bytes on disk; %d skipped, %d quarantined)",
-			ss.Restored, *snapDir, ss.SnapshotBytes, ss.RestoreSkipped, ss.Quarantined)
+		logger.Info("snapshots restored",
+			"restored", ss.Restored, "dir", *snapDir, "disk_bytes", ss.SnapshotBytes,
+			"skipped", ss.RestoreSkipped, "quarantined", ss.Quarantined)
+	}
+
+	// The profiler listens on its own address so it is never reachable
+	// through the service port (or its load balancer), and a scrape or
+	// heap dump cannot consume a service connection.
+	if *pprofA != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps := &http.Server{Addr: *pprofA, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofA)
+			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "err", err.Error())
+			}
+		}()
+		defer ps.Close()
 	}
 
 	// Read deadlines keep stalled uploads from camping on admission
@@ -267,8 +301,9 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	log.Printf("parseld listening on %s (alg=%s bal=%s topo=%s machines=%d queue=%d)",
-		*addr, *alg, *bal, *topo, *machines, *queue)
+	logger.Info("parseld listening",
+		"addr", *addr, "alg", *alg, "bal", *bal, "topo", *topo,
+		"machines", *machines, "queue", *queue)
 
 	// SIGHUP rereads -tenants and swaps the tenant configuration in
 	// place — token rotation and budget changes without a restart; the
@@ -281,19 +316,19 @@ func main() {
 	go func() {
 		for range hup {
 			if tenantSource == nil {
-				log.Printf("SIGHUP: no -tenants file to reload")
+				logger.Warn("SIGHUP: no -tenants file to reload")
 				continue
 			}
 			cfg, err := tenantSource()
 			if err != nil {
-				log.Printf("SIGHUP: tenants: %v (keeping the previous configuration)", err)
+				logger.Error("SIGHUP: tenant reload failed; keeping the previous configuration", "err", err.Error())
 				continue
 			}
 			if err := srv.ReloadTenants(cfg); err != nil {
-				log.Printf("SIGHUP: tenants: %v (keeping the previous configuration)", err)
+				logger.Error("SIGHUP: tenant reload failed; keeping the previous configuration", "err", err.Error())
 				continue
 			}
-			log.Printf("SIGHUP: tenant configuration reloaded (%d tenants)", len(cfg))
+			logger.Info("SIGHUP: tenant configuration reloaded", "tenants", len(cfg))
 		}
 	}()
 
@@ -307,12 +342,12 @@ func main() {
 
 	// Graceful drain: refuse new queries, let in-flight ones finish,
 	// then tear the machines down.
-	log.Printf("draining (up to %v for in-flight queries)...", *drainTO)
+	logger.Info("draining", "timeout", (*drainTO).String())
 	srv.Drain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("shutdown: %v", err)
+		logger.Error("shutdown failed", "err", err.Error())
 	}
 	// Requests already admitted when Drain ran may have committed
 	// uploads/deletes after its flush; now that Shutdown has waited
@@ -321,8 +356,10 @@ func main() {
 	srv.FlushSnapshots()
 	pool.Close()
 	st := srv.Stats()
-	log.Printf("served %d queries (%d ok, %d timeouts, %d rejected); pool built %d machines",
-		st.Server.Requests, st.Server.OK, st.Server.Timeouts, st.Server.Rejected, st.Pool.Creates)
+	logger.Info("served",
+		"requests", st.Server.Requests, "ok", st.Server.OK,
+		"timeouts", st.Server.Timeouts, "rejected", st.Server.Rejected,
+		"machines_built", st.Pool.Creates)
 }
 
 func fail(format string, args ...any) {

@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -46,6 +47,7 @@ import (
 	"parsel"
 	"parsel/internal/faults"
 	"parsel/internal/harness"
+	"parsel/internal/obs"
 	"parsel/internal/serve"
 	"parsel/parselclient"
 	"parsel/parselclient/cluster"
@@ -67,6 +69,10 @@ type perfResult struct {
 	// key megabytes per second — 8 bytes/key, independent of the wire
 	// encoding's own inflation); zero for query rows.
 	MBPerSec float64 `json:"mb_per_s,omitempty"`
+	// stages is the daemon's own per-stage latency breakdown for the
+	// timed window, scraped from /metrics around an HTTP measurement;
+	// printed under the row, never persisted.
+	stages string
 }
 
 // perfSnapshot is the schema of the -perf JSON file. Future PRs track the
@@ -265,6 +271,7 @@ func runLoopbackBench(clients int, faultRate float64, prep func(ctx context.Cont
 	if queries < 64 {
 		queries = 64
 	}
+	before, _ := scrapeStages("http://" + ln.Addr().String())
 	var next, failed atomic.Int64
 	var sim atomic.Value
 	var wg sync.WaitGroup
@@ -291,13 +298,79 @@ func runLoopbackBench(clients int, faultRate float64, prep func(ctx context.Cont
 	if n := failed.Load(); n > 0 {
 		return perfResult{}, fmt.Errorf("%d daemon queries failed", n)
 	}
+	var stages string
+	if after, err := scrapeStages("http://" + ln.Addr().String()); err == nil && before != nil {
+		stages = formatStageDiff(before, after)
+	}
 	simSec, _ := sim.Load().(float64)
 	return perfResult{
 		NsPerOp:    elapsed.Nanoseconds() / int64(queries),
 		SimSeconds: simSec,
 		QPS:        float64(queries) / elapsed.Seconds(),
 		Clients:    clients,
+		stages:     stages,
 	}, nil
+}
+
+// stageSample is one stage's cumulative observation state from a
+// /metrics scrape.
+type stageSample struct {
+	sum   float64
+	count float64
+}
+
+// benchStages are the per-request stage series the daemon exports,
+// in pipeline order.
+var benchStages = [...]string{"queue", "checkout", "execute", "encode"}
+
+// scrapeStages pulls one /metrics exposition and extracts the
+// parsel_query_stage_seconds sums and counts per stage.
+func scrapeStages(base string) (map[string]stageSample, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	sc, err := obs.ParseText(body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]stageSample, len(benchStages))
+	for _, stage := range benchStages {
+		labels := map[string]string{"stage": stage}
+		sum, _ := sc.Value("parsel_query_stage_seconds_sum", labels)
+		count, _ := sc.Value("parsel_query_stage_seconds_count", labels)
+		out[stage] = stageSample{sum: sum, count: count}
+	}
+	return out, nil
+}
+
+// formatStageDiff reports the server's own view of where the timed
+// window's request latency went: the mean per-stage time from the
+// /metrics scrape delta. It prices the daemon-side pipeline (admission
+// queue, pool checkout, simulated execution, response encode) without
+// any client-side instrumentation.
+func formatStageDiff(before, after map[string]stageSample) string {
+	n := after["queue"].count - before["queue"].count
+	if n <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  server stages (/metrics, %d requests):", int64(n))
+	for _, stage := range benchStages {
+		d := after[stage].sum - before[stage].sum
+		dn := after[stage].count - before[stage].count
+		if dn <= 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " %s %.3fms", stage, d/dn*1e3)
+	}
+	b.WriteByte('\n')
+	return b.String()
 }
 
 // runHTTPClients measures daemon round-trip throughput with the shards
@@ -980,6 +1053,7 @@ func main() {
 			}
 			fmt.Printf("daemon round-trip, %d clients: %.1f queries/s (%.3f ms/query, sim %.4f s)\n",
 				*clients, hr.QPS, float64(hr.NsPerOp)/1e6, hr.SimSeconds)
+			fmt.Print(hr.stages)
 			if *dataset {
 				dr, err := runHTTPDatasetClients(*clients)
 				if err != nil {
@@ -988,6 +1062,7 @@ func main() {
 				}
 				fmt.Printf("resident dataset, %d clients: %.1f queries/s (%.3f ms/query, sim %.4f s)\n",
 					*clients, dr.QPS, float64(dr.NsPerOp)/1e6, dr.SimSeconds)
+				fmt.Print(dr.stages)
 				if *kindF == "float64" {
 					fr, err := runHTTPDatasetClientsFloat64(*clients)
 					if err != nil {

@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scrape is a parsed text-format exposition: every sample keyed by its
+// series signature (metric name plus its canonicalized label set), and
+// every family's declared type. ParseText validates structure as it
+// parses, so a Scrape in hand is also a verdict that the exposition
+// was well-formed.
+type Scrape struct {
+	// Samples maps "name{k="v",...}" (labels sorted by key; bare "name"
+	// when unlabeled) to the sample value. Histogram series appear under
+	// their expanded names (name_bucket with le, name_sum, name_count).
+	Samples map[string]float64
+	// Types maps family name to its declared TYPE.
+	Types map[string]string
+}
+
+// Value looks up one sample by metric name and label set (nil or empty
+// for an unlabeled sample).
+func (s *Scrape) Value(name string, labels map[string]string) (float64, bool) {
+	v, ok := s.Samples[SeriesKey(name, labels)]
+	return v, ok
+}
+
+// SeriesKey builds the canonical sample key Value and Samples use:
+// labels sorted by name, values escaped exactly as the exposition
+// escapes them.
+func SeriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, escapeLabel(labels[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseText parses a Prometheus text-format exposition, validating as
+// it goes: TYPE declarations must precede their samples and name a
+// known type, sample lines must parse completely, histogram buckets
+// must be cumulative (non-decreasing in le order) with a +Inf bucket
+// equal to _count. Any violation is an error naming the offending
+// line.
+func ParseText(data []byte) (*Scrape, error) {
+	s := &Scrape{
+		Samples: make(map[string]float64),
+		Types:   make(map[string]string),
+	}
+	type bucketRec struct {
+		le  float64
+		val float64
+	}
+	buckets := make(map[string][]bucketRec) // family base name -> buckets in file order
+
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("obs: line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("obs: line %d: malformed TYPE line %q", lineNo, line)
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("obs: line %d: unknown metric type %q", lineNo, typ)
+				}
+				if prev, dup := s.Types[fields[2]]; dup {
+					return nil, fmt.Errorf("obs: line %d: duplicate TYPE for %s (already %s)", lineNo, fields[2], prev)
+				}
+				s.Types[fields[2]] = typ
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		base := familyOf(name)
+		if _, ok := s.Types[base]; !ok {
+			return nil, fmt.Errorf("obs: line %d: sample %s precedes its TYPE declaration", lineNo, name)
+		}
+		key := SeriesKey(name, labels)
+		if _, dup := s.Samples[key]; dup {
+			return nil, fmt.Errorf("obs: line %d: duplicate sample %s", lineNo, key)
+		}
+		s.Samples[key] = value
+		if strings.HasSuffix(name, "_bucket") && s.Types[base] == "histogram" {
+			le, ok := labels["le"]
+			if !ok {
+				return nil, fmt.Errorf("obs: line %d: histogram bucket without le label", lineNo)
+			}
+			lev := math.Inf(1)
+			if le != "+Inf" {
+				lev, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					return nil, fmt.Errorf("obs: line %d: bad le %q: %w", lineNo, le, err)
+				}
+			}
+			delete(labels, "le")
+			buckets[SeriesKey(base, labels)] = append(buckets[SeriesKey(base, labels)], bucketRec{lev, value})
+		}
+	}
+
+	// Histogram invariants: buckets cumulative in le order, +Inf present
+	// and equal to _count.
+	for series, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		last := math.Inf(-1)
+		prev := 0.0
+		for _, b := range bs {
+			if b.le == last {
+				return nil, fmt.Errorf("obs: histogram %s: duplicate le %v", series, b.le)
+			}
+			if b.val < prev {
+				return nil, fmt.Errorf("obs: histogram %s: bucket counts not cumulative at le=%v (%v < %v)",
+					series, b.le, b.val, prev)
+			}
+			last, prev = b.le, b.val
+		}
+		if len(bs) == 0 || !math.IsInf(bs[len(bs)-1].le, +1) {
+			return nil, fmt.Errorf("obs: histogram %s: no +Inf bucket", series)
+		}
+		name, labelPart, _ := strings.Cut(series, "{")
+		countKey := name + "_count"
+		if labelPart != "" {
+			countKey += "{" + labelPart
+		}
+		count, ok := s.Samples[countKey]
+		if !ok {
+			return nil, fmt.Errorf("obs: histogram %s: missing _count", series)
+		}
+		if count != bs[len(bs)-1].val {
+			return nil, fmt.Errorf("obs: histogram %s: +Inf bucket %v != _count %v",
+				series, bs[len(bs)-1].val, count)
+		}
+	}
+	return s, nil
+}
+
+// familyOf strips a histogram sample suffix back to its family name.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// parseSample parses one sample line: name{labels} value. Timestamps
+// (a third field) are not produced by this package's renderer and are
+// rejected.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i <= 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	labels = map[string]string{}
+	if rest[i] == '{' {
+		rest = rest[i+1:]
+		for {
+			if rest == "" {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq <= 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			lname := rest[:eq]
+			val, n, verr := unescapeLabel(rest[eq+2:])
+			if verr != nil {
+				return "", nil, 0, fmt.Errorf("label %s in %q: %w", lname, line, verr)
+			}
+			labels[lname] = val
+			rest = rest[eq+2+n:]
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+	} else {
+		rest = rest[i:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return "", nil, 0, fmt.Errorf("malformed value in %q", line)
+	}
+	if rest == "+Inf" {
+		return name, labels, math.Inf(1), nil
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %w", rest, err)
+	}
+	return name, labels, value, nil
+}
+
+// unescapeLabel consumes an escaped label value up to its closing
+// quote, returning the value and how many input bytes (closing quote
+// included) were consumed.
+func unescapeLabel(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// validMetricName checks the [a-zA-Z_:][a-zA-Z0-9_:]* metric name
+// grammar.
+func validMetricName(s string) bool {
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}

@@ -192,12 +192,14 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 
 // admitOrReject takes an admission token, or writes the constant-time
 // 429 and returns false. The caller must release() on true.
-func (s *Server) admitOrReject(w http.ResponseWriter) (release func(), ok bool) {
+func (s *Server) admitOrReject(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
 	select {
 	case s.admit <- struct{}{}:
 		return func() { <-s.admit }, true
 	default:
 		s.countError(http.StatusTooManyRequests, parselclient.CodeQueueFull)
+		s.logShed(r, http.StatusTooManyRequests, parselclient.CodeQueueFull,
+			fmt.Sprintf("admission capacity exhausted (capacity %d)", cap(s.admit)))
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, parselclient.CodeQueueFull,
 			fmt.Sprintf("admission capacity exhausted (%d requests in flight, capacity %d)",
@@ -231,7 +233,7 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request, id 
 	if s.refuseIfDraining(w) {
 		return
 	}
-	release, ok := s.admitOrReject(w)
+	release, ok := s.admitOrReject(w, r)
 	if !ok {
 		return
 	}
@@ -276,7 +278,7 @@ func runUpload[K parselclient.Key](s *Server, w http.ResponseWriter, r *http.Req
 	}
 	tenant := tenantOf(r)
 	need := residentBytes(up.Shards)
-	replacing, ok := s.reserveUpload(w, id, tenant, need)
+	replacing, ok := s.reserveUpload(w, r, id, tenant, need)
 	if !ok {
 		return
 	}
@@ -333,7 +335,7 @@ func (s *Server) handleFrameUpload(w http.ResponseWriter, r *http.Request, id st
 func runFrameUpload[K snapshot.FixedKey](s *Server, w http.ResponseWriter, r *http.Request, id string, dec *snapshot.StreamDecoder, n int64) {
 	tenant := tenantOf(r)
 	need := n * 8
-	replacing, ok := s.reserveUpload(w, id, tenant, need)
+	replacing, ok := s.reserveUpload(w, r, id, tenant, need)
 	if !ok {
 		return
 	}
@@ -379,7 +381,7 @@ func (s *Server) writeFrameUploadError(w http.ResponseWriter, err error) {
 // not-found — the same window a DELETE + re-upload sequence has — and
 // queries in flight on the old snapshot complete normally. On false
 // the refusal is already written.
-func (s *Server) reserveUpload(w http.ResponseWriter, id, tenant string, need int64) (replacing, ok bool) {
+func (s *Server) reserveUpload(w http.ResponseWriter, r *http.Request, id, tenant string, need int64) (replacing, ok bool) {
 	s.dsMu.Lock()
 	now := s.now()
 	s.sweepLocked(now)
@@ -393,6 +395,8 @@ func (s *Server) reserveUpload(w http.ResponseWriter, id, tenant string, need in
 		s.dstats.Rejected++
 		s.dsMu.Unlock()
 		s.countError(http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget)
+		s.logShed(r, http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget,
+			fmt.Sprintf("dataset %q needs %d bytes, %d of %d held", id, need, held, s.opts.MaxResidentBytes))
 		w.Header().Set("Retry-After", "1") // a delete or TTL eviction may free room
 		writeError(w, http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget,
 			fmt.Sprintf("dataset needs %d resident bytes; %d of the %d-byte budget are held (live data is never evicted to make room)",
@@ -403,6 +407,8 @@ func (s *Server) reserveUpload(w http.ResponseWriter, id, tenant string, need in
 		s.dstats.Rejected++
 		s.dsMu.Unlock()
 		s.countError(http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget)
+		s.logShed(r, http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget,
+			fmt.Sprintf("daemon already holds %d datasets, the limit", s.opts.MaxDatasets))
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusRequestEntityTooLarge, parselclient.CodeResidentBudget,
 			fmt.Sprintf("daemon already holds %d datasets, the limit", s.opts.MaxDatasets))
@@ -430,6 +436,7 @@ func (s *Server) reserveUpload(w http.ResponseWriter, id, tenant string, need in
 			s.dstats.Rejected++
 			s.dsMu.Unlock()
 			s.countError(http.StatusRequestEntityTooLarge, parselclient.CodeTenantBudget)
+			s.logShed(r, http.StatusRequestEntityTooLarge, parselclient.CodeTenantBudget, refusal)
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusRequestEntityTooLarge, parselclient.CodeTenantBudget, refusal)
 			return false, false
@@ -623,7 +630,7 @@ func (s *Server) handleDatasetSnapshot(w http.ResponseWriter, r *http.Request, i
 	if s.refuseIfDraining(w) {
 		return
 	}
-	release, ok := s.admitOrReject(w)
+	release, ok := s.admitOrReject(w, r)
 	if !ok {
 		return
 	}
@@ -705,7 +712,7 @@ func (s *Server) handleDatasetQuery(w http.ResponseWriter, r *http.Request, id s
 	if s.refuseIfDraining(w) {
 		return
 	}
-	release, ok := s.admitOrReject(w)
+	release, ok := s.admitOrReject(w, r)
 	if !ok {
 		return
 	}
@@ -762,7 +769,17 @@ func (s *Server) handleDatasetQuery(w http.ResponseWriter, r *http.Request, id s
 func finishDatasetQuery[K parselclient.Key](s *Server, w http.ResponseWriter, r *http.Request, ds *parsel.Dataset[K], ep Endpoint, q *parselclient.DatasetQuery, start time.Time) {
 	ctx, cancel := s.admissionContext(r, q.TimeoutMS)
 	defer cancel()
+	tr := trackFrom(r.Context())
+	if tr != nil {
+		tr.kind = parselclient.KeyKindOf[K]()
+		tr.markQueue()
+		ctx = parsel.WithCheckoutObserver(ctx, tr.observeCheckout)
+	}
+	execStart := time.Now()
 	resp, err := executeDatasetOf(ctx, ds, ep, q)
+	if tr != nil {
+		tr.exec = time.Since(execStart)
+	}
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
@@ -772,6 +789,9 @@ func finishDatasetQuery[K parselclient.Key](s *Server, w http.ResponseWriter, r 
 	s.dstats.Queries++
 	s.dsMu.Unlock()
 	s.observe(time.Since(start), resp.Report)
+	if tr != nil {
+		w.Header().Set(StagesHeader, tr.stagesValue())
+	}
 	writeResultOf(w, wantsFrame(r), resp)
 }
 
@@ -788,7 +808,7 @@ func (s *Server) handleDatasetQueryMany(w http.ResponseWriter, r *http.Request, 
 	if s.refuseIfDraining(w) {
 		return
 	}
-	release, ok := s.admitOrReject(w)
+	release, ok := s.admitOrReject(w, r)
 	if !ok {
 		return
 	}
@@ -848,6 +868,15 @@ func (s *Server) handleDatasetQueryMany(w http.ResponseWriter, r *http.Request, 
 func finishDatasetQueryMany[K parselclient.Key](s *Server, w http.ResponseWriter, r *http.Request, ds *parsel.Dataset[K], queries []parselclient.DatasetQuery, eps []Endpoint, timeoutMS int64, start time.Time) {
 	ctx, cancel := s.admissionContext(r, timeoutMS)
 	defer cancel()
+	tr := trackFrom(r.Context())
+	if tr != nil {
+		tr.kind = parselclient.KeyKindOf[K]()
+		tr.markQueue()
+		// observeCheckout adds atomically: the fan-out workers below all
+		// attribute their pool waits to this one request.
+		ctx = parsel.WithCheckoutObserver(ctx, tr.observeCheckout)
+	}
+	execStart := time.Now()
 
 	results := make([]parselclient.QueryManyResultOf[K], len(queries))
 	workers := min(s.pool.MaxMachines(), len(queries))
@@ -899,8 +928,12 @@ func finishDatasetQueryMany[K parselclient.Key](s *Server, w http.ResponseWriter
 	s.sim.SimSeconds += agg.SimSeconds
 	s.sim.Messages += agg.Messages
 	s.sim.Bytes += agg.Bytes
-	s.lat.observe(time.Since(start).Seconds())
 	s.mu.Unlock()
+	s.metrics.latency.Observe(time.Since(start).Seconds())
+	if tr != nil {
+		tr.exec = time.Since(execStart)
+		w.Header().Set(StagesHeader, tr.stagesValue())
+	}
 
 	if wantsFrame(r) && parselclient.KeyKindOf[K]() != parselclient.KeyKindString {
 		writeFrameResultsOf(w, results)

@@ -31,7 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime/debug"
@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"parsel"
+	"parsel/internal/obs"
 	"parsel/internal/snapshot"
 	"parsel/parselclient"
 )
@@ -125,9 +126,16 @@ type Options struct {
 	// draining leaks it for the process lifetime.
 	SnapshotDir string
 	// Logf receives the daemon's operational log lines (snapshot
-	// recovery warnings, persist failures, recovered panics). Default
-	// log.Printf.
+	// recovery warnings, persist failures, recovered panics), rendered
+	// as "msg key=value" text — the pre-slog hook, kept for embedders.
+	// Logger takes precedence when both are set; with neither, records
+	// go to slog.Default().
 	Logf func(format string, args ...any)
+	// Logger receives the daemon's structured log records: operational
+	// events (Logf's set, with typed attrs), admission rejections and
+	// panics at Warn/Error, and per-request access records at Debug —
+	// each carrying the request's X-Parsel-Request-Id.
+	Logger *slog.Logger
 	// TenantSource, when non-nil, powers POST /v1/admin/tenants/reload:
 	// the handler calls it for the fresh tenant list (cmd/parseld wires
 	// it to reread the -tenants file) and applies it via ReloadTenants.
@@ -198,7 +206,11 @@ type Server struct {
 	draining bool
 	srv      parselclient.ServerStats
 	sim      parselclient.SimStats
-	lat      histogram
+
+	// metrics is the obs instrument set behind GET /metrics; its
+	// latency histogram is also what Stats() renders, so the two
+	// endpoints always agree.
+	metrics *serverMetrics
 
 	// The resident-dataset registry (see dataset.go). dsMu also guards
 	// now, the clock the TTL sweep reads — a test hook.
@@ -212,7 +224,7 @@ type Server struct {
 	// Lock order: snapMu is only ever taken after dsMu, never before.
 	snap      *snapshot.Store
 	optionsFP string
-	logf      func(format string, args ...any)
+	log       *slog.Logger
 	snapGen   atomic.Int64
 	// snapMu guards the dirty set, the inflight count and the stats;
 	// snapCond (on snapMu) wakes flushers when an in-flight persist
@@ -267,14 +279,18 @@ func New(opts Options) (*Server, error) {
 		datasets:  make(map[string]*dsEntry),
 		now:       time.Now,
 		optionsFP: fmt.Sprintf("%+v", opts.Pool.Options()),
-		logf:      opts.Logf,
+		log:       opts.Logger,
+		metrics:   newServerMetrics(),
 		snapDirty: make(map[string]struct{}),
 		snapWake:  make(chan struct{}, 1),
 		snapStop:  make(chan struct{}),
 		snapDone:  make(chan struct{}),
 	}
-	if s.logf == nil {
-		s.logf = log.Printf
+	if s.log == nil && opts.Logf != nil {
+		s.log = obs.LogfLogger(opts.Logf)
+	}
+	if s.log == nil {
+		s.log = slog.Default()
 	}
 	// The non-int64 kind pools default to clones of the int64 pool's
 	// shape, so a daemon configured for one kind serves all three.
@@ -320,6 +336,7 @@ func New(opts Options) (*Server, error) {
 	}
 	s.mux.HandleFunc("/v1/datasets/", s.handleDatasets)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	if opts.TenantSource != nil {
 		s.mux.HandleFunc("/v1/admin/tenants/reload", s.handleTenantReload)
@@ -416,6 +433,7 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	if _, ok := endpoints[r.URL.Path]; !ok &&
 		!strings.HasPrefix(r.URL.Path, "/v1/datasets/") &&
 		r.URL.Path != "/v1/stats" && r.URL.Path != "/healthz" &&
+		r.URL.Path != "/metrics" &&
 		!(r.URL.Path == "/v1/admin/tenants/reload" && s.opts.TenantSource != nil) {
 		writeError(w, http.StatusNotFound, parselclient.CodeNotFound,
 			fmt.Sprintf("no endpoint %q", r.URL.Path))
@@ -442,7 +460,7 @@ func tenantOf(r *http.Request) string {
 // tenant. On success the tenant's name rides the request context; any
 // other outcome is a 401 unknown_tenant, already written here.
 func (s *Server) authenticate(w http.ResponseWriter, r *http.Request) (*http.Request, bool) {
-	if !s.tenancy || r.URL.Path == "/healthz" {
+	if !s.tenancy || r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
 		return r, true
 	}
 	auth := r.Header.Get("Authorization")
@@ -462,25 +480,39 @@ func (s *Server) authenticate(w http.ResponseWriter, r *http.Request) (*http.Req
 			"this daemon requires a bearer token naming a configured tenant")
 		return r, false
 	}
+	if tr := trackFrom(r.Context()); tr != nil {
+		tr.tenant = te.cfg.Name
+	}
 	ctx := context.WithValue(r.Context(), tenantCtxKey{}, te.cfg.Name)
 	return r.WithContext(ctx), true
 }
 
 // statusWriter remembers whether the handler already started a
-// response, so the recovery middleware knows if a 500 can still be
-// written.
+// response — so the recovery middleware knows if a 500 can still be
+// written — and which status code it committed, for the request
+// metrics and access log.
 type statusWriter struct {
 	http.ResponseWriter
 	wrote bool
+	code  int
+}
+
+// commit records that the response is started; the first committed
+// status sticks.
+func (w *statusWriter) commit(code int) {
+	if !w.wrote {
+		w.wrote = true
+		w.code = code
+	}
 }
 
 func (w *statusWriter) WriteHeader(code int) {
-	w.wrote = true
+	w.commit(code)
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(b []byte) (int, error) {
-	w.wrote = true
+	w.commit(http.StatusOK)
 	return w.ResponseWriter.Write(b)
 }
 
@@ -498,7 +530,7 @@ type statusWriterFlusher struct {
 func (w *statusWriterFlusher) Flush() {
 	// A flush sends the headers if none were written; the status is
 	// committed either way.
-	w.wrote = true
+	w.commit(http.StatusOK)
 	w.f.Flush()
 }
 
@@ -508,7 +540,7 @@ type statusWriterReaderFrom struct {
 }
 
 func (w *statusWriterReaderFrom) ReadFrom(r io.Reader) (int64, error) {
-	w.wrote = true
+	w.commit(http.StatusOK)
 	return w.rf.ReadFrom(r)
 }
 
@@ -518,7 +550,7 @@ type statusWriterFlusherReaderFrom struct {
 }
 
 func (w *statusWriterFlusherReaderFrom) ReadFrom(r io.Reader) (int64, error) {
-	w.wrote = true
+	w.commit(http.StatusOK)
 	return w.rf.ReadFrom(r)
 }
 
@@ -547,26 +579,41 @@ func wrapStatusWriter(w http.ResponseWriter) (*statusWriter, http.ResponseWriter
 // it is the standard library's (and the fault injector's) deliberate
 // abort-the-connection signal, not a fault to mask. Recovered panics
 // are logged with the stack and counted in ServerStats.Panics.
+// It is also where request tracking begins and ends: the request id
+// (the client's X-Parsel-Request-Id, or a fresh one) is resolved,
+// echoed on the response up front, and carried through the context; on
+// the way out the request lands in parsel_requests_total, the stage
+// histograms, and the Debug-level access log. An ErrAbortHandler
+// re-panic skips the bookkeeping — the connection died mid-flight, so
+// there is no status code to attribute.
 func (s *Server) recoverPanics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := &reqTrack{start: time.Now(), id: r.Header.Get(RequestIDHeader)}
+		if tr.id == "" {
+			tr.id = obs.NewRequestID()
+		}
+		r = r.WithContext(context.WithValue(r.Context(), trackKey{}, tr))
 		sw, dw := wrapStatusWriter(w)
+		dw.Header().Set(RequestIDHeader, tr.id)
 		defer func() {
 			rec := recover()
-			if rec == nil {
-				return
+			if rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				s.mu.Lock()
+				s.srv.Panics++
+				s.mu.Unlock()
+				s.countError(http.StatusInternalServerError, parselclient.CodeInternal)
+				s.log.Error("serve: panic recovered",
+					"request_id", tr.id, "method", r.Method, "path", r.URL.Path,
+					"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, parselclient.CodeInternal,
+						"internal fault (recovered panic)")
+				}
 			}
-			if rec == http.ErrAbortHandler {
-				panic(rec)
-			}
-			s.mu.Lock()
-			s.srv.Panics++
-			s.mu.Unlock()
-			s.countError(http.StatusInternalServerError, parselclient.CodeInternal)
-			s.logf("serve: panic on %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-			if !sw.wrote {
-				writeError(sw, http.StatusInternalServerError, parselclient.CodeInternal,
-					"internal fault (recovered panic)")
-			}
+			s.finishRequest(tr, sw.code, r)
 		}()
 		next.ServeHTTP(dw, r)
 	})
@@ -653,7 +700,7 @@ func (s *Server) Stats() parselclient.Stats {
 		Datasets:  dst,
 		Tenants:   tenants,
 		Snapshots: s.snapshotStats(),
-		Latency:   s.lat.snapshot(),
+		Latency:   wireHistogram(s.metrics.latency.Snapshot()),
 	}
 }
 
@@ -671,7 +718,7 @@ func (s *Server) queryHandler(ep Endpoint) http.HandlerFunc {
 			return
 		}
 		// Admission: bounded queue, constant-time rejection beyond it.
-		release, ok := s.admitOrReject(w)
+		release, ok := s.admitOrReject(w, r)
 		if !ok {
 			return
 		}
@@ -709,12 +756,25 @@ func runQuery[K parselclient.Key](s *Server, w http.ResponseWriter, r *http.Requ
 	}
 	ctx, cancel := s.admissionContext(r, req.TimeoutMS)
 	defer cancel()
+	tr := trackFrom(r.Context())
+	if tr != nil {
+		tr.kind = parselclient.KeyKindOf[K]()
+		tr.markQueue()
+		ctx = parsel.WithCheckoutObserver(ctx, tr.observeCheckout)
+	}
+	execStart := time.Now()
 	resp, err := executeOn(ctx, poolOf[K](s), ep, req)
+	if tr != nil {
+		tr.exec = time.Since(execStart)
+	}
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
 	}
 	s.observe(time.Since(start), resp.Report)
+	if tr != nil {
+		w.Header().Set(StagesHeader, tr.stagesValue())
+	}
 	writeResultOf(w, wantsFrame(r), resp)
 }
 
@@ -1029,16 +1089,17 @@ func (s *Server) countError(status int, code parselclient.Code) {
 	}
 }
 
-// observe records a served query in the stats.
+// observe records a served query in the stats. The latency lands in
+// the obs histogram both /v1/stats and /metrics render.
 func (s *Server) observe(hostLatency time.Duration, rep parselclient.Report) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.srv.OK++
 	s.sim.Queries++
 	s.sim.SimSeconds += rep.SimSeconds
 	s.sim.Messages += rep.Messages
 	s.sim.Bytes += rep.Bytes
-	s.lat.observe(hostLatency.Seconds())
+	s.mu.Unlock()
+	s.metrics.latency.Observe(hostLatency.Seconds())
 }
 
 // handleStats serves GET /v1/stats.
@@ -1077,7 +1138,7 @@ func (s *Server) handleTenantReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, parselclient.CodeInternal, err.Error())
 		return
 	}
-	s.logf("serve: tenant configuration reloaded (%d tenants)", len(tenants))
+	s.log.Info("serve: tenant configuration reloaded", "tenants", len(tenants))
 	writeJSON(w, http.StatusOK, parselclient.TenantReloadResult{Tenants: len(tenants)})
 }
 

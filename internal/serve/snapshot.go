@@ -52,7 +52,7 @@ func (s *Server) initSnapshots(dir string) error {
 	}
 	s.snap = store
 	for _, w := range warnings {
-		s.logf("snapshots: %s", w)
+		s.log.Warn("snapshots: store warning", "detail", w)
 	}
 	s.recoverSnapshots()
 	go s.snapshotLoop()
@@ -79,8 +79,9 @@ func (s *Server) recoverSnapshots() {
 			s.snapMu.Lock()
 			s.sstats.RestoreSkipped++
 			s.snapMu.Unlock()
-			s.logf("snapshots: dataset %q expired %s before restart; not restored",
-				m.ID, now.Sub(time.UnixMilli(m.ExpiresUnixMS)).Round(time.Second))
+			s.log.Warn("snapshots: dataset expired before restart; not restored",
+				"id", m.ID,
+				"expired_ago", now.Sub(time.UnixMilli(m.ExpiresUnixMS)).Round(time.Second).String())
 			continue
 		}
 		if m.Tenant != "" && len(s.tenantsByName) > 0 && s.tenantsByName[m.Tenant] == nil {
@@ -89,8 +90,8 @@ func (s *Server) recoverSnapshots() {
 			s.snapMu.Lock()
 			s.sstats.RestoreSkipped++
 			s.snapMu.Unlock()
-			s.logf("snapshots: dataset %q belongs to unconfigured tenant %q; not restored",
-				m.ID, m.Tenant)
+			s.log.Warn("snapshots: dataset belongs to unconfigured tenant; not restored",
+				"id", m.ID, "tenant", m.Tenant)
 			continue
 		}
 		var loadErr, restoreErr error
@@ -112,12 +113,12 @@ func (s *Server) recoverSnapshots() {
 				s.sstats.Quarantined++
 			}
 			s.snapMu.Unlock()
-			s.logf("snapshots: dataset %q not restored: %v", m.ID, loadErr)
+			s.log.Warn("snapshots: dataset not restored", "id", m.ID, "err", loadErr.Error())
 		case restoreErr != nil:
 			s.snapMu.Lock()
 			s.sstats.RestoreSkipped++
 			s.snapMu.Unlock()
-			s.logf("snapshots: dataset %q not restored: %v", m.ID, restoreErr)
+			s.log.Warn("snapshots: dataset not restored", "id", m.ID, "err", restoreErr.Error())
 		default:
 			s.snapMu.Lock()
 			s.sstats.Restored++
@@ -136,8 +137,8 @@ func recoverOne[K snapshot.FixedKey](s *Server, m snapshot.Meta) (loadErr, resto
 		return err, nil
 	}
 	if h.Options != s.optionsFP {
-		s.logf("snapshots: dataset %q was persisted under different pool options (%s); restoring anyway — values stay correct, simulated metrics follow the new configuration",
-			m.ID, h.Options)
+		s.log.Warn("snapshots: dataset was persisted under different pool options; restoring anyway — values stay correct, simulated metrics follow the new configuration",
+			"id", m.ID, "options", h.Options)
 	}
 	return nil, restoreDataset[K](s, m.ID, shards, meta.Tenant,
 		time.UnixMilli(meta.ExpiresUnixMS), meta.Gen)
@@ -321,7 +322,7 @@ func (s *Server) persistOne(id string) {
 	if !ok {
 		if err := s.snap.Remove(id); err != nil {
 			s.countPersist(now, err)
-			s.logf("snapshots: remove %q: %v", id, err)
+			s.log.Error("snapshots: remove failed", "id", id, "err", err.Error())
 		}
 		return
 	}
@@ -336,7 +337,7 @@ func (s *Server) persistOne(id string) {
 		// file a same-id fixed-kind predecessor left behind.
 		if err := s.snap.Remove(id); err != nil {
 			s.countPersist(now, err)
-			s.logf("snapshots: remove %q: %v", id, err)
+			s.log.Error("snapshots: remove failed", "id", id, "err", err.Error())
 		}
 	}
 }
@@ -375,7 +376,7 @@ func persistEntry[K snapshot.FixedKey](s *Server, id string, e *dsEntry, ds *par
 		// The dataset stays resident and serving; the next persist of
 		// this id (a later upload, or the drain flush marking every
 		// resident dataset) retries the write.
-		s.logf("snapshots: persist %q: %v", id, err)
+		s.log.Error("snapshots: persist failed", "id", id, "err", err.Error())
 	}
 }
 
@@ -474,7 +475,7 @@ func (s *Server) drainSnapshots() {
 
 		// The final TTL clocks, one manifest write for the lot.
 		if err := s.snap.RefreshMeta(metas); err != nil {
-			s.logf("snapshots: drain metadata flush: %v", err)
+			s.log.Error("snapshots: drain metadata flush failed", "err", err.Error())
 		}
 	})
 }

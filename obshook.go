@@ -1,0 +1,34 @@
+package parsel
+
+import (
+	"context"
+	"time"
+)
+
+// checkoutObserverKey carries the pool-wait observer through a context.
+type checkoutObserverKey struct{}
+
+// WithCheckoutObserver returns a context whose pool checkouts report
+// semaphore wait time to fn. The observer fires only when a checkout
+// actually blocks for a slot (the Waits slow path); a fast-path
+// checkout costs nothing. fn is called with the time spent waiting,
+// whether the wait ended in a slot or in a context timeout, and must
+// be safe for concurrent use. Serving layers use this to attribute
+// query latency to pool contention without the pool keeping a
+// per-request ledger.
+func WithCheckoutObserver(ctx context.Context, fn func(wait time.Duration)) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, checkoutObserverKey{}, fn)
+}
+
+// checkoutObserver extracts the observer installed by
+// WithCheckoutObserver, or nil.
+func checkoutObserver(ctx context.Context) func(wait time.Duration) {
+	if ctx == nil {
+		return nil
+	}
+	fn, _ := ctx.Value(checkoutObserverKey{}).(func(wait time.Duration))
+	return fn
+}

@@ -75,6 +75,10 @@ type Client struct {
 	budget     float64
 	budgetInit bool
 	retryCount retryCounters
+
+	// collector, when non-nil, receives per-operation telemetry (see
+	// Collector and WithCollector). Configure before the first call.
+	collector Collector
 }
 
 // Option configures a Client at construction. The same options
@@ -555,7 +559,7 @@ func (e *permanentError) Unwrap() error { return e.err }
 // result frame, keyed by the response's Content-Type — or the
 // structured error. It returns the attempt's error together with any
 // Retry-After hint accompanying it.
-func (c *Client) attempt(ctx context.Context, method, path string, body bodyFunc, acceptFrame bool, out any, attemptTimeout time.Duration) (error, time.Duration) {
+func (c *Client) attempt(ctx context.Context, method, path string, body bodyFunc, acceptFrame bool, out any, attemptTimeout time.Duration, reqID string) (error, time.Duration) {
 	actx := ctx
 	if attemptTimeout > 0 {
 		var cancel context.CancelFunc
@@ -585,6 +589,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body bodyFunc
 	}
 	if c.Token != "" {
 		hreq.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	if reqID != "" {
+		hreq.Header.Set(RequestIDHeader, reqID)
 	}
 	stampDeadline(hreq, actx)
 	hres, err := c.hc.Do(hreq)
@@ -1032,6 +1039,11 @@ func (c *Client) DatasetSnapshot(ctx context.Context, id string) (io.ReadCloser,
 	if c.Token != "" {
 		hreq.Header.Set("Authorization", "Bearer "+c.Token)
 	}
+	if rid, ok := RequestIDFrom(ctx); ok {
+		// A ship's correlation id rides the export stream too, so both
+		// halves of a snapshot transfer log under one id.
+		hreq.Header.Set(RequestIDHeader, rid)
+	}
 	stampDeadline(hreq, ctx)
 	hres, err := c.hc.Do(hreq)
 	if err != nil {
@@ -1078,6 +1090,11 @@ func (e *ShipSourceError) Unwrap() error { return e.Err }
 func (c *Client) ShipSnapshot(ctx context.Context, id string, dst *Client) (DatasetInfo, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if _, ok := RequestIDFrom(ctx); !ok {
+		// One id for the whole transfer: the export stream and the ingest
+		// upload log under it on both daemons.
+		ctx = WithRequestID(ctx, NewRequestID())
 	}
 	body := func(actx context.Context) (io.Reader, int64, string, error) {
 		rc, length, err := c.DatasetSnapshot(actx, id)

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"parsel"
+	"parsel/internal/obs"
 	"parsel/parselclient"
 )
 
@@ -44,6 +46,18 @@ type Config struct {
 	// shortfalls, rebalance moves.
 	Logf func(format string, args ...any)
 
+	// Logger, when set, receives the same routing events as structured
+	// records with typed attrs (node, dataset, err) — markdowns at Warn,
+	// recoveries at Info. It takes precedence over Logf.
+	Logger *slog.Logger
+
+	// Collector, when set, is installed on every per-node client (see
+	// parselclient.Collector) and additionally receives the router's own
+	// events — "cluster.failover", "cluster.ship", "cluster.reupload",
+	// "cluster.shortfall" — with a zero RetryStats delta, so client
+	// retries and router traffic shaping land in one scrapeable place.
+	Collector parselclient.Collector
+
 	now func() time.Time // test hook; nil means time.Now
 }
 
@@ -75,6 +89,7 @@ type Stats struct {
 type Router struct {
 	cfg  Config
 	ring *Ring
+	log  *slog.Logger // resolved from Logger/Logf; discards when neither is set
 
 	mu      sync.Mutex
 	clients map[string]*parselclient.Client
@@ -112,9 +127,22 @@ func New(cfg Config, opts ...parselclient.Option) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
+	log := cfg.Logger
+	if log == nil && cfg.Logf != nil {
+		log = obs.LogfLogger(cfg.Logf)
+	}
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	if cfg.Collector != nil {
+		// Every per-node client reports through the same hook; the slice
+		// is stored, so SetNodes-added clients inherit it too.
+		opts = append(opts, parselclient.WithCollector(cfg.Collector))
+	}
 	r := &Router{
 		cfg:     cfg,
 		ring:    ring,
+		log:     log,
 		clients: make(map[string]*parselclient.Client, len(cfg.Nodes)),
 		downAt:  make(map[string]time.Time),
 		reg:     make(map[string]string),
@@ -129,6 +157,16 @@ func New(cfg Config, opts ...parselclient.Option) (*Router, error) {
 func (r *Router) logf(format string, args ...any) {
 	if r.cfg.Logf != nil {
 		r.cfg.Logf(format, args...)
+		return
+	}
+	r.log.Info(fmt.Sprintf(format, args...))
+}
+
+// collect reports a router-level event to the configured Collector
+// (zero retry delta — the per-node clients report those themselves).
+func (r *Router) collect(op string, err error) {
+	if r.cfg.Collector != nil {
+		r.cfg.Collector.ClientOp(op, parselclient.RetryStats{}, err)
 	}
 }
 
@@ -178,7 +216,7 @@ func (r *Router) markDown(node string, err error) {
 	r.downAt[node] = r.cfg.now()
 	r.mu.Unlock()
 	if !was {
-		r.logf("cluster: node %s out of rotation: %v", node, err)
+		r.log.Warn("cluster: node out of rotation", "node", node, "err", err)
 	}
 }
 
@@ -208,7 +246,7 @@ func (r *Router) markUp(node string) {
 	delete(r.downAt, node)
 	r.mu.Unlock()
 	if was {
-		r.logf("cluster: node %s back in rotation", node)
+		r.log.Info("cluster: node back in rotation", "node", node)
 	}
 }
 
@@ -322,8 +360,14 @@ func failoverable(err error) bool {
 // Retry amplification stays bounded: each per-node client applies its
 // own RetryPolicy budget, and the failover loop visits each replica at
 // most once per call.
-func failover[T any](ctx context.Context, r *Router, id string, op func(c *parselclient.Client) (T, error)) (T, error) {
+//
+// The operation's request id is resolved here — the caller's via
+// parselclient.WithRequestID, or a fresh one — and pinned into the
+// context every replica attempt runs under, so one id ties the whole
+// failover chain together in every node's logs.
+func failover[T any](ctx context.Context, r *Router, id string, op func(ctx context.Context, c *parselclient.Client) (T, error)) (T, error) {
 	var zero T
+	ctx = withOperationID(ctx)
 	replicas := r.Place(id)
 	tried := make(map[string]bool, len(replicas))
 	var lastErr error
@@ -337,13 +381,11 @@ func failover[T any](ctx context.Context, r *Router, id string, op func(c *parse
 			if c == nil {
 				continue
 			}
-			v, err := op(c)
+			v, err := op(ctx, c)
 			if err == nil {
 				r.markUp(node)
 				if len(tried) > 1 {
-					r.mu.Lock()
-					r.failovers++
-					r.mu.Unlock()
+					r.bump(&r.failovers)
 				}
 				return v, nil
 			}
@@ -360,6 +402,19 @@ func failover[T any](ctx context.Context, r *Router, id string, op func(c *parse
 		return zero, fmt.Errorf("cluster: no replicas for dataset %q", id)
 	}
 	return zero, lastErr
+}
+
+// withOperationID pins a request id into ctx if the caller has not
+// already: every attempt of a multi-node operation then carries the
+// same X-Parsel-Request-Id.
+func withOperationID(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, ok := parselclient.RequestIDFrom(ctx); !ok {
+		ctx = parselclient.WithRequestID(ctx, parselclient.NewRequestID())
+	}
+	return ctx
 }
 
 // KindRouter is the typed view of a Router for key kind K, mirroring
@@ -412,6 +467,7 @@ func (d *Dataset[K]) remote(c *parselclient.Client) *parselclient.RemoteDatasetO
 // Stats.ReplicaShortfalls; Rebalance repairs the shortfall once the
 // node returns. The call fails only if no replica accepted the upload.
 func (d *Dataset[K]) Upload(ctx context.Context, shards [][]K) (parselclient.DatasetInfo, error) {
+	ctx = withOperationID(ctx) // one id for the landing and every replica fill
 	replicas := d.r.Place(d.id)
 	kind := parselclient.KeyKindOf[K]()
 
@@ -499,16 +555,32 @@ func (d *Dataset[K]) Upload(ctx context.Context, shards [][]K) (parselclient.Dat
 	return info, nil
 }
 
+// bump increments one router counter and mirrors the event to the
+// Collector, so the scraped view moves in lockstep with Stats().
 func (r *Router) bump(counter *int64) {
+	var op string
+	switch counter {
+	case &r.shipped:
+		op = "cluster.ship"
+	case &r.reuploads:
+		op = "cluster.reupload"
+	case &r.failovers:
+		op = "cluster.failover"
+	case &r.shortfalls:
+		op = "cluster.shortfall"
+	}
 	r.mu.Lock()
 	*counter++
 	r.mu.Unlock()
+	if op != "" {
+		r.collect(op, nil)
+	}
 }
 
 // Info fetches the dataset's description from the first replica that
 // answers.
 func (d *Dataset[K]) Info(ctx context.Context) (parselclient.DatasetInfo, error) {
-	return failover(ctx, d.r, d.id, func(c *parselclient.Client) (parselclient.DatasetInfo, error) {
+	return failover(ctx, d.r, d.id, func(ctx context.Context, c *parselclient.Client) (parselclient.DatasetInfo, error) {
 		return d.remote(c).Info(ctx)
 	})
 }
@@ -522,6 +594,7 @@ func (d *Dataset[K]) Info(ctx context.Context) (parselclient.DatasetInfo, error)
 // suspect. Copies on nodes removed from the fleet entirely are out of
 // the router's reach; TTL cleans those.
 func (d *Dataset[K]) Delete(ctx context.Context) (parselclient.DatasetInfo, error) {
+	ctx = withOperationID(ctx) // one id for the fleet-wide sweep
 	var info parselclient.DatasetInfo
 	var got bool
 	var firstErr error
@@ -565,13 +638,13 @@ type multiResult[K parselclient.Key] struct {
 }
 
 func (d *Dataset[K]) scalar(ctx context.Context, op func(rd *parselclient.RemoteDatasetOf[K]) (parsel.Result[K], error)) (parsel.Result[K], error) {
-	return failover(ctx, d.r, d.id, func(c *parselclient.Client) (parsel.Result[K], error) {
+	return failover(ctx, d.r, d.id, func(_ context.Context, c *parselclient.Client) (parsel.Result[K], error) {
 		return op(d.remote(c))
 	})
 }
 
 func (d *Dataset[K]) multi(ctx context.Context, op func(rd *parselclient.RemoteDatasetOf[K]) ([]K, parsel.Report, error)) ([]K, parsel.Report, error) {
-	res, err := failover(ctx, d.r, d.id, func(c *parselclient.Client) (multiResult[K], error) {
+	res, err := failover(ctx, d.r, d.id, func(_ context.Context, c *parselclient.Client) (multiResult[K], error) {
 		keys, rep, err := op(d.remote(c))
 		return multiResult[K]{keys: keys, report: rep}, err
 	})
@@ -634,7 +707,7 @@ func (d *Dataset[K]) Summary(ctx context.Context) (parsel.FiveNumber[K], parsel.
 		five   parsel.FiveNumber[K]
 		report parsel.Report
 	}
-	res, err := failover(ctx, d.r, d.id, func(c *parselclient.Client) (sum, error) {
+	res, err := failover(ctx, d.r, d.id, func(ctx context.Context, c *parselclient.Client) (sum, error) {
 		five, rep, err := d.remote(c).Summary(ctx)
 		return sum{five: five, report: rep}, err
 	})
@@ -646,7 +719,7 @@ func (d *Dataset[K]) Summary(ctx context.Context) (parsel.FiveNumber[K], parsel.
 // result (they are deterministic); only whole-batch failures fail
 // over.
 func (d *Dataset[K]) QueryMany(ctx context.Context, queries []parselclient.DatasetQuery) ([]parselclient.QueryManyResultOf[K], error) {
-	return failover(ctx, d.r, d.id, func(c *parselclient.Client) ([]parselclient.QueryManyResultOf[K], error) {
+	return failover(ctx, d.r, d.id, func(ctx context.Context, c *parselclient.Client) ([]parselclient.QueryManyResultOf[K], error) {
 		return d.remote(c).QueryMany(ctx, queries)
 	})
 }

@@ -319,13 +319,34 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, o
 // rebuilt by bodyFunc for every attempt (fresh stream, fresh
 // deadline-derived fields); acceptFrame asks the server for a binary
 // result frame. With a zero policy it is a single attempt,
-// byte-for-byte the pre-policy client.
+// byte-for-byte the pre-policy client. do also resolves the
+// operation's request id (the caller's via WithRequestID, or a fresh
+// one) — every attempt, retries included, carries the same id — and
+// reports the finished operation's RetryStats delta to the collector,
+// if one is listening.
 func (c *Client) do(ctx context.Context, method, path string, body bodyFunc, acceptFrame bool, out any) error {
+	delta := c.opDelta()
+	err := c.doRetries(ctx, method, path, body, acceptFrame, out, delta)
+	c.emitOp(method, path, delta, err)
+	return err
+}
+
+// doRetries is do's retry loop, incrementing the per-operation delta
+// (nil when no collector is listening) alongside the cumulative
+// counters.
+func (c *Client) doRetries(ctx context.Context, method, path string, body bodyFunc, acceptFrame bool, out any, delta *RetryStats) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	reqID, ok := RequestIDFrom(ctx)
+	if !ok {
+		reqID = NewRequestID()
+	}
 	p := c.Retry.withDefaults()
 	c.retryCount.requests.Add(1)
+	if delta != nil {
+		delta.Requests++
+	}
 	if p.enabled() {
 		c.budgetDeposit(p)
 		if p.MaxElapsed > 0 {
@@ -336,7 +357,10 @@ func (c *Client) do(ctx context.Context, method, path string, body bodyFunc, acc
 	}
 	for attempt := 1; ; attempt++ {
 		c.retryCount.attempts.Add(1)
-		err, retryAfter := c.attempt(ctx, method, path, body, acceptFrame, out, p.AttemptTimeout)
+		if delta != nil {
+			delta.Attempts++
+		}
+		err, retryAfter := c.attempt(ctx, method, path, body, acceptFrame, out, p.AttemptTimeout, reqID)
 		if err == nil {
 			return nil
 		}
@@ -352,26 +376,41 @@ func (c *Client) do(ctx context.Context, method, path string, body bodyFunc, acc
 		}
 		if attempt >= p.MaxAttempts {
 			c.retryCount.gaveUp.Add(1)
+			if delta != nil {
+				delta.GaveUp++
+			}
 			return err
 		}
 		if !c.budgetWithdraw(p) {
 			c.retryCount.budgetExhausted.Add(1)
+			if delta != nil {
+				delta.BudgetExhausted++
+			}
 			return err
 		}
 		delay := c.jitter(backoffCap(p, attempt), p)
 		if retryAfter > delay {
 			delay = retryAfter
 			c.retryCount.retryAfterHonored.Add(1)
+			if delta != nil {
+				delta.RetryAfterHonored++
+			}
 		}
 		if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= delay {
 			// No budget left to back off in; surface the last error now
 			// rather than sleeping into a guaranteed deadline failure.
 			c.retryCount.gaveUp.Add(1)
+			if delta != nil {
+				delta.GaveUp++
+			}
 			return err
 		}
 		if serr := p.Sleep(ctx, delay); serr != nil {
 			return err
 		}
 		c.retryCount.retries.Add(1)
+		if delta != nil {
+			delta.Retries++
+		}
 	}
 }

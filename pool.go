@@ -7,6 +7,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // PoolOptions configures a Pool.
@@ -137,6 +138,11 @@ func (pl *Pool[K]) checkout(ctx context.Context, procs int) (*Selector[K], error
 		pl.mu.Lock()
 		pl.stats.Waits++
 		pl.mu.Unlock()
+		observe := checkoutObserver(ctx)
+		var start time.Time
+		if observe != nil {
+			start = time.Now()
+		}
 		if done == nil {
 			pl.sem <- struct{}{}
 		} else {
@@ -146,8 +152,14 @@ func (pl *Pool[K]) checkout(ctx context.Context, procs int) (*Selector[K], error
 				pl.mu.Lock()
 				pl.stats.Timeouts++
 				pl.mu.Unlock()
+				if observe != nil {
+					observe(time.Since(start))
+				}
 				return nil, poolTimeout(ctx)
 			}
+		}
+		if observe != nil {
+			observe(time.Since(start))
 		}
 	}
 	pl.mu.Lock()
